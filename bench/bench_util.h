@@ -1,0 +1,55 @@
+// Shared harness for the paper-reproduction benches: run one workload under
+// one policy/redundancy configuration and collect the metrics the figures
+// report.
+#pragma once
+
+#include <string>
+
+#include "core/diversity.h"
+#include "core/redundant.h"
+#include "sched/policies.h"
+#include "workloads/workload.h"
+
+namespace higpu::bench {
+
+struct RunResult {
+  /// GPU cycles consumed by kernel execution (the Fig. 4 metric).
+  Cycle kernel_cycles = 0;
+  /// End-to-end wall-clock on the modelled platform (the Fig. 5 metric).
+  NanoSec elapsed_ns = 0;
+  /// Output matched the CPU reference.
+  bool verified = false;
+  /// Redundant copies compared equal (vacuously true in baseline mode).
+  bool outputs_matched = false;
+  /// Block-level diversity across all redundant pairs.
+  core::DiversityReport diversity;
+};
+
+inline RunResult run_workload(const std::string& name, workloads::Scale scale,
+                              sched::Policy policy, bool redundant,
+                              u64 seed = 2019,
+                              const sim::GpuParams& gpu_params = {}) {
+  workloads::WorkloadPtr w = workloads::make(name);
+  w->setup(scale, seed);
+
+  runtime::Device dev(gpu_params);
+  core::RedundantSession::Config cfg;
+  cfg.policy = policy;
+  cfg.redundant = redundant;
+  core::RedundantSession session(dev, cfg);
+  w->run(session);
+
+  RunResult r;
+  r.kernel_cycles = session.kernel_cycles();
+  r.elapsed_ns = dev.elapsed_ns();
+  r.verified = w->verify();
+  r.outputs_matched = session.all_outputs_matched();
+  if (redundant)
+    r.diversity = core::analyze_block_diversity(dev.gpu().block_records(),
+                                                session.pairs());
+  return r;
+}
+
+inline double ms(NanoSec ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace higpu::bench

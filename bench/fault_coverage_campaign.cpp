@@ -1,0 +1,177 @@
+// Fault-injection campaign backing the paper's §IV.C safety argument.
+//
+// Three experiments per policy:
+//  1. Transient chip-wide droop sweep: 50-cycle droops injected at many
+//     points of the redundant pair's execution; outcomes classified as
+//     masked / detected / SDC against a golden (fault-free) run.
+//  2. Permanent SM defect sweep: one broken SM at a time.
+//  3. Temporal-diversity slack: instruction-level minimum slack between the
+//     copies and the droop widths they are exposed to, including a search
+//     for a window that would corrupt both copies identically.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/diversity.h"
+#include "core/redundant.h"
+#include "fault/injector.h"
+#include "isa/builder.h"
+#include "safety/asil.h"
+
+namespace {
+
+using namespace higpu;
+
+/// Dense, all-live kernel (every datapath result reaches the output):
+/// out[gid] = chain of FFMAs seeded by gid.
+isa::ProgramPtr make_campaign_kernel() {
+  using namespace isa;
+  KernelBuilder kb("campaign");
+  Reg out = kb.reg(), n = kb.reg();
+  kb.ldp(out, 0);
+  kb.ldp(n, 1);
+  Reg gid = kb.global_tid_x();
+  Label done = kb.label();
+  kb.guard_range(gid, n, done);
+  Reg acc = kb.reg(), f = kb.reg();
+  kb.i2f(f, gid);
+  kb.ffma(acc, f, fimm(0.001f), fimm(1.0f));
+  for (int i = 0; i < 120; ++i)
+    kb.ffma(acc, acc, fimm(1.0000011f), fimm(0.125f));
+  Reg addr = kb.reg();
+  kb.imad(addr, gid, imm(4), out);
+  kb.stg(addr, acc);
+  kb.bind(done);
+  kb.exit();
+  return kb.build();
+}
+
+struct RunOutput {
+  std::vector<u8> bits_a;
+  bool copies_match = true;
+  Cycle span_begin = 0, span_end = 0;
+  u64 corruptions = 0;
+};
+
+constexpr u32 kBlocks = 12;
+constexpr u32 kThreads = kBlocks * 128;
+
+RunOutput run_campaign(sched::Policy policy, fault::FaultInjector* fi) {
+  runtime::Device dev;
+  if (fi != nullptr) dev.gpu().set_fault_hook(fi);
+  core::RedundantSession::Config cfg;
+  cfg.policy = policy;
+  core::RedundantSession s(dev, cfg);
+  const core::DualPtr out = s.alloc(kThreads * 4);
+  s.launch(make_campaign_kernel(), sim::Dim3{kBlocks, 1, 1},
+           sim::Dim3{128, 1, 1}, {out, kThreads});
+  s.sync();
+
+  RunOutput r;
+  r.copies_match = s.compare(out, kThreads * 4);
+  r.bits_a.resize(kThreads * 4);
+  dev.gpu().store().read_block(r.bits_a.data(), out.a, kThreads * 4);
+  r.span_begin = ~Cycle{0};
+  for (const sim::BlockRecord& rec : dev.gpu().block_records()) {
+    r.span_begin = std::min(r.span_begin, rec.dispatch_cycle);
+    r.span_end = std::max(r.span_end, rec.end_cycle);
+  }
+  if (fi != nullptr) r.corruptions = fi->corruptions();
+  return r;
+}
+
+void droop_sweep(sched::Policy policy, const RunOutput& golden,
+                 fault::CampaignTally& tally) {
+  const Cycle span = golden.span_end - golden.span_begin;
+  constexpr u32 kInjections = 40;
+  constexpr Cycle kWidth = 50;
+  for (u32 i = 0; i < kInjections; ++i) {
+    const Cycle start = golden.span_begin + span * i / kInjections;
+    fault::FaultInjector fi;
+    fi.arm_droop(start, kWidth, 2);
+    const RunOutput r = run_campaign(policy, &fi);
+    if (fi.corruptions() == 0) {
+      tally.count(fault::Outcome::kMasked);  // droop hit an idle phase
+      continue;
+    }
+    tally.count(
+        fault::classify(r.copies_match, r.bits_a == golden.bits_a));
+  }
+}
+
+void permanent_sweep(sched::Policy policy, const RunOutput& golden,
+                     fault::CampaignTally& tally) {
+  for (u32 sm = 0; sm < 6; ++sm) {
+    fault::FaultInjector fi;
+    fi.arm_permanent_sm(sm, 0, 2);
+    const RunOutput r = run_campaign(policy, &fi);
+    if (fi.corruptions() == 0) {
+      tally.count(fault::Outcome::kMasked);
+      continue;
+    }
+    tally.count(
+        fault::classify(r.copies_match, r.bits_a == golden.bits_a));
+  }
+}
+
+core::InstrTraceCollector::SlackReport slack_for(sched::Policy policy,
+                                                 bool* window_exists) {
+  runtime::Device dev;
+  core::InstrTraceCollector tc;
+  dev.gpu().set_trace_sink(&tc);
+  core::RedundantSession::Config cfg;
+  cfg.policy = policy;
+  core::RedundantSession s(dev, cfg);
+  const core::DualPtr out = s.alloc(kThreads * 4);
+  s.launch(make_campaign_kernel(), sim::Dim3{kBlocks, 1, 1},
+           sim::Dim3{128, 1, 1}, {out, kThreads});
+  s.sync();
+  const auto [ida, idb] = s.pairs()[0];
+  *window_exists =
+      tc.find_identical_corruption_window(ida, idb, 50).has_value();
+  return tc.slack(ida, idb, 50);
+}
+
+}  // namespace
+
+int main() {
+  using higpu::TextTable;
+  std::printf("Fault-injection campaign (>>IV.C): 50-cycle chip-wide droops "
+              "+ permanent SM defects, per policy\n\n");
+
+  const sched::Policy policies[] = {sched::Policy::kDefault,
+                                    sched::Policy::kHalf,
+                                    sched::Policy::kSrrs};
+
+  TextTable table({"policy", "faults", "masked", "detected", "SDC",
+                   "diag-coverage", "min-slack(cyc)", "exposed@50",
+                   "ccf-window", "claimable"});
+  for (sched::Policy policy : policies) {
+    const RunOutput golden = run_campaign(policy, nullptr);
+    fault::CampaignTally tally;
+    droop_sweep(policy, golden, tally);
+    permanent_sweep(policy, golden, tally);
+
+    bool window_exists = false;
+    const auto slack = slack_for(policy, &window_exists);
+
+    // A mechanism with SDCs cannot claim ASIL-D decomposition credit.
+    const double dc = tally.diagnostic_coverage();
+    const safety::Asil claim =
+        (tally.sdc == 0 && dc >= 0.99)
+            ? safety::composed_asil(safety::Asil::kB, safety::Asil::kB, true)
+            : safety::Asil::kB;
+
+    table.add_row({sched::policy_name(policy), std::to_string(tally.total()),
+                   std::to_string(tally.masked),
+                   std::to_string(tally.detected), std::to_string(tally.sdc),
+                   TextTable::fmt(dc, 3), std::to_string(slack.min_slack),
+                   std::to_string(slack.exposed),
+                   window_exists ? "EXISTS" : "none",
+                   safety::asil_name(claim)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("interpretation: SRRS/HALF must show zero SDC and no window in "
+              "which a chip-wide transient corrupts both copies identically; "
+              "the default scheduler gives no such guarantee (paper >>IV.C).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 3 reproduction: categorize every kernel of every workload as
+// short / heavy / friendly (by measured isolated duration and static
+// resource saturation) and report the §IV.D policy recommendation.
+#include <cstdio>
+
+#include <map>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "core/categorize.h"
+
+int main() {
+  using namespace higpu;
+  using workloads::Scale;
+
+  std::printf("Figure 3: kernel categories (short / heavy / friendly) and "
+              "recommended policy (>>IV.D)\n\n");
+
+  TextTable table({"benchmark", "kernels", "dominant-kernel", "cycles",
+                   "blocks/SM", "gpu-fill", "category", "recommend"});
+
+  for (const std::string& name : workloads::all_names()) {
+    // Baseline (non-redundant) run: every kernel executes in isolation
+    // (single stream), so per-kernel cycle spans are isolated durations.
+    workloads::WorkloadPtr w = workloads::make(name);
+    w->setup(Scale::kBench, 2019);
+    runtime::Device dev;
+    core::RedundantSession::Config cfg;
+    cfg.policy = sched::Policy::kDefault;
+    cfg.redundant = false;
+    core::RedundantSession session(dev, cfg);
+    w->run(session);
+
+    // Aggregate per distinct kernel name; categorize the dominant one
+    // (the kernel contributing the most total cycles).
+    struct Agg {
+      Cycle total = 0;
+      Cycle longest = 0;
+      u32 launch_id = 0;
+      u32 launches = 0;
+    };
+    std::map<std::string, Agg> by_kernel;
+    sim::Gpu& gpu = dev.gpu();
+    for (sim::KernelState* ks : gpu.kernel_states()) {
+      const sim::KernelLaunch& l = gpu.launch_of(ks->launch_id);
+      const Cycle cycles = gpu.kernel_cycles(ks->launch_id);
+      Agg& a = by_kernel[l.program->name()];
+      a.total += cycles;
+      a.launches += 1;
+      if (cycles > a.longest) {
+        a.longest = cycles;
+        a.launch_id = ks->launch_id;
+      }
+    }
+    const Agg* dominant = nullptr;
+    std::string dominant_name;
+    u32 total_launches = 0;
+    for (const auto& [kname, agg] : by_kernel) {
+      total_launches += agg.launches;
+      if (dominant == nullptr || agg.total > dominant->total) {
+        dominant = &agg;
+        dominant_name = kname;
+      }
+    }
+
+    const sim::KernelLaunch& launch = gpu.launch_of(dominant->launch_id);
+    const core::CategoryReport rep =
+        core::categorize_kernel(gpu.params(), launch, dominant->longest);
+    table.add_row({name, std::to_string(total_launches), dominant_name,
+                   std::to_string(rep.isolated_cycles),
+                   std::to_string(rep.max_blocks_per_sm),
+                   TextTable::fmt(rep.gpu_fill, 2),
+                   core::category_name(rep.category),
+                   sched::policy_name(core::recommend_policy(rep.category))});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper reference: SRRS suits short and heavy kernels, HALF "
+              "suits friendly kernels; most Rodinia kernels are friendly or "
+              "short.\n");
+  return 0;
+}

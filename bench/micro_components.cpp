@@ -1,0 +1,88 @@
+// google-benchmark microbenchmarks of the simulator's hot components:
+// cache tag array, coalescer, memory-hierarchy timing path, SIMT issue loop
+// and kernel-program finalization (CFG + post-dominators).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "memsys/cache.h"
+#include "memsys/coalescer.h"
+#include "memsys/hierarchy.h"
+#include "sched/policies.h"
+#include "sim/gpu.h"
+#include "tests/test_kernels.h"
+
+namespace {
+
+using namespace higpu;
+
+void BM_CacheAccess(benchmark::State& state) {
+  memsys::SetAssocCache cache(24 * 1024, 4, 128);
+  Rng rng(7);
+  u64 line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(line, (line & 1) != 0).hit);
+    line = rng.next_below(4096);
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_CoalesceUnitStride(benchmark::State& state) {
+  std::vector<u64> addrs;
+  for (u64 i = 0; i < 32; ++i) addrs.push_back(1000 + i * 4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(memsys::coalesce(addrs, 128).size());
+}
+BENCHMARK(BM_CoalesceUnitStride);
+
+void BM_CoalesceScatter(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<u64> addrs;
+  for (u64 i = 0; i < 32; ++i) addrs.push_back(rng.next_below(1 << 20) * 4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(memsys::coalesce(addrs, 128).size());
+}
+BENCHMARK(BM_CoalesceScatter);
+
+void BM_HierarchyAccess(benchmark::State& state) {
+  memsys::MemParams mp;
+  memsys::MemHierarchy mem(6, mp);
+  Rng rng(29);
+  Cycle now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mem.access_line(static_cast<u32>(rng.next_below(6)),
+                        rng.next_below(1 << 16), false, now));
+    ++now;
+  }
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void BM_ProgramFinalize(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(testing::make_spin_kernel(100)->size());
+}
+BENCHMARK(BM_ProgramFinalize);
+
+void BM_SimulateKernel(benchmark::State& state) {
+  // Whole-kernel simulation throughput (cycles simulated per second is the
+  // interesting derived metric).
+  const u32 threads = static_cast<u32>(state.range(0));
+  isa::ProgramPtr prog = testing::make_spin_kernel(50);
+  for (auto _ : state) {
+    memsys::GlobalStore store;
+    sim::GpuParams p;
+    sim::Gpu gpu(p, &store);
+    gpu.set_kernel_scheduler(std::make_unique<sched::DefaultKernelScheduler>());
+    sim::KernelLaunch l =
+        testing::make_launch(prog, threads, 128, {store.alloc(threads * 4), threads});
+    gpu.launch(std::move(l));
+    gpu.run_until_idle();
+    benchmark::DoNotOptimize(gpu.now());
+    state.counters["sim_cycles"] = static_cast<double>(gpu.now());
+  }
+}
+BENCHMARK(BM_SimulateKernel)->Arg(512)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

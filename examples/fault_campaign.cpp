@@ -1,0 +1,131 @@
+// Narrated fault-injection demo: shows, fault by fault, why the paper's
+// scheduling policies turn undetectable common-cause faults into detected
+// errors.
+//
+//   $ ./fault_campaign
+#include <cstdio>
+
+#include "core/diversity.h"
+#include "core/redundant.h"
+#include "fault/injector.h"
+#include "isa/builder.h"
+
+namespace {
+
+using namespace higpu;
+
+isa::ProgramPtr make_kernel() {
+  using namespace isa;
+  KernelBuilder kb("demo");
+  Reg out = kb.reg(), n = kb.reg();
+  kb.ldp(out, 0);
+  kb.ldp(n, 1);
+  Reg gid = kb.global_tid_x();
+  Label done = kb.label();
+  kb.guard_range(gid, n, done);
+  Reg acc = kb.reg(), f = kb.reg();
+  kb.i2f(f, gid);
+  kb.ffma(acc, f, fimm(0.01f), fimm(1.0f));
+  for (int i = 0; i < 100; ++i)
+    kb.ffma(acc, acc, fimm(1.000001f), fimm(0.5f));
+  Reg addr = kb.reg();
+  kb.imad(addr, gid, imm(4), out);
+  kb.stg(addr, acc);
+  kb.bind(done);
+  kb.exit();
+  return kb.build();
+}
+
+struct Result {
+  bool match;
+  u64 corruptions;
+};
+
+Result run(sched::Policy policy, fault::FaultInjector* fi, u32 gap = 400) {
+  sim::GpuParams p;
+  p.launch_gap_cycles = gap;
+  runtime::Device dev(p);
+  if (fi) dev.gpu().set_fault_hook(fi);
+  core::RedundantSession::Config cfg;
+  cfg.policy = policy;
+  core::RedundantSession s(dev, cfg);
+  const u32 n = 12 * 128;
+  core::DualPtr out = s.alloc(n * 4);
+  s.launch(make_kernel(), sim::Dim3{12, 1, 1}, sim::Dim3{128, 1, 1}, {out, n});
+  s.sync();
+  return {s.compare(out, n * 4), fi ? fi->corruptions() : 0};
+}
+
+void report(const char* what, const Result& r) {
+  std::printf("  %-46s corrupted %4llu results -> %s\n", what,
+              static_cast<unsigned long long>(r.corruptions),
+              r.match ? "UNDETECTED (outputs identical)"
+                      : "DETECTED (outputs differ)");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fault-injection walkthrough (paper >>IV.C)\n");
+  std::printf("==========================================\n\n");
+
+  std::printf("[1] 50-cycle chip-wide voltage droop mid-execution\n");
+  for (sched::Policy p : {sched::Policy::kDefault, sched::Policy::kHalf,
+                          sched::Policy::kSrrs}) {
+    fault::FaultInjector fi;
+    fi.arm_droop(3000, 50, 2);
+    Result r = run(p, &fi);
+    std::printf("  policy %-8s:", sched::policy_name(p));
+    report("", r);
+  }
+
+  std::printf("\n[2] permanent defect in SM 2 (broken multiplier)\n");
+  for (sched::Policy p : {sched::Policy::kHalf, sched::Policy::kSrrs}) {
+    fault::FaultInjector fi;
+    fi.arm_permanent_sm(2, 0, 2);
+    Result r = run(p, &fi);
+    std::printf("  policy %-8s:", sched::policy_name(p));
+    report("", r);
+  }
+
+  std::printf("\n[3] scheduler mapping fault (blocks silently diverted)\n");
+  {
+    fault::FaultInjector fi;
+    fi.arm_scheduler_fault(0, 3);
+    Result r = run(sched::Policy::kSrrs, &fi);
+    std::printf("  outputs still %s (fault is functionally latent!)\n",
+                r.match ? "match" : "differ");
+    std::printf("  -> this is why the global kernel scheduler needs the "
+                "periodic BIST (see adas_pipeline example).\n");
+  }
+
+  std::printf("\n[4] temporal-diversity slack per policy (min cycles between "
+              "corresponding instructions)\n");
+  for (sched::Policy p : {sched::Policy::kDefault, sched::Policy::kHalf,
+                          sched::Policy::kSrrs}) {
+    sim::GpuParams gp;
+    runtime::Device dev(gp);
+    core::InstrTraceCollector tc;
+    dev.gpu().set_trace_sink(&tc);
+    core::RedundantSession::Config cfg;
+    cfg.policy = p;
+    core::RedundantSession s(dev, cfg);
+    const u32 n = 12 * 128;
+    core::DualPtr out = s.alloc(n * 4);
+    s.launch(make_kernel(), sim::Dim3{12, 1, 1}, sim::Dim3{128, 1, 1},
+             {out, n});
+    s.sync();
+    const auto [ida, idb] = s.pairs()[0];
+    const auto rep = tc.slack(ida, idb, 50);
+    std::printf("  policy %-8s: min slack %6llu cycles, %llu instruction "
+                "pairs within a 50-cycle droop\n",
+                sched::policy_name(p),
+                static_cast<unsigned long long>(rep.min_slack),
+                static_cast<unsigned long long>(rep.exposed));
+  }
+
+  std::printf("\nconclusion: SRRS/HALF guarantee that no single transient or "
+              "permanent fault can corrupt both redundant copies identically; "
+              "the default scheduler cannot.\n");
+  return 0;
+}

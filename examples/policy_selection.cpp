@@ -1,0 +1,63 @@
+// Analysis-phase policy selection (paper §IV.D): during system integration,
+// each kernel is categorized (short / heavy / friendly) and the most
+// convenient scheduling policy is chosen per kernel before deployment.
+//
+//   $ ./policy_selection [workload ...]
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/categorize.h"
+#include "core/redundant.h"
+#include "workloads/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace higpu;
+
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) names.emplace_back(argv[i]);
+  if (names.empty())
+    names = {"hotspot", "bfs", "myocyte", "lud", "nn"};
+
+  std::printf("Analysis-phase kernel categorization and policy selection\n");
+  std::printf("=========================================================\n");
+
+  for (const std::string& name : names) {
+    workloads::WorkloadPtr w = workloads::make(name);
+    w->setup(workloads::Scale::kBench, 2019);
+
+    // Profile run: baseline mode, each kernel executes in isolation.
+    runtime::Device dev;
+    core::RedundantSession::Config cfg;
+    cfg.redundant = false;
+    core::RedundantSession session(dev, cfg);
+    w->run(session);
+
+    std::printf("\n%s:\n", name.c_str());
+    std::map<std::string, bool> seen;
+    sim::Gpu& gpu = dev.gpu();
+    for (sim::KernelState* ks : gpu.kernel_states()) {
+      const sim::KernelLaunch& launch = gpu.launch_of(ks->launch_id);
+      if (seen[launch.program->name()]) continue;  // report each kernel once
+      seen[launch.program->name()] = true;
+
+      const core::CategoryReport rep = core::categorize_kernel(
+          gpu.params(), launch, gpu.kernel_cycles(ks->launch_id));
+      std::printf(
+          "  kernel %-22s grid %4u blocks x %4u thr  %8llu cycles  "
+          "occupancy %2u blk/SM  fill %5.2f  -> %-8s => use %s\n",
+          launch.program->name().c_str(), launch.total_blocks(),
+          launch.threads_per_block(),
+          static_cast<unsigned long long>(rep.isolated_cycles),
+          rep.max_blocks_per_sm, rep.gpu_fill,
+          core::category_name(rep.category),
+          sched::policy_name(core::recommend_policy(rep.category)));
+    }
+  }
+  std::printf("\nrule (paper >>IV.D): SRRS for short kernels (serialization "
+              "is free) and heavy kernels (no concurrency to lose); HALF for "
+              "friendly kernels (half the SMs is what they would get "
+              "anyway).\n");
+  return 0;
+}

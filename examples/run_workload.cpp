@@ -1,0 +1,91 @@
+// Command-line workload runner: execute any of the 19 Rodinia-style
+// workloads under any policy/redundancy configuration and print the metrics
+// the paper reports.
+//
+//   $ ./run_workload hotspot srrs
+//   $ ./run_workload cfd half --baseline
+//   $ ./run_workload --list
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/diversity.h"
+#include "core/redundant.h"
+#include "workloads/workload.h"
+
+namespace {
+
+int usage() {
+  std::printf("usage: run_workload <name> [default|half|srrs] [--baseline]\n");
+  std::printf("       run_workload --list\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace higpu;
+
+  if (argc >= 2 && std::strcmp(argv[1], "--list") == 0) {
+    for (const std::string& n : workloads::all_names())
+      std::printf("%s\n", n.c_str());
+    return 0;
+  }
+  if (argc < 2) return usage();
+
+  const std::string name = argv[1];
+  sched::Policy policy = sched::Policy::kSrrs;
+  bool redundant = true;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "default") policy = sched::Policy::kDefault;
+    else if (arg == "half") policy = sched::Policy::kHalf;
+    else if (arg == "srrs") policy = sched::Policy::kSrrs;
+    else if (arg == "--baseline") redundant = false;
+    else return usage();
+  }
+
+  workloads::WorkloadPtr w;
+  try {
+    w = workloads::make(name);
+  } catch (const std::out_of_range&) {
+    std::printf("unknown workload '%s' (try --list)\n", name.c_str());
+    return 2;
+  }
+  w->setup(workloads::Scale::kBench, 2019);
+
+  runtime::Device dev;
+  core::RedundantSession::Config cfg;
+  cfg.policy = policy;
+  cfg.redundant = redundant;
+  core::RedundantSession session(dev, cfg);
+  w->run(session);
+
+  std::printf("workload        : %s\n", name.c_str());
+  std::printf("policy          : %s%s\n", sched::policy_name(policy),
+              redundant ? " (redundant pair)" : " (baseline, single copy)");
+  std::printf("kernel cycles   : %llu\n",
+              static_cast<unsigned long long>(session.kernel_cycles()));
+  std::printf("end-to-end time : %.3f ms\n",
+              static_cast<double>(dev.elapsed_ns()) / 1e6);
+  std::printf("verified vs CPU : %s\n", w->verify() ? "yes" : "NO");
+  if (redundant) {
+    std::printf("DCLS comparisons: %u (%u mismatching)\n", session.comparisons(),
+                session.mismatches());
+    const core::DiversityReport rep = core::analyze_block_diversity(
+        dev.gpu().block_records(), session.pairs());
+    std::printf("diversity       : %u block pairs, %u same-SM, %u time-overlap\n",
+                rep.blocks_checked, rep.same_sm, rep.time_overlap);
+  }
+  const StatSet stats = dev.gpu().collect_stats();
+  std::printf("instructions    : %llu (stalls: %llu scoreboard, %llu "
+              "structural, %llu barrier)\n",
+              static_cast<unsigned long long>(stats.get("instructions")),
+              static_cast<unsigned long long>(stats.get("issue_stall_scoreboard")),
+              static_cast<unsigned long long>(stats.get("issue_stall_structural")),
+              static_cast<unsigned long long>(stats.get("issue_stall_barrier")));
+  std::printf("L1 hit rate     : %.1f%%   L2 hit rate: %.1f%%\n",
+              stats.ratio("l1_hits", "l1_misses") * 100.0,
+              stats.ratio("l2_hits", "l2_misses") * 100.0);
+  return w->verify() && session.all_outputs_matched() ? 0 : 1;
+}

@@ -1,0 +1,29 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace higpu {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    default: return "";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_msg(LogLevel level, const std::string& msg) {
+  if (level > g_level || level == LogLevel::kSilent) return;
+  std::fprintf(stderr, "[higpu:%s] %s\n", level_tag(level), msg.c_str());
+}
+
+}  // namespace higpu

@@ -1,0 +1,23 @@
+// Minimal leveled logging. Off by default so simulations stay quiet in tests;
+// benches/examples can raise the level for progress reporting.
+#pragma once
+
+#include <string>
+
+namespace higpu {
+
+enum class LogLevel { kSilent = 0, kError, kWarn, kInfo, kDebug };
+
+/// Set the global log threshold.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a message if `level` is at or below the global threshold.
+void log_msg(LogLevel level, const std::string& msg);
+
+inline void log_error(const std::string& m) { log_msg(LogLevel::kError, m); }
+inline void log_warn(const std::string& m) { log_msg(LogLevel::kWarn, m); }
+inline void log_info(const std::string& m) { log_msg(LogLevel::kInfo, m); }
+inline void log_debug(const std::string& m) { log_msg(LogLevel::kDebug, m); }
+
+}  // namespace higpu

@@ -1,0 +1,48 @@
+#include "common/stats.h"
+
+namespace higpu {
+
+void StatSet::add(const std::string& name, u64 delta) { counters_[name] += delta; }
+
+void StatSet::set(const std::string& name, u64 value) { counters_[name] = value; }
+
+u64 StatSet::get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+bool StatSet::has(const std::string& name) const {
+  return counters_.find(name) != counters_.end();
+}
+
+double StatSet::ratio(const std::string& a, const std::string& b) const {
+  const double va = static_cast<double>(get(a));
+  const double vb = static_cast<double>(get(b));
+  const double denom = va + vb;
+  return denom == 0.0 ? 0.0 : va / denom;
+}
+
+void StatSet::merge(const StatSet& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+}
+
+void StatSet::clear() {
+  for (auto& [name, value] : counters_) value = 0;
+}
+
+std::vector<std::pair<std::string, u64>> StatSet::entries() const {
+  return {counters_.begin(), counters_.end()};
+}
+
+void RunningStat::sample(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  sum_ += v;
+  ++count_;
+}
+
+}  // namespace higpu

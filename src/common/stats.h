@@ -1,0 +1,61 @@
+// Lightweight named statistics counters used by every simulator component.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace higpu {
+
+/// A bag of named 64-bit counters plus derived helpers. Components own a
+/// StatSet and export it for reporting; the GPU top-level merges them.
+class StatSet {
+ public:
+  /// Add `delta` to counter `name` (creates it at zero on first use).
+  void add(const std::string& name, u64 delta = 1);
+
+  /// Set counter `name` to `value`.
+  void set(const std::string& name, u64 value);
+
+  /// Value of counter `name` (0 if absent).
+  u64 get(const std::string& name) const;
+
+  /// True if the counter exists.
+  bool has(const std::string& name) const;
+
+  /// Ratio a/(a+b), or 0 if both zero. Useful for hit rates.
+  double ratio(const std::string& a, const std::string& b) const;
+
+  /// Merge all counters of `other` into this set (summing).
+  void merge(const StatSet& other);
+
+  /// Reset all counters to zero (keeps names).
+  void clear();
+
+  /// Sorted (name, value) pairs for reporting.
+  std::vector<std::pair<std::string, u64>> entries() const;
+
+ private:
+  std::map<std::string, u64> counters_;
+};
+
+/// Simple running aggregate (min/max/sum/count) for sampled values.
+class RunningStat {
+ public:
+  void sample(double v);
+  u64 count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  u64 count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace higpu

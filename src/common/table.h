@@ -1,0 +1,30 @@
+// Fixed-width ASCII table printer used by benches to emit the paper's
+// tables/figures as aligned text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace higpu {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render the table (header, rule, rows) as a string.
+  std::string render() const;
+
+  /// Format helpers for numeric cells.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_ratio(double v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace higpu

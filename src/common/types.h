@@ -1,0 +1,36 @@
+// Fundamental fixed-width types and small helpers shared across higpu.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <bit>
+
+namespace higpu {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Simulator time unit: one GPU core clock cycle.
+using Cycle = u64;
+
+/// Host-side time in nanoseconds (platform model).
+using NanoSec = u64;
+
+/// Reinterpret a float as its IEEE-754 bit pattern (register file storage).
+constexpr u32 f2bits(float f) { return std::bit_cast<u32>(f); }
+/// Reinterpret a 32-bit pattern as a float.
+constexpr float bits2f(u32 b) { return std::bit_cast<float>(b); }
+
+/// Integer ceiling division for grid sizing.
+constexpr u32 ceil_div(u32 a, u32 b) { return (a + b - 1) / b; }
+
+/// Round `v` up to a multiple of `align` (align must be a power of two).
+constexpr u64 align_up(u64 v, u64 align) { return (v + align - 1) & ~(align - 1); }
+
+}  // namespace higpu

@@ -1,0 +1,69 @@
+#include "core/categorize.h"
+
+#include <algorithm>
+
+#include "sim/sm.h"
+
+namespace higpu::core {
+
+const char* category_name(KernelCategory c) {
+  switch (c) {
+    case KernelCategory::kShort: return "short";
+    case KernelCategory::kHeavy: return "heavy";
+    case KernelCategory::kFriendly: return "friendly";
+  }
+  return "?";
+}
+
+u32 max_blocks_per_sm(const sim::GpuParams& p, const sim::KernelLaunch& l) {
+  const u32 warps = sim::SmCore::warps_needed(p, l);
+  const u32 regs = sim::SmCore::regs_needed(p, l);
+  const u32 shared = l.program->shared_bytes();
+
+  u32 limit = p.max_blocks_per_sm;
+  limit = std::min(limit, p.max_warps_per_sm / warps);
+  if (regs > 0) limit = std::min(limit, p.regfile_per_sm / regs);
+  if (shared > 0) limit = std::min(limit, p.shared_per_sm / shared);
+  return std::max<u32>(limit, 0);
+}
+
+CategoryReport categorize_kernel(const sim::GpuParams& p,
+                                 const sim::KernelLaunch& l,
+                                 Cycle isolated_cycles) {
+  CategoryReport rep;
+  rep.isolated_cycles = isolated_cycles;
+  rep.max_blocks_per_sm = max_blocks_per_sm(p, l);
+  const double capacity =
+      static_cast<double>(rep.max_blocks_per_sm) * p.num_sms;
+  rep.gpu_fill = capacity > 0
+                     ? static_cast<double>(l.total_blocks()) / capacity
+                     : 0.0;
+
+  // Short: the kernel finishes before the second (serially dispatched)
+  // redundant copy even arrives at the GPU.
+  if (isolated_cycles <= p.launch_gap_cycles) {
+    rep.category = KernelCategory::kShort;
+    return rep;
+  }
+  // Heavy: a single kernel saturates GPU resources, leaving no room for the
+  // redundant copy to make progress until it starts draining.
+  if (rep.gpu_fill >= 1.0) {
+    rep.category = KernelCategory::kHeavy;
+    return rep;
+  }
+  rep.category = KernelCategory::kFriendly;
+  return rep;
+}
+
+sched::Policy recommend_policy(KernelCategory c) {
+  switch (c) {
+    case KernelCategory::kShort:
+    case KernelCategory::kHeavy:
+      return sched::Policy::kSrrs;
+    case KernelCategory::kFriendly:
+      return sched::Policy::kHalf;
+  }
+  return sched::Policy::kSrrs;
+}
+
+}  // namespace higpu::core

@@ -1,0 +1,45 @@
+// Kernel categorization (paper Fig. 3) and policy recommendation (§IV.D).
+//
+// Categories are defined by two criteria: can the redundant pair's
+// executions overlap at all (short kernels finish before the second copy is
+// even dispatched), and does a single kernel saturate the GPU's resources so
+// the second cannot make progress (heavy kernels)? Everything else is
+// friendly. SRRS suits short/heavy kernels; HALF suits friendly ones.
+#pragma once
+
+#include <string>
+
+#include "sched/policies.h"
+#include "sim/kernel.h"
+#include "sim/params.h"
+
+namespace higpu::core {
+
+enum class KernelCategory { kShort, kHeavy, kFriendly };
+
+const char* category_name(KernelCategory c);
+
+struct CategoryReport {
+  KernelCategory category = KernelCategory::kFriendly;
+  /// Measured single-kernel duration (first dispatch to completion).
+  Cycle isolated_cycles = 0;
+  /// Occupancy: concurrent blocks of this kernel one SM can hold.
+  u32 max_blocks_per_sm = 0;
+  /// total_blocks / (max_blocks_per_sm * num_sms): >= 1 means a single
+  /// kernel keeps the whole GPU saturated.
+  double gpu_fill = 0.0;
+};
+
+/// Occupancy limit of one SM for this launch (min over warp slots,
+/// block slots, register file and shared-memory constraints).
+u32 max_blocks_per_sm(const sim::GpuParams& p, const sim::KernelLaunch& l);
+
+/// Categorize a kernel given its measured isolated duration.
+CategoryReport categorize_kernel(const sim::GpuParams& p,
+                                 const sim::KernelLaunch& l,
+                                 Cycle isolated_cycles);
+
+/// §IV.D: SRRS for short and heavy kernels, HALF for friendly kernels.
+sched::Policy recommend_policy(KernelCategory c);
+
+}  // namespace higpu::core

@@ -1,0 +1,123 @@
+#include "core/diversity.h"
+
+#include <algorithm>
+#include <map>
+
+namespace higpu::core {
+
+namespace {
+
+/// Closed-interval overlap.
+bool overlaps(Cycle a0, Cycle a1, Cycle b0, Cycle b1) {
+  return a0 <= b1 && b0 <= a1;
+}
+
+void accumulate(DiversityReport& rep, const std::vector<sim::BlockRecord>& records,
+                u32 launch_a, u32 launch_b) {
+  std::map<u32, const sim::BlockRecord*> blocks_a, blocks_b;
+  for (const sim::BlockRecord& r : records) {
+    if (r.launch_id == launch_a) blocks_a[r.block_linear] = &r;
+    if (r.launch_id == launch_b) blocks_b[r.block_linear] = &r;
+  }
+  for (const auto& [linear, ra] : blocks_a) {
+    auto it = blocks_b.find(linear);
+    if (it == blocks_b.end()) continue;
+    const sim::BlockRecord* rb = it->second;
+    rep.blocks_checked += 1;
+    const bool same_sm = ra->sm == rb->sm;
+    const bool overlap = overlaps(ra->dispatch_cycle, ra->end_cycle,
+                                  rb->dispatch_cycle, rb->end_cycle);
+    if (same_sm) rep.same_sm += 1;
+    if (overlap) rep.time_overlap += 1;
+    if (same_sm && overlap) rep.same_sm_time_overlap += 1;
+  }
+}
+
+}  // namespace
+
+DiversityReport analyze_block_diversity(const std::vector<sim::BlockRecord>& records,
+                                        u32 launch_a, u32 launch_b) {
+  DiversityReport rep;
+  accumulate(rep, records, launch_a, launch_b);
+  return rep;
+}
+
+DiversityReport analyze_block_diversity(const std::vector<sim::BlockRecord>& records,
+                                        const std::vector<std::pair<u32, u32>>& pairs) {
+  DiversityReport rep;
+  for (const auto& [a, b] : pairs) accumulate(rep, records, a, b);
+  return rep;
+}
+
+void InstrTraceCollector::record(u32 launch_id, u32 block_linear,
+                                 u32 warp_in_block, u64 instr_seq, u32 /*sm*/,
+                                 Cycle cycle) {
+  trace_[launch_id][Key{block_linear, warp_in_block, instr_seq}] = cycle;
+}
+
+InstrTraceCollector::SlackReport InstrTraceCollector::slack(u32 launch_a,
+                                                            u32 launch_b,
+                                                            Cycle window) const {
+  SlackReport rep;
+  auto ita = trace_.find(launch_a);
+  auto itb = trace_.find(launch_b);
+  if (ita == trace_.end() || itb == trace_.end()) return rep;
+
+  Cycle min_slack = ~Cycle{0};
+  double sum = 0.0;
+  for (const auto& [key, ca] : ita->second) {
+    auto match = itb->second.find(key);
+    if (match == itb->second.end()) continue;
+    const Cycle cb = match->second;
+    const Cycle d = ca > cb ? ca - cb : cb - ca;
+    rep.instr_pairs += 1;
+    sum += static_cast<double>(d);
+    min_slack = std::min(min_slack, d);
+    if (d < window) rep.exposed += 1;
+  }
+  rep.min_slack = rep.instr_pairs ? min_slack : 0;
+  rep.mean_slack = rep.instr_pairs ? sum / static_cast<double>(rep.instr_pairs) : 0.0;
+  return rep;
+}
+
+std::optional<std::pair<Cycle, Cycle>>
+InstrTraceCollector::find_identical_corruption_window(u32 launch_a,
+                                                      u32 launch_b,
+                                                      Cycle max_width) const {
+  auto ita = trace_.find(launch_a);
+  auto itb = trace_.find(launch_b);
+  if (ita == trace_.end() || itb == trace_.end()) return std::nullopt;
+
+  // Collect (ta, tb) for every common instruction instance.
+  std::vector<std::pair<Cycle, Cycle>> pairs;
+  pairs.reserve(ita->second.size());
+  for (const auto& [key, ca] : ita->second) {
+    auto match = itb->second.find(key);
+    if (match != itb->second.end()) pairs.emplace_back(ca, match->second);
+  }
+  if (pairs.empty()) return std::nullopt;
+
+  auto window_valid = [&](Cycle start, Cycle end) {
+    bool any_inside = false;
+    for (const auto& [ta, tb] : pairs) {
+      const bool ia = ta >= start && ta < end;
+      const bool ib = tb >= start && tb < end;
+      if (ia != ib) return false;
+      any_inside |= ia;
+    }
+    return any_inside;
+  };
+
+  // Candidate starts: each copy-A issue time (a corrupting window must
+  // contain at least one event, so some event is its earliest member).
+  for (const auto& [ta, tb] : pairs) {
+    const Cycle start = std::min(ta, tb);
+    for (Cycle w = 1; w <= max_width; ++w)
+      if (window_valid(start, start + w)) return std::make_pair(start, start + w);
+  }
+  return std::nullopt;
+}
+
+void InstrTraceCollector::clear() { trace_.clear(); }
+
+}  // namespace higpu::core

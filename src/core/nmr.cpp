@@ -1,0 +1,124 @@
+#include "core/nmr.h"
+
+#include <cassert>
+
+namespace higpu::core {
+
+NmrSession::NmrSession(runtime::Device& dev, Config cfg)
+    : dev_(dev), cfg_(cfg), num_sms_(dev.gpu().num_sms()) {
+  assert(cfg_.copies >= 2);
+  dev_.set_kernel_scheduler(sched::make_scheduler(cfg_.policy));
+}
+
+NPtr NmrSession::alloc(u64 bytes) {
+  NPtr p;
+  p.copy.reserve(cfg_.copies);
+  for (u32 c = 0; c < cfg_.copies; ++c) p.copy.push_back(dev_.malloc(bytes));
+  return p;
+}
+
+void NmrSession::h2d(const NPtr& dst, const void* src, u64 bytes) {
+  for (memsys::DevPtr p : dst.copy) dev_.memcpy_h2d(p, src, bytes);
+}
+
+void NmrSession::d2h(void* dst, const NPtr& src, u64 bytes) {
+  dev_.memcpy_d2h(dst, src.copy[0], bytes);
+}
+
+sim::SchedHints NmrSession::hints_for_copy(u32 c) const {
+  sim::SchedHints h;
+  switch (cfg_.policy) {
+    case sched::Policy::kDefault:
+      break;
+    case sched::Policy::kHalf: {
+      // N-way SM partition (contiguous slices; remainder to the last copy).
+      const u32 slice = std::max(1u, num_sms_ / cfg_.copies);
+      const u32 lo = std::min(c * slice, num_sms_ - 1);
+      const u32 hi = (c + 1 == cfg_.copies) ? num_sms_ : std::min((c + 1) * slice, num_sms_);
+      h.sm_mask = sched::sm_range_mask(lo, std::max(hi, lo + 1));
+      break;
+    }
+    case sched::Policy::kSrrs:
+      // Spread starting SMs evenly around the ring.
+      h.start_sm = (c * num_sms_) / cfg_.copies % num_sms_;
+      break;
+  }
+  return h;
+}
+
+void NmrSession::launch(isa::ProgramPtr prog, sim::Dim3 grid, sim::Dim3 block,
+                        const std::vector<NParam>& params,
+                        const std::string& tag) {
+  std::vector<u32> ids;
+  ids.reserve(cfg_.copies);
+  for (u32 c = 0; c < cfg_.copies; ++c) {
+    sim::KernelLaunch l;
+    l.program = prog;
+    l.grid = grid;
+    l.block = block;
+    l.hints = hints_for_copy(c);
+    l.tag = (tag.empty() ? prog->name() : tag) + "#" + std::to_string(c);
+    for (const NParam& p : params)
+      l.params.push_back(p.is_buffer ? p.buf->copy[c] : p.scalar);
+    ids.push_back(dev_.launch(std::move(l), /*stream=*/c));
+  }
+  groups_.push_back(std::move(ids));
+}
+
+Cycle NmrSession::sync() {
+  const Cycle delta = dev_.synchronize();
+  kernel_cycles_ += delta;
+  return delta;
+}
+
+VoteResult NmrSession::vote(const NPtr& buf, u64 bytes,
+                            std::vector<u32>* voted) {
+  const u64 words = bytes / 4;
+  scratch_.resize(cfg_.copies);
+  for (u32 c = 0; c < cfg_.copies; ++c) {
+    scratch_[c].resize(words);
+    dev_.memcpy_d2h(scratch_[c].data(), buf.copy[c], bytes);
+  }
+  dev_.host_compare(bytes * cfg_.copies);
+
+  VoteResult res;
+  if (voted != nullptr) voted->resize(words);
+  bool all_major = true;
+  for (u64 w = 0; w < words; ++w) {
+    // Majority vote per word (N is small: count matches per candidate).
+    u32 best_val = scratch_[0][w];
+    u32 best_count = 0;
+    bool dissent = false;
+    for (u32 c = 0; c < cfg_.copies; ++c) {
+      const u32 v = scratch_[c][w];
+      if (v != scratch_[0][w]) dissent = true;
+      u32 count = 0;
+      for (u32 d = 0; d < cfg_.copies; ++d)
+        if (scratch_[d][w] == v) ++count;
+      if (count > best_count) {
+        best_count = count;
+        best_val = v;
+      }
+    }
+    if (dissent) {
+      res.dissenting_words += 1;
+      if (res.faulty_copy < 0) {
+        for (u32 c = 0; c < cfg_.copies; ++c)
+          if (scratch_[c][w] != best_val) {
+            res.faulty_copy = static_cast<i32>(c);
+            break;
+          }
+      }
+    }
+    if (best_count * 2 <= cfg_.copies) {  // no strict majority
+      res.tied_words += 1;
+      all_major = false;
+    }
+    if (voted != nullptr) (*voted)[w] = best_val;
+  }
+  res.unanimous = res.dissenting_words == 0 && res.tied_words == 0;
+  res.majority = all_major;
+  return res;
+}
+
+}  // namespace higpu::core

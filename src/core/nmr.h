@@ -1,0 +1,97 @@
+// N-modular redundant kernel execution (paper §IV.A, footnote 1: "our
+// approach could be seamlessly extended to other redundancy levels (e.g.
+// triple modular redundancy)").
+//
+// With N >= 3 copies and majority voting the system becomes fail-operational
+// without re-execution: a single faulty copy is out-voted. Scheduling hints
+// generalize naturally: SRRS spreads the N starting SMs evenly around the
+// ring; HALF becomes an N-way SM partition.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/device.h"
+#include "sched/policies.h"
+
+namespace higpu::core {
+
+/// A device allocation replicated across all N copies.
+struct NPtr {
+  std::vector<memsys::DevPtr> copy;
+};
+
+/// Kernel parameter for an N-modular launch.
+struct NParam {
+  bool is_buffer = false;
+  const NPtr* buf = nullptr;
+  u32 scalar = 0;
+
+  NParam(const NPtr& p) : is_buffer(true), buf(&p) {}  // NOLINT
+  NParam(u32 v) : scalar(v) {}                          // NOLINT
+  NParam(i32 v) : scalar(static_cast<u32>(v)) {}        // NOLINT
+  NParam(float v) : scalar(f2bits(v)) {}                // NOLINT
+};
+
+/// Outcome of a majority vote over one buffer.
+struct VoteResult {
+  /// All copies agreed bit-exactly.
+  bool unanimous = false;
+  /// A strict majority agreed on every word; dissenting copies were
+  /// out-voted (fail-operational continuation possible).
+  bool majority = false;
+  /// Words where at least one copy dissented.
+  u64 dissenting_words = 0;
+  /// Words with no strict majority (detected but uncorrectable).
+  u64 tied_words = 0;
+  /// Index of a dissenting copy (first found), or -1.
+  i32 faulty_copy = -1;
+
+  /// Error detected (any disagreement at all).
+  bool detected() const { return dissenting_words > 0 || tied_words > 0; }
+};
+
+class NmrSession {
+ public:
+  struct Config {
+    sched::Policy policy = sched::Policy::kSrrs;
+    u32 copies = 3;
+  };
+
+  NmrSession(runtime::Device& dev, Config cfg);
+
+  NPtr alloc(u64 bytes);
+  /// Upload to every copy (N physical transfers).
+  void h2d(const NPtr& dst, const void* src, u64 bytes);
+  /// Read back the voted majority value of each word into `dst`.
+  /// (Callers should vote() first; this reads copy 0 which equals the
+  /// majority when vote().majority holds.)
+  void d2h(void* dst, const NPtr& src, u64 bytes);
+  /// Launch all N copies with per-copy scheduling hints (stream = copy id).
+  void launch(isa::ProgramPtr prog, sim::Dim3 grid, sim::Dim3 block,
+              const std::vector<NParam>& params, const std::string& tag = "");
+  Cycle sync();
+
+  /// Majority vote across all copies of `buf` on the (DCLS) host. When a
+  /// strict majority exists, `voted` (if non-null) receives the corrected
+  /// words.
+  VoteResult vote(const NPtr& buf, u64 bytes, std::vector<u32>* voted = nullptr);
+
+  u32 copies() const { return cfg_.copies; }
+  Cycle kernel_cycles() const { return kernel_cycles_; }
+  /// Launch-id tuples of every redundant group.
+  const std::vector<std::vector<u32>>& groups() const { return groups_; }
+  runtime::Device& device() { return dev_; }
+
+ private:
+  sim::SchedHints hints_for_copy(u32 c) const;
+
+  runtime::Device& dev_;
+  Config cfg_;
+  u32 num_sms_;
+  Cycle kernel_cycles_ = 0;
+  std::vector<std::vector<u32>> groups_;
+  std::vector<std::vector<u32>> scratch_;
+};
+
+}  // namespace higpu::core

@@ -1,0 +1,30 @@
+#include "core/recovery.h"
+
+namespace higpu::core {
+
+RecoveryReport RecoveryManager::run(
+    const std::function<void(RedundantSession&)>& body) {
+  RecoveryReport rep;
+  const NanoSec start = dev_.elapsed_ns();
+
+  for (u32 attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    rep.attempts += 1;
+    RedundantSession::Config scfg;
+    scfg.policy = cfg_.policy;
+    scfg.redundant = true;
+    RedundantSession session(dev_, scfg);
+    body(session);
+    if (session.all_outputs_matched()) {
+      rep.success = true;
+      break;
+    }
+  }
+
+  rep.total_ns = dev_.elapsed_ns() - start;
+  rep.budget.detection_ns = rep.total_ns;
+  rep.budget.reaction_ns = 0;  // re-execution is folded into total_ns
+  rep.budget.ftti_ns = cfg_.ftti_ns;
+  return rep;
+}
+
+}  // namespace higpu::core

@@ -1,0 +1,48 @@
+// Fail-operational recovery (paper footnote 1): dual modular redundancy
+// suffices for fail-operational behaviour when errors can be recovered
+// within the FTTI by re-executing upon detection. RecoveryManager wraps a
+// redundant execution in a detect-and-retry loop and reports whether the
+// whole response fit the FTTI budget.
+#pragma once
+
+#include <functional>
+
+#include "core/redundant.h"
+#include "safety/asil.h"
+
+namespace higpu::core {
+
+struct RecoveryReport {
+  /// Executions performed (1 = no error detected on first try).
+  u32 attempts = 0;
+  /// A comparison-clean execution was achieved.
+  bool success = false;
+  /// Wall-clock of the whole detect/re-execute sequence.
+  NanoSec total_ns = 0;
+  /// FTTI verdict over the full sequence.
+  safety::FttiBudget budget;
+};
+
+class RecoveryManager {
+ public:
+  struct Config {
+    sched::Policy policy = sched::Policy::kSrrs;
+    u32 max_retries = 2;
+    /// The item's FTTI in nanoseconds.
+    u64 ftti_ns = 100'000'000;
+  };
+
+  RecoveryManager(runtime::Device& dev, Config cfg) : dev_(dev), cfg_(cfg) {}
+
+  /// Run `body` (which performs the redundant launches + comparisons through
+  /// the provided session) until its comparisons are clean or retries are
+  /// exhausted. Each attempt uses a fresh RedundantSession on the same
+  /// device, so the device wall-clock accumulates the real response time.
+  RecoveryReport run(const std::function<void(RedundantSession&)>& body);
+
+ private:
+  runtime::Device& dev_;
+  Config cfg_;
+};
+
+}  // namespace higpu::core

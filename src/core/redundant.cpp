@@ -1,0 +1,102 @@
+#include "core/redundant.h"
+
+#include <cstring>
+
+namespace higpu::core {
+
+RedundantSession::RedundantSession(runtime::Device& dev, Config cfg)
+    : dev_(dev), cfg_(cfg), num_sms_(dev.gpu().num_sms()) {
+  if (cfg_.srrs_start_b == Config::kAuto)
+    cfg_.srrs_start_b = num_sms_ / 2;
+  dev_.set_kernel_scheduler(sched::make_scheduler(cfg_.policy));
+}
+
+DualPtr RedundantSession::alloc(u64 bytes) {
+  DualPtr p;
+  p.a = dev_.malloc(bytes);
+  p.b = (cfg_.redundant) ? dev_.malloc(bytes) : p.a;
+  return p;
+}
+
+void RedundantSession::h2d(DualPtr dst, const void* src, u64 bytes) {
+  dev_.memcpy_h2d(dst.a, src, bytes);
+  if (cfg_.redundant) dev_.memcpy_h2d(dst.b, src, bytes);
+}
+
+void RedundantSession::d2h(void* dst, DualPtr src, u64 bytes) {
+  dev_.memcpy_d2h(dst, src.a, bytes);
+}
+
+sim::SchedHints RedundantSession::hints_for_copy(bool copy_b) const {
+  sim::SchedHints h;
+  switch (cfg_.policy) {
+    case sched::Policy::kDefault:
+      break;  // unconstrained
+    case sched::Policy::kHalf: {
+      const u32 half = num_sms_ / 2;
+      if (cfg_.redundant)
+        h.sm_mask = copy_b ? sched::sm_range_mask(half, num_sms_)
+                           : sched::sm_range_mask(0, half);
+      break;
+    }
+    case sched::Policy::kSrrs:
+      h.start_sm = copy_b ? cfg_.srrs_start_b : cfg_.srrs_start_a;
+      break;
+  }
+  return h;
+}
+
+void RedundantSession::launch(isa::ProgramPtr prog, sim::Dim3 grid,
+                              sim::Dim3 block,
+                              const std::vector<DualParam>& params,
+                              const std::string& tag) {
+  sim::KernelLaunch a;
+  a.program = prog;
+  a.grid = grid;
+  a.block = block;
+  a.hints = hints_for_copy(false);
+  a.tag = tag.empty() ? prog->name() : tag;
+  for (const DualParam& p : params)
+    a.params.push_back(p.is_buffer ? p.buf.a : p.scalar);
+
+  if (!cfg_.redundant) {
+    dev_.launch(std::move(a), /*stream=*/0);
+    return;
+  }
+
+  sim::KernelLaunch b = a;
+  b.hints = hints_for_copy(true);
+  b.params.clear();
+  for (const DualParam& p : params)
+    b.params.push_back(p.is_buffer ? p.buf.b : p.scalar);
+  b.tag = a.tag + "#r";
+
+  const u32 id_a = dev_.launch(std::move(a), /*stream=*/0);
+  const u32 id_b = dev_.launch(std::move(b), /*stream=*/1);
+  pairs_.emplace_back(id_a, id_b);
+}
+
+Cycle RedundantSession::sync() {
+  const Cycle delta = dev_.synchronize();
+  kernel_cycles_ += delta;
+  return delta;
+}
+
+bool RedundantSession::compare(DualPtr buf, u64 bytes, const void* host_a) {
+  if (!cfg_.redundant) return true;
+  const void* a = host_a;
+  if (a == nullptr) {
+    scratch_a_.resize(bytes);
+    dev_.memcpy_d2h(scratch_a_.data(), buf.a, bytes);
+    a = scratch_a_.data();
+  }
+  scratch_b_.resize(bytes);
+  dev_.memcpy_d2h(scratch_b_.data(), buf.b, bytes);
+  dev_.host_compare(bytes);
+  comparisons_ += 1;
+  const bool equal = std::memcmp(a, scratch_b_.data(), bytes) == 0;
+  if (!equal) mismatches_ += 1;
+  return equal;
+}
+
+}  // namespace higpu::core

@@ -1,0 +1,112 @@
+// Redundant kernel execution (paper §IV.A).
+//
+// A RedundantSession implements the five-step DCLS-offload flow on top of a
+// runtime::Device:
+//   (1) allocate GPU memory for both redundant copies,
+//   (2) transfer input data for each copy,
+//   (3) launch the two redundant kernels (policy-specific scheduling hints),
+//   (4) collect results of both kernels back to the CPU,
+//   (5) compare the outcomes on the (assumed ASIL-D DCLS) host cores.
+//
+// The same session API also runs in non-redundant baseline mode so workloads
+// are written once and measured in both configurations (Fig. 5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/device.h"
+#include "sched/policies.h"
+
+namespace higpu::core {
+
+using memsys::DevPtr;
+
+/// A device allocation in a redundant session: one buffer per copy.
+/// In baseline mode `b` aliases `a`.
+struct DualPtr {
+  DevPtr a = 0;
+  DevPtr b = 0;
+};
+
+/// Kernel parameter: a dual buffer or a 32-bit scalar.
+struct DualParam {
+  bool is_buffer = false;
+  DualPtr buf;
+  u32 scalar = 0;
+
+  DualParam(DualPtr p) : is_buffer(true), buf(p) {}     // NOLINT
+  DualParam(u32 v) : scalar(v) {}                        // NOLINT
+  DualParam(i32 v) : scalar(static_cast<u32>(v)) {}      // NOLINT
+  DualParam(float v) : scalar(f2bits(v)) {}              // NOLINT
+};
+
+class RedundantSession {
+ public:
+  struct Config {
+    sched::Policy policy = sched::Policy::kSrrs;
+    /// false => plain single execution (the Fig. 5 "Baseline").
+    bool redundant = true;
+    /// SRRS starting SMs for the two copies (must differ for diversity).
+    u32 srrs_start_a = 0;
+    /// Defaults to num_sms/2 when left as kAuto.
+    static constexpr u32 kAuto = 0xFFFFFFFF;
+    u32 srrs_start_b = kAuto;
+  };
+
+  /// Installs the policy's kernel scheduler on the device's GPU.
+  RedundantSession(runtime::Device& dev, Config cfg);
+
+  // ---- Step 1: allocation -------------------------------------------------
+  DualPtr alloc(u64 bytes);
+
+  // ---- Step 2: input transfer ----------------------------------------------
+  /// Uploads to both copies (two physical transfers in redundant mode).
+  void h2d(DualPtr dst, const void* src, u64 bytes);
+
+  // ---- Step 3: redundant launch ---------------------------------------------
+  /// Launches copy A (stream 0) and, in redundant mode, copy B (stream 1)
+  /// with the policy's scheduling hints (start SM / SM mask).
+  void launch(isa::ProgramPtr prog, sim::Dim3 grid, sim::Dim3 block,
+              const std::vector<DualParam>& params, const std::string& tag = "");
+
+  /// Wait for all launched kernels of both copies.
+  /// Returns GPU cycles consumed (accumulated into kernel_cycles()).
+  Cycle sync();
+
+  // ---- Step 4: result collection --------------------------------------------
+  /// Reads back copy A (host-visible result used by the application).
+  void d2h(void* dst, DualPtr src, u64 bytes);
+
+  // ---- Step 5: DCLS comparison ----------------------------------------------
+  /// Reads back copy B (and copy A unless the caller already fetched it and
+  /// passes it via `host_a`) and compares them on the host. Returns true if
+  /// they match; accumulates the verdict. No-op (true) in baseline mode.
+  bool compare(DualPtr buf, u64 bytes, const void* host_a = nullptr);
+
+  // ---- Results -----------------------------------------------------------------
+  bool all_outputs_matched() const { return mismatches_ == 0; }
+  u32 comparisons() const { return comparisons_; }
+  u32 mismatches() const { return mismatches_; }
+  /// GPU cycles consumed across all sync() calls (the Fig. 4 metric).
+  Cycle kernel_cycles() const { return kernel_cycles_; }
+  /// (launch id A, launch id B) of every redundant pair, for diversity
+  /// analysis over the GPU's block records.
+  const std::vector<std::pair<u32, u32>>& pairs() const { return pairs_; }
+  runtime::Device& device() { return dev_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  sim::SchedHints hints_for_copy(bool copy_b) const;
+
+  runtime::Device& dev_;
+  Config cfg_;
+  u32 num_sms_;
+  Cycle kernel_cycles_ = 0;
+  u32 comparisons_ = 0;
+  u32 mismatches_ = 0;
+  std::vector<std::pair<u32, u32>> pairs_;
+  std::vector<u8> scratch_a_, scratch_b_;
+};
+
+}  // namespace higpu::core

@@ -1,0 +1,129 @@
+// Fluent builder for kernel programs.
+//
+// Workloads construct their kernels through this interface; build() resolves
+// labels, validates structural invariants, and computes SIMT reconvergence
+// points from the immediate post-dominator analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "isa/program.h"
+
+namespace higpu::isa {
+
+/// Forward-referencable branch target.
+struct Label {
+  u32 id = 0xFFFFFFFF;
+  bool valid() const { return id != 0xFFFFFFFF; }
+};
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name);
+
+  // ---- Resource allocation -------------------------------------------------
+  /// Allocate a fresh general-purpose register.
+  Reg reg();
+  /// Allocate a fresh predicate register.
+  PredReg pred();
+  /// Create an unbound label.
+  Label label();
+  /// Bind `l` to the next emitted instruction.
+  void bind(Label l);
+  /// Declare static shared memory for the thread block (bytes).
+  void set_shared_bytes(u32 bytes) { shared_bytes_ = bytes; }
+
+  // ---- Moves, parameters, special registers --------------------------------
+  Instruction& mov(Reg d, Operand a);
+  Instruction& movi(Reg d, i32 v) { return mov(d, imm(v)); }
+  Instruction& movf(Reg d, float v) { return mov(d, fimm(v)); }
+  Instruction& ldp(Reg d, u32 param_index);
+  Instruction& s2r(Reg d, SReg s);
+
+  // ---- Integer ALU ----------------------------------------------------------
+  Instruction& iadd(Reg d, Operand a, Operand b);
+  Instruction& isub(Reg d, Operand a, Operand b);
+  Instruction& imul(Reg d, Operand a, Operand b);
+  Instruction& imad(Reg d, Operand a, Operand b, Operand c);
+  Instruction& imin(Reg d, Operand a, Operand b);
+  Instruction& imax(Reg d, Operand a, Operand b);
+  Instruction& and_(Reg d, Operand a, Operand b);
+  Instruction& or_(Reg d, Operand a, Operand b);
+  Instruction& xor_(Reg d, Operand a, Operand b);
+  Instruction& not_(Reg d, Operand a);
+  Instruction& shl(Reg d, Operand a, Operand b);
+  Instruction& shr(Reg d, Operand a, Operand b);
+  Instruction& sra(Reg d, Operand a, Operand b);
+
+  // ---- Floating point --------------------------------------------------------
+  Instruction& fadd(Reg d, Operand a, Operand b);
+  Instruction& fsub(Reg d, Operand a, Operand b);
+  Instruction& fmul(Reg d, Operand a, Operand b);
+  Instruction& ffma(Reg d, Operand a, Operand b, Operand c);
+  Instruction& fmin(Reg d, Operand a, Operand b);
+  Instruction& fmax(Reg d, Operand a, Operand b);
+  Instruction& fabs_(Reg d, Operand a);
+  Instruction& fneg(Reg d, Operand a);
+  Instruction& fdiv(Reg d, Operand a, Operand b);
+  Instruction& fsqrt(Reg d, Operand a);
+  Instruction& frcp(Reg d, Operand a);
+  Instruction& fexp(Reg d, Operand a);
+  Instruction& flog(Reg d, Operand a);
+  Instruction& fsin(Reg d, Operand a);
+  Instruction& fcos(Reg d, Operand a);
+  Instruction& i2f(Reg d, Operand a);
+  Instruction& f2i(Reg d, Operand a);
+
+  // ---- Predicates and control flow -------------------------------------------
+  Instruction& setp(PredReg p, CmpOp c, DType t, Operand a, Operand b);
+  /// PTX-style setp.and: p = cmp(a, b) && q.
+  Instruction& setp_and(PredReg p, CmpOp c, DType t, Operand a, Operand b,
+                        PredReg q);
+  Instruction& selp(Reg d, Operand a, Operand b, PredReg p);
+  /// Branch to `l`; attach .guard_if(p)/.guard_ifnot(p) for a conditional
+  /// (potentially divergent) branch.
+  Instruction& bra(Label l);
+  Instruction& exit();
+  Instruction& bar();
+
+  // ---- Memory ------------------------------------------------------------------
+  Instruction& ldg(Reg d, Operand addr, i32 byte_offset = 0);
+  Instruction& stg(Operand addr, Operand value, i32 byte_offset = 0);
+  Instruction& lds(Reg d, Operand addr, i32 byte_offset = 0);
+  Instruction& sts(Operand addr, Operand value, i32 byte_offset = 0);
+  Instruction& atom_add(Reg d, Operand addr, Operand value, i32 byte_offset = 0);
+
+  // ---- Common idioms ---------------------------------------------------------
+  /// d = blockIdx.x * blockDim.x + threadIdx.x
+  Reg global_tid_x();
+  /// d = blockIdx.y * blockDim.y + threadIdx.y
+  Reg global_tid_y();
+  /// Emit "if (d >= bound) goto exit_label" with a fresh predicate.
+  void guard_range(Reg v, Operand bound, Label exit_label);
+
+  /// Number of instructions emitted so far (== pc of the next instruction).
+  Pc here() const { return static_cast<Pc>(code_.size()); }
+
+  /// Finalize: resolve labels, validate, compute reconvergence points.
+  ProgramPtr build();
+
+ private:
+  Instruction& emit(Instruction ins);
+  Instruction& alu2(Op op, Reg d, Operand a, Operand b);
+  Instruction& alu3(Op op, Reg d, Operand a, Operand b, Operand c);
+
+  std::string name_;
+  std::vector<Instruction> code_;
+  // Per emitted branch: label id it references (parallel to code_ pcs).
+  std::vector<std::pair<Pc, u32>> branch_fixups_;
+  std::vector<Pc> label_pc_;  // indexed by label id; end sentinel = unbound
+  u16 next_reg_ = 0;
+  i16 next_pred_ = 0;
+  u32 shared_bytes_ = 0;
+  u32 max_param_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace higpu::isa

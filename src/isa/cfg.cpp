@@ -1,0 +1,160 @@
+#include "isa/cfg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace higpu::isa {
+
+Cfg::Cfg(const std::vector<Instruction>& code) {
+  assert(!code.empty());
+  end_pc_ = static_cast<Pc>(code.size());
+  build_blocks(code);
+  compute_postdominators();
+}
+
+void Cfg::build_blocks(const std::vector<Instruction>& code) {
+  const u32 n = static_cast<u32>(code.size());
+
+  // Leaders: entry, branch targets, and instructions following a branch/exit.
+  std::set<Pc> leaders;
+  leaders.insert(0);
+  for (Pc pc = 0; pc < n; ++pc) {
+    const Instruction& ins = code[pc];
+    if (ins.op == Op::kBra) {
+      leaders.insert(ins.target);
+      if (pc + 1 < n) leaders.insert(pc + 1);
+    } else if (ins.op == Op::kExit) {
+      if (pc + 1 < n) leaders.insert(pc + 1);
+    }
+  }
+
+  block_of_pc_.assign(n, 0);
+  std::vector<Pc> starts(leaders.begin(), leaders.end());
+  for (u32 b = 0; b < starts.size(); ++b) {
+    BasicBlock bb;
+    bb.first = starts[b];
+    bb.last = (b + 1 < starts.size()) ? starts[b + 1] - 1 : n - 1;
+    for (Pc pc = bb.first; pc <= bb.last; ++pc) block_of_pc_[pc] = b;
+    blocks_.push_back(bb);
+  }
+
+  // Edges.
+  for (u32 b = 0; b < blocks_.size(); ++b) {
+    BasicBlock& bb = blocks_[b];
+    const Instruction& last = code[bb.last];
+    auto add_edge = [&](u32 to) {
+      bb.succs.push_back(to);
+      blocks_[to].preds.push_back(b);
+    };
+    if (last.op == Op::kBra) {
+      add_edge(block_of_pc_[last.target]);
+      // A guarded branch can fall through; an unguarded one cannot.
+      if (last.guard != kNoPred && bb.last + 1 < n)
+        add_edge(block_of_pc_[bb.last + 1]);
+    } else if (last.op == Op::kExit) {
+      // No successors; connects to the virtual exit in the pdom analysis.
+    } else {
+      assert(bb.last + 1 < n && "program must not fall off the end");
+      add_edge(block_of_pc_[bb.last + 1]);
+    }
+  }
+}
+
+void Cfg::compute_postdominators() {
+  // Cooper-Harvey-Kennedy on the reverse CFG rooted at a virtual exit node.
+  const u32 n = num_blocks();
+  const u32 exit_node = n;  // virtual
+
+  // Reverse-CFG successors of the virtual exit = blocks with no CFG succs.
+  std::vector<std::vector<u32>> rsuccs(n + 1);  // reverse-CFG edges
+  std::vector<std::vector<u32>> rpreds(n + 1);
+  for (u32 b = 0; b < n; ++b) {
+    if (blocks_[b].succs.empty()) {
+      rsuccs[exit_node].push_back(b);
+      rpreds[b].push_back(exit_node);
+    }
+    for (u32 s : blocks_[b].succs) {
+      rsuccs[s].push_back(b);
+      rpreds[b].push_back(s);
+    }
+  }
+
+  // Reverse postorder of the reverse CFG from the virtual exit (iterative DFS).
+  std::vector<u32> order;  // postorder
+  std::vector<u8> visited(n + 1, 0);
+  std::vector<std::pair<u32, u32>> stack;  // (node, next-succ-index)
+  stack.emplace_back(exit_node, 0);
+  visited[exit_node] = 1;
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < rsuccs[node].size()) {
+      const u32 next = rsuccs[node][idx++];
+      if (!visited[next]) {
+        visited[next] = 1;
+        stack.emplace_back(next, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // Every block must reach exit: kernels always terminate.
+  assert(order.size() == static_cast<size_t>(n) + 1 &&
+         "unreachable-from-exit block (infinite loop?) in kernel CFG");
+
+  std::vector<u32> rpo_index(n + 1, 0);
+  std::vector<u32> rpo(order.rbegin(), order.rend());
+  for (u32 i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = i;
+
+  constexpr u32 kUndef = 0xFFFFFFFF;
+  std::vector<u32> idom(n + 1, kUndef);
+  idom[exit_node] = exit_node;
+
+  auto intersect = [&](u32 a, u32 b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = idom[a];
+      while (rpo_index[b] > rpo_index[a]) b = idom[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (u32 node : rpo) {
+      if (node == exit_node) continue;
+      u32 new_idom = kUndef;
+      for (u32 p : rpreds[node]) {  // reverse-CFG predecessors
+        if (idom[p] == kUndef) continue;
+        new_idom = (new_idom == kUndef) ? p : intersect(p, new_idom);
+      }
+      assert(new_idom != kUndef);
+      if (idom[node] != new_idom) {
+        idom[node] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  ipdom_.assign(n, exit_node);
+  for (u32 b = 0; b < n; ++b) ipdom_[b] = idom[b];
+}
+
+Pc Cfg::reconv_pc_for_branch(Pc pc) const {
+  const u32 b = block_of_pc_[pc];
+  const u32 pd = ipdom_[b];
+  return pd == virtual_exit() ? end_pc_ : blocks_[pd].first;
+}
+
+bool Cfg::postdominates(u32 a, u32 b) const {
+  // Walk the ipdom chain from b towards the virtual exit.
+  u32 cur = b;
+  while (true) {
+    if (cur == a) return true;
+    if (cur == virtual_exit()) return false;
+    cur = ipdom_[cur];
+  }
+}
+
+}  // namespace higpu::isa

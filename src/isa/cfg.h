@@ -1,0 +1,60 @@
+// Control-flow graph construction and post-dominator analysis.
+//
+// Used at program-finalize time to compute the immediate-post-dominator
+// (IPDOM) reconvergence point of every potentially-divergent branch, exactly
+// as classic SIMT hardware (and GPGPU-Sim) does.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace higpu::isa {
+
+/// A maximal straight-line sequence of instructions.
+struct BasicBlock {
+  Pc first = 0;  // pc of first instruction
+  Pc last = 0;   // pc of last instruction (inclusive)
+  std::vector<u32> succs;
+  std::vector<u32> preds;
+};
+
+/// CFG over a finalized instruction vector, with post-dominator analysis.
+class Cfg {
+ public:
+  /// Builds blocks/edges and runs post-dominator analysis.
+  /// Requires: code non-empty; every path ends in kExit (validated by the
+  /// program builder); all blocks reachable from entry.
+  explicit Cfg(const std::vector<Instruction>& code);
+
+  u32 num_blocks() const { return static_cast<u32>(blocks_.size()); }
+  const BasicBlock& block(u32 id) const { return blocks_[id]; }
+  u32 block_of(Pc pc) const { return block_of_pc_[pc]; }
+
+  /// Immediate post-dominator block of `id`, or kVirtualExit if the block
+  /// post-dominates straight to program exit.
+  u32 ipdom(u32 id) const { return ipdom_[id]; }
+
+  /// Sentinel id representing the virtual exit node.
+  u32 virtual_exit() const { return num_blocks(); }
+
+  /// Reconvergence pc for a branch instruction at `pc`: first pc of the
+  /// IPDOM block, or `end_pc` (== code.size()) when control only reconverges
+  /// at thread exit.
+  Pc reconv_pc_for_branch(Pc pc) const;
+
+  /// True if block `a` post-dominates block `b`.
+  bool postdominates(u32 a, u32 b) const;
+
+ private:
+  void build_blocks(const std::vector<Instruction>& code);
+  void compute_postdominators();
+
+  std::vector<BasicBlock> blocks_;
+  std::vector<u32> block_of_pc_;
+  std::vector<u32> ipdom_;
+  Pc end_pc_ = 0;
+};
+
+}  // namespace higpu::isa

@@ -1,0 +1,62 @@
+// A finalized kernel program: instructions + static resource requirements.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace higpu::isa {
+
+/// Immutable, finalized kernel program. Produced by KernelBuilder::build().
+///
+/// Finalization resolves labels, validates structural invariants (every path
+/// ends in EXIT, barriers are not guarded, ...) and computes the IPDOM
+/// reconvergence pc for every guarded branch.
+class KernelProgram {
+ public:
+  KernelProgram(std::string name, std::vector<Instruction> code, u16 num_regs,
+                u16 num_preds, u32 shared_bytes, u32 num_params);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Instruction>& code() const { return code_; }
+  const Instruction& at(Pc pc) const { return code_[pc]; }
+  u32 size() const { return static_cast<u32>(code_.size()); }
+
+  /// Pc one past the last instruction; used as the "reconverge at thread
+  /// exit" sentinel.
+  Pc end_pc() const { return static_cast<Pc>(code_.size()); }
+
+  /// Number of 32-bit GPRs each thread requires.
+  u16 num_regs() const { return num_regs_; }
+  /// Number of predicate registers each thread requires.
+  u16 num_preds() const { return num_preds_; }
+  /// Static shared-memory bytes per thread block.
+  u32 shared_bytes() const { return shared_bytes_; }
+  /// Number of 32-bit kernel parameters expected at launch.
+  u32 num_params() const { return num_params_; }
+
+  /// Count of static instructions per unit class (used by the kernel
+  /// categorizer to estimate arithmetic vs memory intensity).
+  u32 static_count(UnitClass uc) const;
+
+  /// Human-readable disassembly of the whole program.
+  std::string disassemble() const;
+
+ private:
+  std::string name_;
+  std::vector<Instruction> code_;
+  u16 num_regs_;
+  u16 num_preds_;
+  u32 shared_bytes_;
+  u32 num_params_;
+};
+
+using ProgramPtr = std::shared_ptr<const KernelProgram>;
+
+/// Disassemble one instruction (exposed for debugging and tests).
+std::string disassemble(const Instruction& ins, Pc pc);
+
+}  // namespace higpu::isa

@@ -1,0 +1,58 @@
+// Set-associative cache tag array with true-LRU replacement.
+//
+// This models tags/state only; data always lives in the functional global
+// store. Timing is composed by MemHierarchy.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace higpu::memsys {
+
+/// Result of a cache access.
+struct CacheAccessResult {
+  bool hit = false;
+  /// Line address of a dirty line evicted by the fill (if any).
+  std::optional<u64> writeback_line;
+};
+
+class SetAssocCache {
+ public:
+  /// size/line_bytes must be divisible by assoc.
+  SetAssocCache(u32 size_bytes, u32 assoc, u32 line_bytes);
+
+  /// Probe + fill on miss. `is_write` marks the line dirty.
+  CacheAccessResult access(u64 line_addr, bool is_write);
+
+  /// Probe without state change.
+  bool probe(u64 line_addr) const;
+
+  /// Invalidate everything (e.g. between independent simulations).
+  void clear();
+
+  /// Drop one line if present, returning whether it was dirty.
+  bool invalidate_line(u64 line_addr);
+
+  u32 num_sets() const { return num_sets_; }
+  u32 assoc() const { return assoc_; }
+
+ private:
+  struct Way {
+    bool valid = false;
+    bool dirty = false;
+    u64 tag = 0;
+    u64 lru = 0;  // larger = more recently used
+  };
+
+  u32 set_of(u64 line_addr) const { return static_cast<u32>(line_addr % num_sets_); }
+  u64 tag_of(u64 line_addr) const { return line_addr / num_sets_; }
+
+  u32 num_sets_;
+  u32 assoc_;
+  u64 use_counter_ = 0;
+  std::vector<Way> ways_;  // num_sets_ * assoc_
+};
+
+}  // namespace higpu::memsys

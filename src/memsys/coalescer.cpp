@@ -1,0 +1,37 @@
+#include "memsys/coalescer.h"
+
+#include <algorithm>
+
+namespace higpu::memsys {
+
+std::vector<u64> coalesce(const std::vector<u64>& byte_addrs, u32 line_bytes) {
+  std::vector<u64> lines;
+  lines.reserve(byte_addrs.size());
+  for (u64 a : byte_addrs) {
+    const u64 line = a / line_bytes;
+    if (std::find(lines.begin(), lines.end(), line) == lines.end())
+      lines.push_back(line);
+  }
+  return lines;
+}
+
+u32 smem_conflict_degree(const std::vector<u64>& byte_addrs, u32 num_banks) {
+  if (byte_addrs.empty()) return 1;
+  // Count distinct words per bank.
+  std::vector<u64> words;
+  words.reserve(byte_addrs.size());
+  for (u64 a : byte_addrs) {
+    const u64 w = a / 4;
+    if (std::find(words.begin(), words.end(), w) == words.end())
+      words.push_back(w);
+  }
+  std::vector<u32> per_bank(num_banks, 0);
+  u32 worst = 1;
+  for (u64 w : words) {
+    const u32 bank = static_cast<u32>(w % num_banks);
+    worst = std::max(worst, ++per_bank[bank]);
+  }
+  return worst;
+}
+
+}  // namespace higpu::memsys

@@ -1,0 +1,20 @@
+// Warp memory-access coalescing: collapse the active lanes' byte addresses
+// into the set of distinct memory transactions (cache lines) they touch.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace higpu::memsys {
+
+/// Distinct line addresses (addr / line_bytes) touched by the given byte
+/// addresses, in first-appearance order (deterministic).
+std::vector<u64> coalesce(const std::vector<u64>& byte_addrs, u32 line_bytes);
+
+/// Shared-memory bank-conflict degree for the given word addresses: the
+/// maximum number of *distinct words* mapping to any one bank. 1 means
+/// conflict-free (broadcast of the same word does not conflict).
+u32 smem_conflict_degree(const std::vector<u64>& byte_addrs, u32 num_banks);
+
+}  // namespace higpu::memsys

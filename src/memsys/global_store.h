@@ -1,0 +1,47 @@
+// Functional backing store for GPU global memory, plus a bump allocator.
+//
+// Addresses are 32-bit (registers are 32-bit wide); the store grows lazily.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace higpu::memsys {
+
+/// Device address. 0 is reserved (never returned by alloc).
+using DevPtr = u32;
+
+class GlobalStore {
+ public:
+  explicit GlobalStore(u64 capacity_bytes = 1ull << 30);
+
+  /// Allocate `bytes` (256-byte aligned). Throws std::bad_alloc on exhaustion.
+  DevPtr alloc(u64 bytes);
+
+  /// Release all allocations (arena-style reset). Contents are kept so old
+  /// pointers read stale data rather than faulting; callers should not use
+  /// pointers across a reset.
+  void reset();
+
+  /// Bytes currently allocated.
+  u64 allocated() const { return next_ - kBase; }
+
+  // 32-bit word access (addresses must be 4-byte aligned).
+  u32 read32(DevPtr addr) const;
+  void write32(DevPtr addr, u32 value);
+
+  // Bulk transfer helpers used by the host runtime.
+  void write_block(DevPtr dst, const void* src, u64 bytes);
+  void read_block(void* dst, DevPtr src, u64 bytes) const;
+
+ private:
+  static constexpr DevPtr kBase = 256;  // keep nullptr-like 0 unmapped
+  void ensure(u64 end);
+
+  u64 capacity_;
+  DevPtr next_ = kBase;
+  mutable std::vector<u8> data_;
+};
+
+}  // namespace higpu::memsys

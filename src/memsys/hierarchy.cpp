@@ -1,0 +1,104 @@
+#include "memsys/hierarchy.h"
+
+#include <algorithm>
+
+namespace higpu::memsys {
+
+MemHierarchy::MemHierarchy(u32 num_sms, const MemParams& params)
+    : params_(params),
+      l2_(params.l2_size, params.l2_assoc, params.line_bytes),
+      l1_port_free_(num_sms, 0),
+      l2_bank_free_(params.l2_banks, 0),
+      dram_channel_free_(params.dram_channels, 0),
+      mshr_(num_sms) {
+  l1_.reserve(num_sms);
+  for (u32 i = 0; i < num_sms; ++i)
+    l1_.emplace_back(params.l1_size, params.l1_assoc, params.line_bytes);
+}
+
+void MemHierarchy::reset() {
+  for (auto& c : l1_) c.clear();
+  l2_.clear();
+  std::fill(l1_port_free_.begin(), l1_port_free_.end(), 0);
+  std::fill(l2_bank_free_.begin(), l2_bank_free_.end(), 0);
+  std::fill(dram_channel_free_.begin(), dram_channel_free_.end(), 0);
+  for (auto& m : mshr_) m.clear();
+  stats_.clear();
+}
+
+Cycle MemHierarchy::access_l2(u64 line_addr, bool is_write, Cycle now,
+                              bool is_atomic) {
+  const u32 bank = static_cast<u32>(line_addr % params_.l2_banks);
+  const u32 service =
+      params_.l2_service + (is_atomic ? params_.atomic_extra : 0);
+  const Cycle start = std::max(now, l2_bank_free_[bank]);
+  l2_bank_free_[bank] = start + service;
+
+  const CacheAccessResult res = l2_.access(line_addr, is_write || is_atomic);
+  if (res.writeback_line) {
+    // Dirty eviction: consumes DRAM bandwidth but is off the critical path.
+    const u32 ch = static_cast<u32>(*res.writeback_line % params_.dram_channels);
+    dram_channel_free_[ch] =
+        std::max(dram_channel_free_[ch], start) + params_.dram_service;
+    stats_.add("dram_writebacks");
+  }
+  if (res.hit) {
+    stats_.add("l2_hits");
+    return start + params_.l2_latency;
+  }
+  stats_.add("l2_misses");
+  const u32 ch = static_cast<u32>(line_addr % params_.dram_channels);
+  const Cycle dram_start = std::max(start, dram_channel_free_[ch]);
+  dram_channel_free_[ch] = dram_start + params_.dram_service;
+  stats_.add("dram_reads");
+  return dram_start + params_.dram_latency;
+}
+
+Cycle MemHierarchy::access_line(u32 sm, u64 line_addr, bool is_write, Cycle now) {
+  // L1 port: one line transaction per cycle per SM.
+  const Cycle t = std::max(now, l1_port_free_[sm]);
+  l1_port_free_[sm] = t + 1;
+
+  // Reap completed in-flight fills lazily.
+  auto& mshr = mshr_[sm];
+  if (auto it = mshr.find(line_addr); it != mshr.end()) {
+    if (it->second > t) {
+      // Merge into the in-flight fill (MSHR hit): no new traffic.
+      stats_.add("l1_mshr_merges");
+      const Cycle done = it->second;
+      if (is_write) l1_[sm].access(line_addr, true);
+      return done;
+    }
+    mshr.erase(it);
+  }
+
+  const CacheAccessResult res = l1_[sm].access(line_addr, is_write);
+  if (res.writeback_line) {
+    // Write dirty victim back to L2 (consumes bank bandwidth only).
+    const u32 bank = static_cast<u32>(*res.writeback_line % params_.l2_banks);
+    l2_bank_free_[bank] = std::max(l2_bank_free_[bank], t) + params_.l2_service;
+    l2_.access(*res.writeback_line, /*is_write=*/true);
+    stats_.add("l1_writebacks");
+  }
+  if (res.hit) {
+    stats_.add(is_write ? "l1_write_hits" : "l1_hits");
+    return t + params_.l1_latency;
+  }
+  stats_.add(is_write ? "l1_write_misses" : "l1_misses");
+
+  const Cycle ready = access_l2(line_addr, is_write, t + params_.l1_latency,
+                                /*is_atomic=*/false);
+  if (mshr.size() < params_.l1_mshr_entries) mshr[line_addr] = ready;
+  return ready;
+}
+
+Cycle MemHierarchy::access_atomic(u32 sm, u64 line_addr, Cycle now) {
+  // Atomics bypass the L1; invalidate a stale local copy if present.
+  const Cycle t = std::max(now, l1_port_free_[sm]);
+  l1_port_free_[sm] = t + 1;
+  l1_[sm].invalidate_line(line_addr);
+  stats_.add("atomics");
+  return access_l2(line_addr, /*is_write=*/true, t, /*is_atomic=*/true);
+}
+
+}  // namespace higpu::memsys

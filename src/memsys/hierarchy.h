@@ -1,0 +1,54 @@
+// Analytic timing model of the L1 / L2 / DRAM hierarchy.
+//
+// Cache state (tags, LRU, MSHR merging) is updated at issue time; completion
+// cycles are computed through per-resource `next_free` bandwidth counters
+// (L1 port, L2 banks, DRAM channels). The model is deterministic and
+// order-sensitive: contention between SMs emerges from shared L2/DRAM
+// counters, which is the level of fidelity the scheduling-policy study needs.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "memsys/cache.h"
+#include "memsys/params.h"
+
+namespace higpu::memsys {
+
+class MemHierarchy {
+ public:
+  MemHierarchy(u32 num_sms, const MemParams& params);
+
+  /// Access one cache line from SM `sm` at cycle `now`.
+  /// Returns the cycle at which the data is available in the SM (loads) or
+  /// globally visible (stores).
+  Cycle access_line(u32 sm, u64 line_addr, bool is_write, Cycle now);
+
+  /// Atomic read-modify-write on one line: bypasses L1, resolves at L2.
+  Cycle access_atomic(u32 sm, u64 line_addr, Cycle now);
+
+  /// Invalidate all cache state and bandwidth counters (fresh simulation).
+  void reset();
+
+  const MemParams& params() const { return params_; }
+  const StatSet& stats() const { return stats_; }
+  StatSet& stats() { return stats_; }
+
+ private:
+  /// L2 + DRAM path; returns data-ready cycle at the L2 boundary.
+  Cycle access_l2(u64 line_addr, bool is_write, Cycle now, bool is_atomic);
+
+  MemParams params_;
+  std::vector<SetAssocCache> l1_;          // one per SM
+  SetAssocCache l2_;
+  std::vector<Cycle> l1_port_free_;        // per SM
+  std::vector<Cycle> l2_bank_free_;        // per bank
+  std::vector<Cycle> dram_channel_free_;   // per channel
+  // Per-SM MSHR: line -> cycle at which the in-flight fill completes.
+  std::vector<std::unordered_map<u64, Cycle>> mshr_;
+  StatSet stats_;
+};
+
+}  // namespace higpu::memsys

@@ -1,0 +1,40 @@
+// Timing/geometry parameters for the GPU memory hierarchy.
+#pragma once
+
+#include "common/types.h"
+
+namespace higpu::memsys {
+
+/// All latencies in core cycles; all sizes in bytes.
+struct MemParams {
+  // Cache line (memory transaction) size. One coalesced warp access moves
+  // one or more lines of this size.
+  u32 line_bytes = 128;
+
+  // Per-SM L1 data cache.
+  u32 l1_size = 24 * 1024;
+  u32 l1_assoc = 4;
+  u32 l1_latency = 28;      // hit latency
+  u32 l1_mshr_entries = 32; // outstanding misses per SM
+
+  // Shared L2.
+  u32 l2_size = 1024 * 1024;
+  u32 l2_assoc = 8;
+  u32 l2_banks = 8;
+  u32 l2_latency = 120;     // hit latency (incl. interconnect)
+  u32 l2_service = 2;       // bank occupancy per transaction (bandwidth)
+
+  // DRAM.
+  u32 dram_latency = 320;       // load-to-use latency on L2 miss
+  u32 dram_service = 4;         // cycles of channel occupancy per line (bandwidth)
+  u32 dram_channels = 4;
+
+  // Shared memory (per SM).
+  u32 smem_banks = 32;
+  u32 smem_latency = 24;
+
+  // Atomic operations are resolved at the L2; extra service time per access.
+  u32 atomic_extra = 8;
+};
+
+}  // namespace higpu::memsys

@@ -1,0 +1,61 @@
+#include "runtime/device.h"
+
+namespace higpu::runtime {
+
+Device::Device(const sim::GpuParams& gpu_params, const PlatformParams& platform)
+    : platform_(platform),
+      store_(std::make_unique<memsys::GlobalStore>()),
+      gpu_(std::make_unique<sim::Gpu>(gpu_params, store_.get())),
+      ns_per_cycle_(1.0 / gpu_params.clock_ghz) {}
+
+DevPtr Device::malloc(u64 bytes) {
+  now_ns_ += platform_.api_call_ns;
+  return store_->alloc(bytes);
+}
+
+void Device::memcpy_h2d(DevPtr dst, const void* src, u64 bytes) {
+  now_ns_ += platform_.transfer_ns(bytes, /*h2d=*/true);
+  store_->write_block(dst, src, bytes);
+}
+
+void Device::memcpy_d2h(void* dst, DevPtr src, u64 bytes) {
+  // cudaMemcpy D2H on the default flow implicitly synchronizes first.
+  synchronize();
+  now_ns_ += platform_.transfer_ns(bytes, /*h2d=*/false);
+  store_->read_block(dst, src, bytes);
+}
+
+u32 Device::launch(sim::KernelLaunch launch, u32 stream) {
+  now_ns_ += platform_.launch_ns;
+  launch.stream = stream;
+  return gpu_->launch(std::move(launch));
+}
+
+Cycle Device::synchronize() {
+  const Cycle before = gpu_->now();
+  gpu_->run_until_idle();
+  const Cycle delta = gpu_->now() - before;
+  // Only GPU time not already accounted for extends the wall clock.
+  if (gpu_->now() > synced_upto_) {
+    const Cycle fresh = gpu_->now() - synced_upto_;
+    now_ns_ += static_cast<NanoSec>(static_cast<double>(fresh) * ns_per_cycle_);
+    synced_upto_ = gpu_->now();
+  }
+  now_ns_ += platform_.sync_ns;
+  gpu_cycles_ += delta;
+  return delta;
+}
+
+void Device::host_compute(u64 bytes) {
+  now_ns_ += platform_.host_compute_ns(bytes);
+}
+
+void Device::host_parse(u64 bytes) { now_ns_ += platform_.parse_ns(bytes); }
+
+void Device::host_generate(u64 bytes) { now_ns_ += platform_.generate_ns(bytes); }
+
+void Device::host_compare(u64 bytes) {
+  now_ns_ += platform_.compare_ns(bytes);
+}
+
+}  // namespace higpu::runtime

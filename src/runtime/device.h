@@ -1,0 +1,74 @@
+// CUDA-like host runtime over the GPU simulator, with stream semantics and
+// an end-to-end wall-clock model.
+//
+// One Device owns the functional global store and one Gpu. All host-visible
+// operations advance a single nanosecond timeline (`elapsed_ns`), combining
+// platform overheads with simulated GPU cycles, which is what the Fig. 5
+// end-to-end experiment measures.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "memsys/global_store.h"
+#include "runtime/platform.h"
+#include "sim/gpu.h"
+
+namespace higpu::runtime {
+
+using memsys::DevPtr;
+
+class Device {
+ public:
+  explicit Device(const sim::GpuParams& gpu_params = {},
+                  const PlatformParams& platform = {});
+
+  // ---- Configuration -----------------------------------------------------
+  sim::Gpu& gpu() { return *gpu_; }
+  const PlatformParams& platform() const { return platform_; }
+  void set_kernel_scheduler(std::unique_ptr<sim::IKernelScheduler> s) {
+    gpu_->set_kernel_scheduler(std::move(s));
+  }
+
+  // ---- Memory -----------------------------------------------------------------
+  DevPtr malloc(u64 bytes);
+  void memcpy_h2d(DevPtr dst, const void* src, u64 bytes);
+  void memcpy_d2h(void* dst, DevPtr src, u64 bytes);
+
+  // ---- Execution ---------------------------------------------------------------
+  /// Asynchronous launch on `stream`. Kernels on the same stream serialize;
+  /// different streams may overlap (subject to the kernel scheduler policy).
+  u32 launch(sim::KernelLaunch launch, u32 stream = 0);
+
+  /// Block until all launched work completed (cudaDeviceSynchronize).
+  /// Returns the GPU cycles consumed by this synchronization.
+  Cycle synchronize();
+
+  // ---- Host-side time accounting ----------------------------------------------
+  /// Charge host computation over `bytes` of data.
+  void host_compute(u64 bytes);
+  /// Charge parsing `bytes` of a text input file (slow, fscanf-style).
+  void host_parse(u64 bytes);
+  /// Charge synthesizing `bytes` of input data in memory.
+  void host_generate(u64 bytes);
+  /// Charge a DCLS output comparison over `bytes`.
+  void host_compare(u64 bytes);
+  /// Charge a fixed host delay.
+  void host_delay(NanoSec ns) { now_ns_ += ns; }
+
+  NanoSec elapsed_ns() const { return now_ns_; }
+  /// Total GPU cycles consumed inside synchronize() calls.
+  Cycle gpu_cycles_consumed() const { return gpu_cycles_; }
+
+ private:
+  PlatformParams platform_;
+  std::unique_ptr<memsys::GlobalStore> store_;
+  std::unique_ptr<sim::Gpu> gpu_;
+  NanoSec now_ns_ = 0;
+  Cycle gpu_cycles_ = 0;
+  Cycle synced_upto_ = 0;
+  double ns_per_cycle_;
+};
+
+}  // namespace higpu::runtime

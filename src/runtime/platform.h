@@ -1,0 +1,48 @@
+// Host-platform timing parameters (the Fig. 5 testbed model).
+//
+// The paper's COTS experiment runs on an AMD Ryzen 7 1800X + GTX 1050 Ti over
+// PCIe. We model the end-to-end cost structure analytically: API-call and
+// launch overheads, PCIe transfer bandwidth/latency, host compute, and the
+// DCLS output-comparison rate. Absolute values are rough; what matters for
+// reproducing Fig. 5 is the *ratio* of kernel time to everything else.
+#pragma once
+
+#include "common/types.h"
+
+namespace higpu::runtime {
+
+struct PlatformParams {
+  // PCIe 3.0 x16 effective bandwidths.
+  double pcie_h2d_gbps = 11.0;
+  double pcie_d2h_gbps = 11.0;
+  // Fixed per-call overheads.
+  NanoSec api_call_ns = 5'000;        // cudaMalloc/cudaFree and friends
+  NanoSec memcpy_latency_ns = 10'000; // per cudaMemcpy invocation
+  NanoSec launch_ns = 4'000;          // per async kernel launch (driver path)
+  NanoSec sync_ns = 4'000;            // per cudaDeviceSynchronize
+  // Host-side processing rates.
+  double host_compare_gbps = 3.0;    // DCLS output comparison
+  double host_compute_gbps = 1.0;    // generic host phases
+  double file_parse_gbps = 0.15;     // text input-file parsing (fscanf-style)
+  double mem_generate_gbps = 1.2;    // in-memory synthetic input generation
+
+  NanoSec transfer_ns(u64 bytes, bool h2d) const {
+    const double gbps = h2d ? pcie_h2d_gbps : pcie_d2h_gbps;
+    return memcpy_latency_ns +
+           static_cast<NanoSec>(static_cast<double>(bytes) / gbps);
+  }
+  NanoSec compare_ns(u64 bytes) const {
+    return static_cast<NanoSec>(static_cast<double>(bytes) / host_compare_gbps);
+  }
+  NanoSec host_compute_ns(u64 bytes) const {
+    return static_cast<NanoSec>(static_cast<double>(bytes) / host_compute_gbps);
+  }
+  NanoSec parse_ns(u64 bytes) const {
+    return static_cast<NanoSec>(static_cast<double>(bytes) / file_parse_gbps);
+  }
+  NanoSec generate_ns(u64 bytes) const {
+    return static_cast<NanoSec>(static_cast<double>(bytes) / mem_generate_gbps);
+  }
+};
+
+}  // namespace higpu::runtime

@@ -1,0 +1,30 @@
+// Periodic built-in self-test of the global kernel scheduler (paper §IV.C):
+// faults of type (2) — functionally correct execution that silently loses
+// diversity — must not become latent, so the scheduler's block->SM mapping
+// is exercised with a canary kernel pair and checked against the policy's
+// deterministic expectation.
+#pragma once
+
+#include "core/redundant.h"
+#include "runtime/device.h"
+#include "sched/policies.h"
+
+namespace higpu::safety {
+
+struct BistResult {
+  bool pass = false;
+  u32 blocks_checked = 0;
+  /// Blocks that ran on an SM other than the policy mandates.
+  u32 placement_violations = 0;
+  /// Logical blocks whose redundant copies shared an SM (diversity loss).
+  u32 diversity_violations = 0;
+  /// Canary outputs mismatched (the fault was already detectable).
+  bool output_mismatch = false;
+};
+
+/// Run a small canary kernel redundantly under `policy` on `dev` and verify
+/// every block landed on the SM the policy mandates. Detects latent
+/// scheduler mapping faults. The device's kernel scheduler is replaced.
+BistResult run_scheduler_bist(runtime::Device& dev, sched::Policy policy);
+
+}  // namespace higpu::safety

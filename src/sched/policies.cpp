@@ -1,0 +1,68 @@
+#include "sched/policies.h"
+
+namespace higpu::sched {
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kDefault: return "default";
+    case Policy::kHalf: return "half";
+    case Policy::kSrrs: return "srrs";
+  }
+  return "?";
+}
+
+void DefaultKernelScheduler::dispatch(sim::Gpu& gpu) {
+  const u32 n = gpu.num_sms();
+  for (sim::KernelState* ks : gpu.kernel_states()) {
+    if (ks->fully_dispatched() || !ks->arrived(gpu.now())) continue;
+    if (!ks->started() && !gpu.stream_ready(*ks)) continue;
+    const sim::KernelLaunch& launch = gpu.launch_of(ks->launch_id);
+    // Greedy: first SM (round-robin from the cursor) with capacity that the
+    // launch's mask allows.
+    for (u32 i = 0; i < n; ++i) {
+      const u32 sm = (rr_cursor_ + i) % n;
+      if (!launch.hints.sm_allowed(sm)) continue;
+      if (!gpu.sm_can_accept(sm, launch)) continue;
+      if (gpu.try_dispatch_block(*ks, sm)) {
+        rr_cursor_ = (sm + 1) % n;
+        return;  // one block per cycle GPU-wide
+      }
+    }
+  }
+}
+
+void SrrsKernelScheduler::dispatch(sim::Gpu& gpu) {
+  // Strictly serial: only the earliest unfinished kernel may dispatch.
+  sim::KernelState* ks = nullptr;
+  for (sim::KernelState* k : gpu.kernel_states()) {
+    if (!k->finished()) {
+      ks = k;
+      break;
+    }
+  }
+  if (ks == nullptr || !ks->arrived(gpu.now())) return;
+  if (ks->fully_dispatched()) return;  // draining
+  // A kernel may only start on an idle GPU (rule 1).
+  if (!ks->started() && !gpu.all_sms_drained()) return;
+
+  const sim::KernelLaunch& launch = gpu.launch_of(ks->launch_id);
+  // Strict round-robin from the software-selected starting SM (rules 2+3):
+  // block i runs on SM (start_sm + i) mod N — waiting for capacity if the
+  // target SM is full, so the mapping stays deterministic.
+  const u32 target =
+      (launch.hints.start_sm + ks->blocks_dispatched) % gpu.num_sms();
+  if (gpu.sm_can_accept(target, launch)) gpu.try_dispatch_block(*ks, target);
+}
+
+std::unique_ptr<sim::IKernelScheduler> make_scheduler(Policy p) {
+  if (p == Policy::kSrrs) return std::make_unique<SrrsKernelScheduler>();
+  return std::make_unique<DefaultKernelScheduler>();
+}
+
+u64 sm_range_mask(u32 lo, u32 hi) {
+  u64 mask = 0;
+  for (u32 i = lo; i < hi; ++i) mask |= 1ull << i;
+  return mask;
+}
+
+}  // namespace higpu::sched

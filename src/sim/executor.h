@@ -1,0 +1,76 @@
+// Scalar functional semantics of the ISA, shared by the SM datapath and by
+// unit tests. All values are 32-bit register bit patterns.
+#pragma once
+
+#include <cmath>
+
+#include "common/types.h"
+#include "isa/opcode.h"
+
+namespace higpu::sim {
+
+/// Evaluate a (non-memory, non-control) ALU/SFU opcode on raw register bits.
+inline u32 eval_alu(isa::Op op, u32 a, u32 b, u32 c) {
+  using isa::Op;
+  const auto fa = bits2f(a), fb = bits2f(b), fc = bits2f(c);
+  const auto sa = static_cast<i32>(a), sb = static_cast<i32>(b);
+  switch (op) {
+    case Op::kMov: return a;
+    case Op::kIadd: return a + b;
+    case Op::kIsub: return a - b;
+    case Op::kImul: return a * b;
+    case Op::kImad: return a * b + c;
+    case Op::kImin: return static_cast<u32>(sa < sb ? sa : sb);
+    case Op::kImax: return static_cast<u32>(sa > sb ? sa : sb);
+    case Op::kAnd: return a & b;
+    case Op::kOr: return a | b;
+    case Op::kXor: return a ^ b;
+    case Op::kNot: return ~a;
+    case Op::kShl: return a << (b & 31);
+    case Op::kShr: return a >> (b & 31);
+    case Op::kSra: return static_cast<u32>(sa >> (b & 31));
+    case Op::kFadd: return f2bits(fa + fb);
+    case Op::kFsub: return f2bits(fa - fb);
+    case Op::kFmul: return f2bits(fa * fb);
+    case Op::kFfma: return f2bits(std::fma(fa, fb, fc));
+    case Op::kFmin: return f2bits(std::fmin(fa, fb));
+    case Op::kFmax: return f2bits(std::fmax(fa, fb));
+    case Op::kFabs: return f2bits(std::fabs(fa));
+    case Op::kFneg: return f2bits(-fa);
+    case Op::kFdiv: return f2bits(fa / fb);
+    case Op::kFsqrt: return f2bits(std::sqrt(fa));
+    case Op::kFrcp: return f2bits(1.0f / fa);
+    case Op::kFexp: return f2bits(std::exp(fa));
+    case Op::kFlog: return f2bits(std::log(fa));
+    case Op::kFsin: return f2bits(std::sin(fa));
+    case Op::kFcos: return f2bits(std::cos(fa));
+    case Op::kI2f: return f2bits(static_cast<float>(sa));
+    case Op::kF2i: return static_cast<u32>(static_cast<i32>(fa));
+    default: return 0;
+  }
+}
+
+/// Evaluate a SETP comparison on raw register bits.
+inline bool eval_cmp(isa::CmpOp cmp, isa::DType t, u32 a, u32 b) {
+  using isa::CmpOp;
+  using isa::DType;
+  auto test = [&](auto x, auto y) {
+    switch (cmp) {
+      case CmpOp::kLt: return x < y;
+      case CmpOp::kLe: return x <= y;
+      case CmpOp::kGt: return x > y;
+      case CmpOp::kGe: return x >= y;
+      case CmpOp::kEq: return x == y;
+      case CmpOp::kNe: return x != y;
+    }
+    return false;
+  };
+  switch (t) {
+    case DType::kI32: return test(static_cast<i32>(a), static_cast<i32>(b));
+    case DType::kU32: return test(a, b);
+    case DType::kF32: return test(bits2f(a), bits2f(b));
+  }
+  return false;
+}
+
+}  // namespace higpu::sim

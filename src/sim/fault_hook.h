@@ -1,0 +1,30 @@
+// Fault-injection hook interface.
+//
+// The simulator calls into this interface at the two places the paper's
+// §IV.C argument cares about: datapath result production (transient droops,
+// permanent SM defects) and kernel-scheduler block placement (scheduler
+// faults). Implementations live in src/fault; a null hook costs one branch.
+#pragma once
+
+#include "common/types.h"
+
+namespace higpu::sim {
+
+class IFaultHook {
+ public:
+  virtual ~IFaultHook() = default;
+
+  /// Possibly corrupt an ALU/SFU result produced on SM `sm` at `cycle`.
+  /// Return the (possibly modified) value.
+  virtual u32 corrupt_alu(u32 sm, Cycle cycle, u32 value) = 0;
+
+  /// Possibly corrupt the kernel scheduler's block->SM mapping decision.
+  /// Return the SM the block is actually sent to.
+  virtual u32 corrupt_block_mapping(u32 intended_sm, u32 num_sms, Cycle cycle) = 0;
+
+  /// Cheap global gate so the hot path can skip per-lane virtual calls when
+  /// no fault is armed.
+  virtual bool armed() const = 0;
+};
+
+}  // namespace higpu::sim

@@ -1,0 +1,164 @@
+#include "sim/gpu.h"
+
+#include <cassert>
+
+namespace higpu::sim {
+
+Gpu::Gpu(const GpuParams& params, memsys::GlobalStore* store)
+    : params_(params), store_(store), mem_(params.num_sms, params.mem) {
+  assert(store != nullptr);
+  sms_.reserve(params.num_sms);
+  for (u32 i = 0; i < params.num_sms; ++i) {
+    sms_.push_back(std::make_unique<SmCore>(i, params_, &mem_, store_));
+    sms_.back()->set_block_done_callback(
+        [this](const BlockRecord& rec) { on_block_done(rec); });
+  }
+}
+
+void Gpu::set_kernel_scheduler(std::unique_ptr<IKernelScheduler> sched) {
+  ksched_ = std::move(sched);
+}
+
+void Gpu::set_fault_hook(IFaultHook* hook) {
+  fault_ = hook;
+  for (auto& sm : sms_) sm->set_fault_hook(hook);
+}
+
+void Gpu::set_trace_sink(ITraceSink* sink) {
+  for (auto& sm : sms_) sm->set_trace_sink(sink);
+}
+
+void Gpu::set_warp_sched_policy(WarpSchedPolicy p) {
+  for (auto& sm : sms_) sm->set_warp_sched_policy(p);
+}
+
+u32 Gpu::launch(KernelLaunch launch) {
+  assert(ksched_ != nullptr && "set a kernel scheduler before launching");
+  assert(launch.program != nullptr);
+  assert(launch.total_blocks() > 0 && launch.threads_per_block() > 0);
+  assert(launch.threads_per_block() <=
+             params_.max_warps_per_sm * params_.warp_size &&
+         "thread block larger than an SM");
+  assert(launch.params.size() >= launch.program->num_params() &&
+         "missing kernel parameters");
+
+  auto slot = std::make_unique<LaunchSlot>();
+  const u32 id = static_cast<u32>(launches_.size());
+  slot->launch = std::move(launch);
+  slot->state.launch_id = id;
+  slot->state.total_blocks = slot->launch.total_blocks();
+  last_arrival_ = std::max(cycle_, last_arrival_) + params_.launch_gap_cycles;
+  slot->state.arrival = last_arrival_;
+  launches_.push_back(std::move(slot));
+  stats_.add("kernels_launched");
+  return id;
+}
+
+bool Gpu::idle() const {
+  for (const auto& slot : launches_)
+    if (!slot->state.finished()) return false;
+  return true;
+}
+
+void Gpu::step() {
+  cycle_ += 1;
+  dispatched_this_cycle_ = false;
+  if (ksched_) ksched_->dispatch(*this);
+  for (auto& sm : sms_) sm->cycle(cycle_);
+}
+
+Cycle Gpu::run_until_idle(u64 max_cycles) {
+  const Cycle limit = cycle_ + max_cycles;
+  while (!idle()) {
+    if (cycle_ >= limit)
+      throw SimTimeout("GPU did not drain within cycle budget (scheduler deadlock?)");
+    step();
+  }
+  return cycle_;
+}
+
+bool Gpu::sm_can_accept(u32 sm, const KernelLaunch& launch) const {
+  return sms_[sm]->can_accept(launch);
+}
+
+bool Gpu::all_sms_drained() const {
+  for (const auto& sm : sms_)
+    if (!sm->idle()) return false;
+  return true;
+}
+
+std::vector<KernelState*> Gpu::kernel_states() {
+  std::vector<KernelState*> out;
+  out.reserve(launches_.size());
+  for (auto& slot : launches_) out.push_back(&slot->state);
+  return out;
+}
+
+const KernelLaunch& Gpu::launch_of(u32 launch_id) const {
+  return launches_[launch_id]->launch;
+}
+
+bool Gpu::priors_finished(u32 launch_id) const {
+  for (u32 i = 0; i < launch_id; ++i)
+    if (!launches_[i]->state.finished()) return false;
+  return true;
+}
+
+bool Gpu::stream_ready(const KernelState& ks) const {
+  const u32 stream = launches_[ks.launch_id]->launch.stream;
+  for (u32 i = 0; i < ks.launch_id; ++i)
+    if (launches_[i]->launch.stream == stream && !launches_[i]->state.finished())
+      return false;
+  return true;
+}
+
+bool Gpu::try_dispatch_block(KernelState& ks, u32 sm) {
+  if (dispatched_this_cycle_) return false;
+  if (ks.fully_dispatched()) return false;
+  assert(sm < num_sms());
+
+  u32 actual_sm = sm;
+  if (fault_ != nullptr && fault_->armed())
+    actual_sm = fault_->corrupt_block_mapping(sm, num_sms(), cycle_);
+
+  const KernelLaunch& launch = launches_[ks.launch_id]->launch;
+  if (!sms_[actual_sm]->can_accept(launch)) return false;
+
+  if (!ks.started()) ks.first_dispatch_cycle = cycle_;
+  sms_[actual_sm]->accept_block(launch, ks.launch_id, ks.blocks_dispatched, sm,
+                                cycle_);
+  ks.blocks_dispatched += 1;
+  dispatched_this_cycle_ = true;
+  stats_.add("blocks_dispatched");
+  return true;
+}
+
+const KernelState& Gpu::kernel_state(u32 launch_id) const {
+  return launches_[launch_id]->state;
+}
+
+Cycle Gpu::kernel_cycles(u32 launch_id) const {
+  const KernelState& ks = launches_[launch_id]->state;
+  assert(ks.finished());
+  return ks.done_cycle - ks.first_dispatch_cycle;
+}
+
+void Gpu::on_block_done(const BlockRecord& rec) {
+  records_.push_back(rec);
+  KernelState& ks = launches_[rec.launch_id]->state;
+  ks.blocks_done += 1;
+  if (ks.finished()) {
+    ks.done_cycle = cycle_;
+    stats_.add("kernels_completed");
+  }
+}
+
+StatSet Gpu::collect_stats() const {
+  StatSet all = stats_;
+  all.merge(mem_.stats());
+  for (const auto& sm : sms_) all.merge(sm->snapshot_stats());
+  all.set("cycles", cycle_);
+  return all;
+}
+
+}  // namespace higpu::sim

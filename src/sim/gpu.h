@@ -1,0 +1,114 @@
+// Top-level GPU: SM array, shared memory hierarchy, kernel launch queue and
+// the cycle loop. The block-dispatch policy is delegated to a pluggable
+// IKernelScheduler (the component this paper modifies).
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "memsys/global_store.h"
+#include "memsys/hierarchy.h"
+#include "sim/fault_hook.h"
+#include "sim/kernel.h"
+#include "sim/ksched.h"
+#include "sim/params.h"
+#include "sim/sm.h"
+
+namespace higpu::sim {
+
+/// Thrown when run_until_idle exceeds its cycle budget (scheduling deadlock
+/// or runaway kernel).
+class SimTimeout : public std::runtime_error {
+ public:
+  explicit SimTimeout(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Gpu {
+ public:
+  /// `store` is the functional global memory (owned by the caller/runtime)
+  /// and must outlive the Gpu.
+  Gpu(const GpuParams& params, memsys::GlobalStore* store);
+
+  // ---- Configuration ---------------------------------------------------
+  void set_kernel_scheduler(std::unique_ptr<IKernelScheduler> sched);
+  IKernelScheduler* kernel_scheduler() { return ksched_.get(); }
+  void set_fault_hook(IFaultHook* hook);
+  void set_trace_sink(ITraceSink* sink);
+  void set_warp_sched_policy(WarpSchedPolicy p);
+  const GpuParams& params() const { return params_; }
+
+  // ---- Host-side API ------------------------------------------------------
+  /// Enqueue a kernel; returns its launch id. Kernel dispatch is
+  /// intrinsically serial: the launch becomes visible to the kernel
+  /// scheduler `launch_gap_cycles` after the previous one (paper §IV.A).
+  u32 launch(KernelLaunch launch);
+
+  /// Run until all launched kernels completed. Throws SimTimeout after
+  /// `max_cycles`. Returns the current cycle.
+  Cycle run_until_idle(u64 max_cycles = 2'000'000'000ull);
+
+  /// Advance a single cycle.
+  void step();
+
+  bool idle() const;
+  Cycle now() const { return cycle_; }
+
+  // ---- Scheduler-facing API ----------------------------------------------
+  u32 num_sms() const { return static_cast<u32>(sms_.size()); }
+  bool sm_can_accept(u32 sm, const KernelLaunch& launch) const;
+  /// True when no SM holds any resident block.
+  bool all_sms_drained() const;
+  /// Kernel states in launch order (stable storage).
+  std::vector<KernelState*> kernel_states();
+  const KernelLaunch& launch_of(u32 launch_id) const;
+  /// True if every kernel launched before `launch_id` has finished.
+  bool priors_finished(u32 launch_id) const;
+  /// True if every earlier kernel on the same stream has finished (stream
+  /// ordering); schedulers must not dispatch a kernel before this holds.
+  bool stream_ready(const KernelState& ks) const;
+  /// Dispatch the next block of `ks` to SM `sm`. Enforces one dispatch per
+  /// cycle GPU-wide; returns false if the budget is spent or the SM is full.
+  bool try_dispatch_block(KernelState& ks, u32 sm);
+
+  // ---- Results ----------------------------------------------------------------
+  const KernelState& kernel_state(u32 launch_id) const;
+  const std::vector<BlockRecord>& block_records() const { return records_; }
+  /// Cycle span [first dispatch, completion] of one kernel.
+  Cycle kernel_cycles(u32 launch_id) const;
+  /// Aggregated statistics (SMs + memory + GPU counters).
+  StatSet collect_stats() const;
+  memsys::MemHierarchy& mem() { return mem_; }
+  memsys::GlobalStore& store() { return *store_; }
+  SmCore& sm(u32 i) { return *sms_[i]; }
+
+ private:
+  void on_block_done(const BlockRecord& rec);
+
+  GpuParams params_;
+  memsys::GlobalStore* store_;
+  memsys::MemHierarchy mem_;
+  std::vector<std::unique_ptr<SmCore>> sms_;
+  std::unique_ptr<IKernelScheduler> ksched_;
+  IFaultHook* fault_ = nullptr;
+
+  Cycle cycle_ = 0;
+  Cycle last_arrival_ = 0;
+  Cycle last_dispatch_cycle_ = 0;
+  bool dispatched_this_cycle_ = false;
+
+  // Launches are stored behind unique_ptr so KernelState/KernelLaunch
+  // references stay stable as new kernels arrive.
+  struct LaunchSlot {
+    KernelLaunch launch;
+    KernelState state;
+  };
+  std::vector<std::unique_ptr<LaunchSlot>> launches_;
+  std::vector<BlockRecord> records_;
+  StatSet stats_;
+};
+
+}  // namespace higpu::sim

@@ -1,0 +1,60 @@
+// Kernel launch descriptor and scheduling hints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/program.h"
+
+namespace higpu::sim {
+
+struct Dim3 {
+  u32 x = 1, y = 1, z = 1;
+  u32 count() const { return x * y * z; }
+};
+
+/// Per-launch knobs consumed by the pluggable kernel scheduler. These are the
+/// paper's proposed "software-controlled kernel scheduling" interface:
+/// SRRS uses `start_sm`; HALF uses `sm_mask`.
+struct SchedHints {
+  /// First SM for strict round-robin allocation (SRRS).
+  u32 start_sm = 0;
+  /// Bitmask of SMs this kernel may use (HALF partitioning). 0 = all SMs.
+  u64 sm_mask = 0;
+
+  bool sm_allowed(u32 sm) const {
+    return sm_mask == 0 || (sm_mask >> sm) & 1;
+  }
+};
+
+/// Everything the GPU needs to run one kernel grid.
+struct KernelLaunch {
+  isa::ProgramPtr program;
+  Dim3 grid;
+  Dim3 block;
+  /// 32-bit parameter words (device pointers and scalars).
+  std::vector<u32> params;
+  SchedHints hints;
+  /// CUDA-like stream: kernels on the same stream execute in launch order;
+  /// kernels on different streams may overlap (policy permitting).
+  u32 stream = 0;
+  /// Free-form tag for reporting (e.g. workload + kernel name).
+  std::string tag;
+
+  u32 total_blocks() const { return grid.count(); }
+  u32 threads_per_block() const { return block.count(); }
+};
+
+/// Execution record of one thread block; the raw material for the
+/// DiversityMonitor and the scheduler built-in self-test.
+struct BlockRecord {
+  u32 launch_id = 0;
+  u32 block_linear = 0;
+  u32 sm = 0;           // SM it actually ran on
+  u32 intended_sm = 0;  // SM the policy selected (differs under scheduler faults)
+  Cycle dispatch_cycle = 0;
+  Cycle end_cycle = 0;
+};
+
+}  // namespace higpu::sim

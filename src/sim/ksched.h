@@ -1,0 +1,43 @@
+// Kernel (grid) scheduler interface — the pluggable component the paper
+// proposes to modify. Implementations (Default, SRRS, HALF-aware) live in
+// src/sched; the GPU calls dispatch() once per cycle.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace higpu::sim {
+
+class Gpu;
+
+/// Runtime state of one launched kernel, visible to the scheduler.
+struct KernelState {
+  u32 launch_id = 0;
+  Cycle arrival = 0;       // cycle the launch becomes visible to the GPU
+  u32 blocks_dispatched = 0;
+  u32 blocks_done = 0;
+  u32 total_blocks = 0;
+  Cycle first_dispatch_cycle = 0;
+  Cycle done_cycle = 0;
+
+  bool arrived(Cycle now) const { return now >= arrival; }
+  bool started() const { return blocks_dispatched > 0; }
+  bool fully_dispatched() const { return blocks_dispatched == total_blocks; }
+  bool finished() const { return blocks_done == total_blocks; }
+};
+
+class IKernelScheduler {
+ public:
+  virtual ~IKernelScheduler() = default;
+  virtual std::string name() const = 0;
+
+  /// Called once per cycle; may dispatch at most one block via
+  /// Gpu::try_dispatch_block().
+  virtual void dispatch(Gpu& gpu) = 0;
+
+  /// Clear any per-run state (called when the GPU is reset between runs).
+  virtual void reset() {}
+};
+
+}  // namespace higpu::sim

@@ -1,0 +1,41 @@
+// Top-level GPU configuration.
+//
+// Defaults approximate the paper's evaluated platforms: a 6-SM GPU
+// (GPGPU-Sim config in Fig. 4; the GTX 1050 Ti of Fig. 5 also has 6 SMs).
+#pragma once
+
+#include "common/types.h"
+#include "memsys/params.h"
+
+namespace higpu::sim {
+
+struct GpuParams {
+  u32 num_sms = 6;
+  u32 warp_size = 32;
+
+  // Per-SM occupancy limits.
+  u32 max_warps_per_sm = 48;
+  u32 max_blocks_per_sm = 16;
+  u32 regfile_per_sm = 64 * 1024;      // 32-bit registers
+  u32 shared_per_sm = 48 * 1024;       // bytes
+
+  // Issue stage.
+  u32 num_warp_schedulers = 2;
+
+  // Execution latencies (cycles until writeback).
+  u32 sp_latency = 6;
+  u32 sfu_latency = 16;
+  u32 sfu_interval = 4;  // SFU initiation interval (cycles between issues)
+
+  // Host->GPU kernel dispatch is intrinsically serial (paper §IV.A): the
+  // i-th launched kernel becomes visible to the kernel scheduler this many
+  // cycles after the previous one (~2 us of driver/dispatch path at 1.4 GHz).
+  u32 launch_gap_cycles = 3000;
+
+  // Core clock, used to convert cycles to wall time in the platform model.
+  double clock_ghz = 1.4;
+
+  memsys::MemParams mem;
+};
+
+}  // namespace higpu::sim

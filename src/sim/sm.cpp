@@ -1,0 +1,484 @@
+#include "sim/sm.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "memsys/coalescer.h"
+#include "sim/executor.h"
+
+namespace higpu::sim {
+
+using isa::Instruction;
+using isa::Op;
+using isa::UnitClass;
+
+SmCore::SmCore(u32 sm_id, const GpuParams& params, memsys::MemHierarchy* mem,
+               memsys::GlobalStore* store)
+    : sm_id_(sm_id), params_(params), mem_(mem), store_(store) {
+  blocks_.resize(params.max_blocks_per_sm);
+  warps_.resize(params.max_warps_per_sm);
+  last_issued_.assign(params.num_warp_schedulers, -1);
+}
+
+u32 SmCore::warps_needed(const GpuParams& p, const KernelLaunch& l) {
+  return ceil_div(l.threads_per_block(), p.warp_size);
+}
+
+u32 SmCore::regs_needed(const GpuParams& p, const KernelLaunch& l) {
+  // Register allocation granularity: full warps.
+  return warps_needed(p, l) * p.warp_size * l.program->num_regs();
+}
+
+bool SmCore::can_accept(const KernelLaunch& launch) const {
+  if (blocks_used_ >= params_.max_blocks_per_sm) return false;
+  const u32 w = warps_needed(params_, launch);
+  if (warps_used_ + w > params_.max_warps_per_sm) return false;
+  if (regs_used_ + regs_needed(params_, launch) > params_.regfile_per_sm) return false;
+  if (shared_used_ + launch.program->shared_bytes() > params_.shared_per_sm) return false;
+  return true;
+}
+
+void SmCore::accept_block(const KernelLaunch& launch, u32 launch_id,
+                          u32 block_linear, u32 intended_sm, Cycle now) {
+  assert(can_accept(launch));
+
+  // Find a free block slot.
+  u32 slot = 0;
+  while (blocks_[slot].active) ++slot;
+  ResidentBlock& b = blocks_[slot];
+
+  const u32 gx = launch.grid.x, gy = launch.grid.y;
+  b.active = true;
+  b.launch_id = launch_id;
+  b.block_linear = block_linear;
+  b.block_idx = Dim3{block_linear % gx, (block_linear / gx) % gy,
+                     block_linear / (gx * gy)};
+  b.launch = &launch;
+  b.num_warps = warps_needed(params_, launch);
+  b.warps_live = b.num_warps;
+  b.barrier_count = 0;
+  b.shared.assign(launch.program->shared_bytes(), 0);
+  b.regs_reserved = regs_needed(params_, launch);
+  b.shared_reserved = launch.program->shared_bytes();
+  b.intended_sm = intended_sm;
+  b.dispatch_cycle = now;
+
+  blocks_used_ += 1;
+  warps_used_ += b.num_warps;
+  regs_used_ += b.regs_reserved;
+  shared_used_ += b.shared_reserved;
+
+  const isa::KernelProgram* prog = launch.program.get();
+  const u32 threads = launch.threads_per_block();
+  u32 assigned = 0;
+  for (u32 wslot = 0; wslot < warps_.size() && assigned < b.num_warps; ++wslot) {
+    Warp& w = warps_[wslot];
+    if (w.active) continue;
+    w.active = true;
+    w.age = ++age_counter_;
+    w.block_slot = slot;
+    w.warp_in_block = assigned;
+    w.prog = prog;
+    const u32 first_thread = assigned * params_.warp_size;
+    const u32 lanes = std::min(params_.warp_size, threads - first_thread);
+    w.valid_mask = lanes == 32 ? kFullMask : ((1u << lanes) - 1);
+    w.exited = 0;
+    w.stack.clear();
+    w.stack.push_back(StackEntry{0, prog->end_pc(), w.valid_mask});
+    w.regs.assign(static_cast<size_t>(prog->num_regs()) * kWarpSize, 0);
+    w.preds.assign(static_cast<size_t>(prog->num_preds()) * kWarpSize, 0);
+    w.at_barrier = false;
+    w.pending.clear();
+    w.instructions = 0;
+    ++assigned;
+  }
+  assert(assigned == b.num_warps);
+  stats_.add("blocks_accepted");
+}
+
+void SmCore::cycle(Cycle now) {
+  if (blocks_used_ == 0) return;
+  stats_.add("active_cycles");
+
+  const u32 nsched = params_.num_warp_schedulers;
+  for (u32 s = 0; s < nsched; ++s) {
+    // Greedy: retry the warp that issued last.
+    if (warp_policy_ == WarpSchedPolicy::kGto && last_issued_[s] >= 0) {
+      Warp& w = warps_[static_cast<u32>(last_issued_[s])];
+      if (w.active && try_issue(w, now)) continue;
+    }
+    // Then oldest first among this scheduler's warps. (Under LRR, `age` is
+    // refreshed on every issue, so oldest == least-recently issued.)
+    order_scratch_.clear();
+    for (u32 slot = s; slot < warps_.size(); slot += nsched)
+      if (warps_[slot].active) order_scratch_.emplace_back(warps_[slot].age, slot);
+    std::sort(order_scratch_.begin(), order_scratch_.end());
+    last_issued_[s] = -1;
+    for (auto [age, slot] : order_scratch_) {
+      (void)age;
+      if (try_issue(warps_[slot], now)) {
+        last_issued_[s] = static_cast<i32>(slot);
+        break;
+      }
+    }
+  }
+}
+
+bool SmCore::try_issue(Warp& w, Cycle now) {
+  const IssueOutcome outcome = try_issue_classified(w, now);
+  switch (outcome) {
+    case IssueOutcome::kIssued: ++issued_attempts_; return true;
+    case IssueOutcome::kScoreboard: ++stall_scoreboard_; return false;
+    case IssueOutcome::kBarrier: ++stall_barrier_; return false;
+    case IssueOutcome::kStructural: ++stall_structural_; return false;
+    case IssueOutcome::kWarpDone: return false;
+  }
+  return false;
+}
+
+SmCore::IssueOutcome SmCore::try_issue_classified(Warp& w, Cycle now) {
+  if (!w.refresh_stack()) {
+    complete_warp(w, now);
+    return IssueOutcome::kWarpDone;
+  }
+  if (w.at_barrier) return IssueOutcome::kBarrier;
+
+  const Instruction& ins = w.prog->at(w.pc());
+
+  // Scoreboard hazards (RAW on sources/guard, WAW on destination).
+  if (ins.guard != isa::kNoPred && w.hazard(static_cast<u16>(ins.guard), true, now))
+    return IssueOutcome::kScoreboard;
+  if (ins.pred_src != isa::kNoPred && w.hazard(static_cast<u16>(ins.pred_src), true, now))
+    return IssueOutcome::kScoreboard;
+  for (const isa::Operand& o : ins.src)
+    if (o.is_reg() && w.hazard(o.reg, false, now)) return IssueOutcome::kScoreboard;
+  if (isa::writes_gpr(ins.op) && w.hazard(ins.dst, false, now))
+    return IssueOutcome::kScoreboard;
+  if (isa::writes_pred(ins.op) && w.hazard(ins.dst, true, now))
+    return IssueOutcome::kScoreboard;
+
+  // Structural hazards.
+  const UnitClass uc = isa::unit_class(ins.op);
+  if (uc == UnitClass::kSfu && now < sfu_free_) return IssueOutcome::kStructural;
+  if (uc == UnitClass::kMem && now < mem_free_) return IssueOutcome::kStructural;
+
+  // Guard mask over the effective lanes.
+  const u32 eff = w.effective_mask();
+  u32 guard_mask = eff;
+  if (ins.guard != isa::kNoPred) {
+    guard_mask = 0;
+    for (u32 lane = 0; lane < kWarpSize; ++lane) {
+      if (!((eff >> lane) & 1)) continue;
+      const bool p = w.pred_at(ins.guard, lane) != 0;
+      if (p != ins.guard_neg) guard_mask |= 1u << lane;
+    }
+  }
+
+  // Trace only datapath instructions: they are the ones exposed to
+  // transient datapath faults, so temporal-diversity slack is defined over
+  // them (and a droop window is guaranteed to corrupt every traced event).
+  if (trace_ != nullptr && isa::is_datapath(ins.op)) {
+    const ResidentBlock& b = blocks_[w.block_slot];
+    trace_->record(b.launch_id, b.block_linear, w.warp_in_block,
+                   w.instructions, sm_id_, now);
+  }
+  execute(w, ins, guard_mask, now);
+  ++w.instructions;
+  if (warp_policy_ == WarpSchedPolicy::kLrr) w.age = ++age_counter_;
+  stats_.add("instructions");
+
+  // A warp whose last instruction was EXIT completes immediately.
+  if (!w.refresh_stack()) complete_warp(w, now);
+  return IssueOutcome::kIssued;
+}
+
+StatSet SmCore::snapshot_stats() const {
+  StatSet s = stats_;
+  s.add("issue_attempts_issued", issued_attempts_);
+  s.add("issue_stall_scoreboard", stall_scoreboard_);
+  s.add("issue_stall_barrier", stall_barrier_);
+  s.add("issue_stall_structural", stall_structural_);
+  return s;
+}
+
+u32 SmCore::maybe_corrupt(u32 value, Cycle now) const {
+  if (fault_ == nullptr || !fault_->armed()) return value;
+  return fault_->corrupt_alu(sm_id_, now, value);
+}
+
+u32 SmCore::operand_value(const Warp& w, const isa::Operand& o, u32 lane) const {
+  return o.is_reg() ? w.reg_at(o.reg, lane) : o.imm;
+}
+
+u32 SmCore::sreg_value(const Warp& w, isa::SReg sreg, u32 lane) const {
+  const ResidentBlock& b = blocks_[w.block_slot];
+  const Dim3& bd = b.launch->block;
+  const Dim3& gd = b.launch->grid;
+  const u32 lin = w.warp_in_block * params_.warp_size + lane;
+  using isa::SReg;
+  switch (sreg) {
+    case SReg::kTidX: return lin % bd.x;
+    case SReg::kTidY: return (lin / bd.x) % bd.y;
+    case SReg::kTidZ: return lin / (bd.x * bd.y);
+    case SReg::kCtaIdX: return b.block_idx.x;
+    case SReg::kCtaIdY: return b.block_idx.y;
+    case SReg::kCtaIdZ: return b.block_idx.z;
+    case SReg::kNTidX: return bd.x;
+    case SReg::kNTidY: return bd.y;
+    case SReg::kNTidZ: return bd.z;
+    case SReg::kNCtaIdX: return gd.x;
+    case SReg::kNCtaIdY: return gd.y;
+    case SReg::kNCtaIdZ: return gd.z;
+    case SReg::kLaneId: return lane;
+    case SReg::kWarpId: return w.warp_in_block;
+  }
+  return 0;
+}
+
+void SmCore::execute(Warp& w, const Instruction& ins, u32 guard_mask, Cycle now) {
+  StackEntry& top = w.stack.back();
+  switch (ins.op) {
+    case Op::kBra:
+      exec_branch(w, ins, guard_mask);
+      return;
+    case Op::kExit:
+      w.exited |= top.mask & ~w.exited;
+      return;
+    case Op::kBar:
+      top.pc += 1;
+      exec_barrier(w);
+      return;
+    case Op::kLdg:
+    case Op::kStg:
+    case Op::kAtomAdd:
+      exec_global_mem(w, ins, guard_mask, now);
+      top.pc += 1;
+      return;
+    case Op::kLds:
+    case Op::kSts:
+      exec_shared_mem(w, ins, guard_mask, now);
+      top.pc += 1;
+      return;
+    default:
+      break;
+  }
+
+  // ALU / SFU / moves / setp / selp.
+  const UnitClass uc = isa::unit_class(ins.op);
+  const Cycle ready =
+      now + (uc == UnitClass::kSfu ? params_.sfu_latency : params_.sp_latency);
+  if (uc == UnitClass::kSfu) sfu_free_ = now + params_.sfu_interval;
+
+  for (u32 lane = 0; lane < kWarpSize; ++lane) {
+    if (!((guard_mask >> lane) & 1)) continue;
+    switch (ins.op) {
+      case Op::kS2r:
+        w.reg_at(ins.dst, lane) = sreg_value(w, ins.sreg, lane);
+        break;
+      case Op::kLdp: {
+        const ResidentBlock& b = blocks_[w.block_slot];
+        const u32 idx = ins.src[0].imm;
+        assert(idx < b.launch->params.size() && "kernel parameter out of range");
+        w.reg_at(ins.dst, lane) = b.launch->params[idx];
+        break;
+      }
+      case Op::kSetp: {
+        const u32 a = operand_value(w, ins.src[0], lane);
+        const u32 bv = operand_value(w, ins.src[1], lane);
+        bool res = eval_cmp(ins.cmp, ins.dtype, a, bv);
+        if (ins.pred_src != isa::kNoPred)  // setp.and
+          res = res && w.pred_at(ins.pred_src, lane) != 0;
+        w.pred_at(static_cast<i16>(ins.dst), lane) = res ? 1 : 0;
+        break;
+      }
+      case Op::kSelp: {
+        const bool p = w.pred_at(ins.pred_src, lane) != 0;
+        w.reg_at(ins.dst, lane) =
+            operand_value(w, ins.src[p ? 0 : 1], lane);
+        break;
+      }
+      default: {
+        const u32 a = operand_value(w, ins.src[0], lane);
+        const u32 bv = ins.src[1].present() ? operand_value(w, ins.src[1], lane) : 0;
+        const u32 c = ins.src[2].present() ? operand_value(w, ins.src[2], lane) : 0;
+        w.reg_at(ins.dst, lane) = maybe_corrupt(eval_alu(ins.op, a, bv, c), now);
+        break;
+      }
+    }
+  }
+
+  if (isa::writes_gpr(ins.op))
+    w.pending.push_back(Warp::Pending{ins.dst, false, ready});
+  else if (isa::writes_pred(ins.op))
+    w.pending.push_back(Warp::Pending{ins.dst, true, ready});
+
+  top.pc += 1;
+}
+
+void SmCore::exec_branch(Warp& w, const Instruction& ins, u32 guard_mask) {
+  StackEntry& top = w.stack.back();
+  const u32 eff = top.mask & ~w.exited;
+  const u32 taken = guard_mask;  // lanes whose guard held (all eff if unguarded)
+  const isa::Pc fall = top.pc + 1;
+
+  if (taken == eff) {
+    top.pc = ins.target;
+    return;
+  }
+  if (taken == 0) {
+    top.pc = fall;
+    return;
+  }
+  // Divergence: IPDOM reconvergence.
+  stats_.add("divergent_branches");
+  const isa::Pc r = ins.reconv_pc;
+  top.pc = r;
+  const u32 not_taken = eff & ~taken;
+  if (fall != r) w.stack.push_back(StackEntry{fall, r, not_taken});
+  if (ins.target != r) w.stack.push_back(StackEntry{ins.target, r, taken});
+}
+
+void SmCore::exec_global_mem(Warp& w, const Instruction& ins, u32 guard_mask,
+                             Cycle now) {
+  const u32 line_bytes = mem_->params().line_bytes;
+  addr_scratch_.clear();
+  for (u32 lane = 0; lane < kWarpSize; ++lane) {
+    if (!((guard_mask >> lane) & 1)) continue;
+    const u64 addr = static_cast<u64>(operand_value(w, ins.src[0], lane)) +
+                     static_cast<u64>(static_cast<i64>(ins.mem_offset));
+    addr_scratch_.push_back(addr);
+  }
+  if (addr_scratch_.empty()) return;  // fully predicated off
+  mem_free_ = now + 1;
+
+  Cycle done = now;
+  if (ins.op == Op::kAtomAdd) {
+    // Functional RMW in lane order; timing charged per lane at the L2.
+    u32 i = 0;
+    for (u32 lane = 0; lane < kWarpSize; ++lane) {
+      if (!((guard_mask >> lane) & 1)) continue;
+      const u64 addr = addr_scratch_[i++];
+      const u32 old = store_->read32(static_cast<memsys::DevPtr>(addr));
+      const u32 add = operand_value(w, ins.src[1], lane);
+      store_->write32(static_cast<memsys::DevPtr>(addr), old + add);
+      w.reg_at(ins.dst, lane) = old;
+      done = std::max(done, mem_->access_atomic(sm_id_, addr / line_bytes, now));
+    }
+    w.pending.push_back(Warp::Pending{ins.dst, false, done});
+    stats_.add("global_atomics");
+    return;
+  }
+
+  const bool is_write = ins.op == Op::kStg;
+  // Functional access at issue keeps per-warp program order exact.
+  u32 i = 0;
+  for (u32 lane = 0; lane < kWarpSize; ++lane) {
+    if (!((guard_mask >> lane) & 1)) continue;
+    const u64 addr = addr_scratch_[i++];
+    if (is_write) {
+      store_->write32(static_cast<memsys::DevPtr>(addr),
+                      operand_value(w, ins.src[1], lane));
+    } else {
+      w.reg_at(ins.dst, lane) =
+          store_->read32(static_cast<memsys::DevPtr>(addr));
+    }
+  }
+
+  const std::vector<u64> lines = memsys::coalesce(addr_scratch_, line_bytes);
+  stats_.add(is_write ? "global_store_transactions" : "global_load_transactions",
+             lines.size());
+  for (u64 line : lines)
+    done = std::max(done, mem_->access_line(sm_id_, line, is_write, now));
+  if (!is_write) w.pending.push_back(Warp::Pending{ins.dst, false, done});
+}
+
+void SmCore::exec_shared_mem(Warp& w, const Instruction& ins, u32 guard_mask,
+                             Cycle now) {
+  ResidentBlock& b = blocks_[w.block_slot];
+  addr_scratch_.clear();
+  for (u32 lane = 0; lane < kWarpSize; ++lane) {
+    if (!((guard_mask >> lane) & 1)) continue;
+    const u64 addr = static_cast<u64>(operand_value(w, ins.src[0], lane)) +
+                     static_cast<u64>(static_cast<i64>(ins.mem_offset));
+    assert(addr + 4 <= b.shared.size() && "shared-memory access out of bounds");
+    addr_scratch_.push_back(addr);
+  }
+  if (addr_scratch_.empty()) return;
+
+  const u32 conflicts =
+      memsys::smem_conflict_degree(addr_scratch_, mem_->params().smem_banks);
+  mem_free_ = now + conflicts;
+  const Cycle done = now + mem_->params().smem_latency + (conflicts - 1);
+  stats_.add("smem_accesses");
+  if (conflicts > 1) stats_.add("smem_bank_conflicts", conflicts - 1);
+
+  const bool is_write = ins.op == Op::kSts;
+  u32 i = 0;
+  for (u32 lane = 0; lane < kWarpSize; ++lane) {
+    if (!((guard_mask >> lane) & 1)) continue;
+    const u64 addr = addr_scratch_[i++];
+    u32* word = reinterpret_cast<u32*>(b.shared.data() + addr);
+    if (is_write)
+      *word = operand_value(w, ins.src[1], lane);
+    else
+      w.reg_at(ins.dst, lane) = *word;
+  }
+  if (!is_write) w.pending.push_back(Warp::Pending{ins.dst, false, done});
+}
+
+void SmCore::exec_barrier(Warp& w) {
+  ResidentBlock& b = blocks_[w.block_slot];
+  // CUDA requires barriers in uniform control flow.
+  assert(w.effective_mask() == (w.valid_mask & ~w.exited) &&
+         "barrier executed in divergent control flow");
+  w.at_barrier = true;
+  b.barrier_count += 1;
+  stats_.add("barriers");
+  if (b.barrier_count == b.warps_live) release_barrier(b);
+}
+
+void SmCore::release_barrier(ResidentBlock& b) {
+  for (Warp& w : warps_) {
+    if (w.active && w.block_slot ==
+            static_cast<u32>(&b - blocks_.data()) &&
+        w.at_barrier)
+      w.at_barrier = false;
+  }
+  b.barrier_count = 0;
+}
+
+void SmCore::complete_warp(Warp& w, Cycle now) {
+  if (!w.active) return;
+  w.active = false;
+  ResidentBlock& b = blocks_[w.block_slot];
+  assert(b.warps_live > 0);
+  b.warps_live -= 1;
+  if (b.warps_live == 0) {
+    complete_block(b, now);
+  } else if (b.barrier_count == b.warps_live && b.barrier_count > 0) {
+    // A warp exited while the rest were waiting: the barrier is satisfied.
+    release_barrier(b);
+  }
+}
+
+void SmCore::complete_block(ResidentBlock& b, Cycle now) {
+  BlockRecord rec;
+  rec.launch_id = b.launch_id;
+  rec.block_linear = b.block_linear;
+  rec.sm = sm_id_;
+  rec.intended_sm = b.intended_sm;
+  rec.dispatch_cycle = b.dispatch_cycle;
+  rec.end_cycle = now;
+
+  blocks_used_ -= 1;
+  warps_used_ -= b.num_warps;
+  regs_used_ -= b.regs_reserved;
+  shared_used_ -= b.shared_reserved;
+  b.active = false;
+  b.launch = nullptr;
+  stats_.add("blocks_completed");
+
+  if (on_block_done_) on_block_done_(rec);
+}
+
+}  // namespace higpu::sim

@@ -1,0 +1,150 @@
+// Streaming Multiprocessor model: resident thread blocks, warp scheduling
+// (greedy-then-oldest), scoreboarding, execution pipelines, shared memory
+// and barriers. Functional execution happens at issue; timing is charged
+// through per-unit availability counters and the memory hierarchy.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "memsys/global_store.h"
+#include "memsys/hierarchy.h"
+#include "sim/fault_hook.h"
+#include "sim/kernel.h"
+#include "sim/params.h"
+#include "sim/trace.h"
+#include "sim/warp.h"
+
+namespace higpu::sim {
+
+/// A thread block resident on an SM.
+struct ResidentBlock {
+  bool active = false;
+  u32 launch_id = 0;
+  u32 block_linear = 0;
+  Dim3 block_idx;
+  const KernelLaunch* launch = nullptr;
+  u32 num_warps = 0;
+  u32 warps_live = 0;
+  u32 barrier_count = 0;  // warps currently waiting at the barrier
+  std::vector<u8> shared;  // functional shared memory
+  // Reserved resources, released when the block completes.
+  u32 regs_reserved = 0;
+  u32 shared_reserved = 0;
+  u32 intended_sm = 0;
+  Cycle dispatch_cycle = 0;
+};
+
+/// Warp-scheduler selection policy within an SM.
+enum class WarpSchedPolicy { kGto, kLrr };
+
+class SmCore {
+ public:
+  using BlockDoneFn = std::function<void(const BlockRecord&)>;
+
+  SmCore(u32 sm_id, const GpuParams& params, memsys::MemHierarchy* mem,
+         memsys::GlobalStore* store);
+
+  u32 id() const { return sm_id_; }
+
+  /// True if a block of `launch` fits in the currently-free resources.
+  bool can_accept(const KernelLaunch& launch) const;
+
+  /// Bind block `block_linear` of `launch` to this SM (resources must fit).
+  void accept_block(const KernelLaunch& launch, u32 launch_id, u32 block_linear,
+                    u32 intended_sm, Cycle now);
+
+  /// Advance one cycle: each warp scheduler tries to issue one instruction.
+  void cycle(Cycle now);
+
+  /// No resident blocks.
+  bool idle() const { return blocks_used_ == 0; }
+
+  void set_block_done_callback(BlockDoneFn fn) { on_block_done_ = std::move(fn); }
+  void set_fault_hook(IFaultHook* hook) { fault_ = hook; }
+  void set_trace_sink(ITraceSink* sink) { trace_ = sink; }
+  void set_warp_sched_policy(WarpSchedPolicy p) { warp_policy_ = p; }
+
+  const StatSet& stats() const { return stats_; }
+  StatSet& stats() { return stats_; }
+
+  // Free-resource introspection (used by tests and occupancy analysis).
+  u32 free_warp_slots() const { return params_.max_warps_per_sm - warps_used_; }
+  u32 free_regs() const { return params_.regfile_per_sm - regs_used_; }
+  u32 free_shared() const { return params_.shared_per_sm - shared_used_; }
+  u32 resident_blocks() const { return blocks_used_; }
+
+  /// Static per-block resource footprint of a launch on this configuration.
+  static u32 warps_needed(const GpuParams& p, const KernelLaunch& l);
+  static u32 regs_needed(const GpuParams& p, const KernelLaunch& l);
+
+  /// Statistics snapshot including derived stall-reason counters.
+  StatSet snapshot_stats() const;
+
+ private:
+  // Issue path.
+  enum class IssueOutcome : u8 {
+    kIssued,
+    kWarpDone,
+    kBarrier,
+    kScoreboard,
+    kStructural,
+  };
+  IssueOutcome try_issue_classified(Warp& w, Cycle now);
+  bool try_issue(Warp& w, Cycle now);
+  void execute(Warp& w, const isa::Instruction& ins, u32 guard_mask, Cycle now);
+  void exec_branch(Warp& w, const isa::Instruction& ins, u32 guard_mask);
+  void exec_global_mem(Warp& w, const isa::Instruction& ins, u32 guard_mask, Cycle now);
+  void exec_shared_mem(Warp& w, const isa::Instruction& ins, u32 guard_mask, Cycle now);
+  void exec_barrier(Warp& w);
+  u32 sreg_value(const Warp& w, isa::SReg sreg, u32 lane) const;
+  u32 operand_value(const Warp& w, const isa::Operand& o, u32 lane) const;
+  u32 maybe_corrupt(u32 value, Cycle now) const;
+
+  // Completion path.
+  void complete_warp(Warp& w, Cycle now);
+  void complete_block(ResidentBlock& b, Cycle now);
+  void release_barrier(ResidentBlock& b);
+
+  u32 sm_id_;
+  const GpuParams& params_;
+  memsys::MemHierarchy* mem_;
+  memsys::GlobalStore* store_;
+  IFaultHook* fault_ = nullptr;
+  ITraceSink* trace_ = nullptr;
+  WarpSchedPolicy warp_policy_ = WarpSchedPolicy::kGto;
+
+  std::vector<ResidentBlock> blocks_;  // max_blocks_per_sm slots
+  std::vector<Warp> warps_;            // max_warps_per_sm slots
+
+  // Occupancy accounting.
+  u32 warps_used_ = 0;
+  u32 blocks_used_ = 0;
+  u32 regs_used_ = 0;
+  u32 shared_used_ = 0;
+
+  // Structural availability.
+  Cycle sfu_free_ = 0;
+  Cycle mem_free_ = 0;
+
+  // Warp-scheduler bookkeeping.
+  std::vector<i32> last_issued_;  // per scheduler: warp slot or -1
+  u64 age_counter_ = 0;
+
+  // Scratch buffers reused across cycles.
+  std::vector<u64> addr_scratch_;
+  std::vector<std::pair<u64, u32>> order_scratch_;
+
+  BlockDoneFn on_block_done_;
+  StatSet stats_;
+
+  // Issue-attempt outcome counters (exported via snapshot_stats()).
+  u64 stall_scoreboard_ = 0;
+  u64 stall_barrier_ = 0;
+  u64 stall_structural_ = 0;
+  u64 issued_attempts_ = 0;
+};
+
+}  // namespace higpu::sim

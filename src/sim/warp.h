@@ -1,0 +1,103 @@
+// SIMT warp state: per-lane registers, predicate file, reconvergence stack,
+// exit mask and an in-order scoreboard.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "isa/program.h"
+
+namespace higpu::sim {
+
+constexpr u32 kWarpSize = 32;
+constexpr u32 kFullMask = 0xFFFFFFFFu;
+
+/// One reconvergence-stack entry (classic IPDOM scheme).
+struct StackEntry {
+  isa::Pc pc = 0;
+  isa::Pc rpc = 0;  // pop when pc reaches rpc
+  u32 mask = 0;     // lanes owned by this entry
+};
+
+/// A warp resident on an SM. Plain state; all behaviour lives in SmCore.
+struct Warp {
+  // ---- Slot management ----
+  bool active = false;      // slot occupied
+  u64 age = 0;              // monotonically increasing activation order (GTO)
+  u32 block_slot = 0;       // index of owning ResidentBlock within the SM
+  u32 warp_in_block = 0;
+
+  // ---- Program state ----
+  const isa::KernelProgram* prog = nullptr;
+  u32 valid_mask = 0;                 // lanes that exist (partial last warp)
+  u32 exited = 0;                     // lanes that executed EXIT
+  std::vector<StackEntry> stack;
+  std::vector<u32> regs;              // num_regs x kWarpSize, lane-major per reg
+  std::vector<u8> preds;              // num_preds x kWarpSize
+
+  // ---- Hazards ----
+  bool at_barrier = false;
+  struct Pending {
+    u16 reg = 0;
+    bool is_pred = false;
+    Cycle ready = 0;
+  };
+  std::vector<Pending> pending;  // outstanding register writebacks
+
+  // ---- Stats ----
+  u64 instructions = 0;
+
+  u32& reg_at(u16 r, u32 lane) { return regs[static_cast<size_t>(r) * kWarpSize + lane]; }
+  u32 reg_at(u16 r, u32 lane) const { return regs[static_cast<size_t>(r) * kWarpSize + lane]; }
+  u8& pred_at(i16 p, u32 lane) { return preds[static_cast<size_t>(p) * kWarpSize + lane]; }
+  u8 pred_at(i16 p, u32 lane) const { return preds[static_cast<size_t>(p) * kWarpSize + lane]; }
+
+  /// Drop finished/empty stack entries. Returns false when the warp has
+  /// fully completed (stack empty or all lanes exited).
+  bool refresh_stack() {
+    while (!stack.empty()) {
+      const StackEntry& top = stack.back();
+      const u32 eff = top.mask & ~exited;
+      if (eff == 0 || top.pc == top.rpc) {
+        stack.pop_back();
+        continue;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  /// Lanes that will execute the next instruction.
+  u32 effective_mask() const { return stack.back().mask & ~exited; }
+  isa::Pc pc() const { return stack.back().pc; }
+
+  /// Scoreboard: true if register/pred `r` has an outstanding write that is
+  /// not ready at `now` (removes stale entries as a side effect).
+  bool hazard(u16 r, bool is_pred, Cycle now) {
+    for (size_t i = 0; i < pending.size();) {
+      if (pending[i].ready <= now) {
+        pending[i] = pending.back();
+        pending.pop_back();
+        continue;
+      }
+      if (pending[i].reg == r && pending[i].is_pred == is_pred) return true;
+      ++i;
+    }
+    return false;
+  }
+
+  /// True if any outstanding writeback is still in flight at `now`.
+  bool any_pending(Cycle now) {
+    for (size_t i = 0; i < pending.size();) {
+      if (pending[i].ready <= now) {
+        pending[i] = pending.back();
+        pending.pop_back();
+        continue;
+      }
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace higpu::sim

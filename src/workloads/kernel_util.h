@@ -1,0 +1,35 @@
+// Small builder idioms shared across workload kernels.
+#pragma once
+
+#include "isa/builder.h"
+
+namespace higpu::workloads::util {
+
+/// Byte address of element `index` (32-bit) in array at `base`.
+inline isa::Reg elem_addr(isa::KernelBuilder& kb, isa::Reg base,
+                          isa::Operand index) {
+  isa::Reg a = kb.reg();
+  kb.imad(a, index, isa::imm(4), base);
+  return a;
+}
+
+/// Byte address of element [row][col] in a row-major matrix of `ncols`.
+inline isa::Reg elem_addr2d(isa::KernelBuilder& kb, isa::Reg base,
+                            isa::Operand row, isa::Operand ncols,
+                            isa::Operand col) {
+  isa::Reg lin = kb.reg(), a = kb.reg();
+  kb.imad(lin, row, ncols, col);
+  kb.imad(a, lin, isa::imm(4), base);
+  return a;
+}
+
+/// Emit "if (gid >= bound) { exit }" using a dedicated exit label that the
+/// caller must bind at the end (before kb.exit()).
+inline void exit_if_ge(isa::KernelBuilder& kb, isa::Reg v, isa::Operand bound,
+                       isa::Label exit_label) {
+  isa::PredReg p = kb.pred();
+  kb.setp(p, isa::CmpOp::kGe, isa::DType::kI32, v, bound);
+  kb.bra(exit_label).guard_if(p);
+}
+
+}  // namespace higpu::workloads::util

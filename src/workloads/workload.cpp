@@ -1,0 +1,104 @@
+#include "workloads/workload.h"
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "workloads/backprop.h"
+#include "workloads/bfs.h"
+#include "workloads/btree.h"
+#include "workloads/cfd.h"
+#include "workloads/dwt2d.h"
+#include "workloads/gaussian.h"
+#include "workloads/hotspot.h"
+#include "workloads/hotspot3d.h"
+#include "workloads/kmeans.h"
+#include "workloads/lavamd.h"
+#include "workloads/leukocyte.h"
+#include "workloads/lud.h"
+#include "workloads/myocyte.h"
+#include "workloads/nn.h"
+#include "workloads/nw.h"
+#include "workloads/particlefilter.h"
+#include "workloads/pathfinder.h"
+#include "workloads/srad.h"
+#include "workloads/streamcluster.h"
+
+namespace higpu::workloads {
+
+namespace {
+
+using Factory = std::function<WorkloadPtr()>;
+
+const std::map<std::string, Factory>& registry() {
+  static const std::map<std::string, Factory> kRegistry = {
+      {"backprop", [] { return WorkloadPtr(new Backprop); }},
+      {"bfs", [] { return WorkloadPtr(new Bfs); }},
+      {"b+tree", [] { return WorkloadPtr(new BTree); }},
+      {"cfd", [] { return WorkloadPtr(new Cfd); }},
+      {"dwt2d", [] { return WorkloadPtr(new Dwt2d); }},
+      {"gaussian", [] { return WorkloadPtr(new Gaussian); }},
+      {"hotspot", [] { return WorkloadPtr(new Hotspot); }},
+      {"hotspot3D", [] { return WorkloadPtr(new Hotspot3d); }},
+      {"kmeans", [] { return WorkloadPtr(new Kmeans); }},
+      {"lavaMD", [] { return WorkloadPtr(new LavaMd); }},
+      {"leukocyte", [] { return WorkloadPtr(new Leukocyte); }},
+      {"lud", [] { return WorkloadPtr(new Lud); }},
+      {"myocyte", [] { return WorkloadPtr(new Myocyte); }},
+      {"nn", [] { return WorkloadPtr(new Nn); }},
+      {"nw", [] { return WorkloadPtr(new Nw); }},
+      {"particlefilter", [] { return WorkloadPtr(new ParticleFilter); }},
+      {"pathfinder", [] { return WorkloadPtr(new Pathfinder); }},
+      {"srad", [] { return WorkloadPtr(new Srad); }},
+      {"streamcluster", [] { return WorkloadPtr(new Streamcluster); }},
+  };
+  return kRegistry;
+}
+
+}  // namespace
+
+std::vector<std::string> all_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> fig4_names() {
+  return {"backprop", "bfs",       "dwt2d", "gaussian", "hotspot", "hotspot3D",
+          "leukocyte", "lud",      "myocyte", "nn",      "nw"};
+}
+
+WorkloadPtr make(const std::string& name) {
+  return registry().at(name)();
+}
+
+bool approx_equal(float a, float b, float tol) {
+  if (a == b) return true;
+  if (std::isnan(a) || std::isnan(b)) return false;
+  const float scale = std::max({1.0f, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+bool approx_equal(const std::vector<float>& a, const std::vector<float>& b,
+                  float tol) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i)
+    if (!approx_equal(a[i], b[i], tol)) return false;
+  return true;
+}
+
+std::vector<u32> to_bits(const std::vector<float>& v) {
+  std::vector<u32> out(v.size());
+  std::memcpy(out.data(), v.data(), v.size() * 4);
+  return out;
+}
+
+std::vector<float> from_bits(const std::vector<u32>& v) {
+  std::vector<float> out(v.size());
+  std::memcpy(out.data(), v.data(), v.size() * 4);
+  return out;
+}
+
+}  // namespace higpu::workloads

@@ -1,0 +1,84 @@
+// Kernel categorization (Fig. 3) and policy recommendation (§IV.D).
+#include <gtest/gtest.h>
+
+#include "core/categorize.h"
+#include "tests/test_kernels.h"
+
+namespace higpu::core {
+namespace {
+
+using testing::make_launch;
+using testing::make_spin_kernel;
+
+sim::KernelLaunch launch_of(u32 threads, u32 block, u32 shared_bytes = 0) {
+  isa::ProgramPtr prog;
+  if (shared_bytes > 0) {
+    isa::KernelBuilder kb("shmem");
+    kb.set_shared_bytes(shared_bytes);
+    isa::Reg out = kb.reg();
+    kb.ldp(out, 0);
+    kb.exit();
+    prog = kb.build();
+  } else {
+    prog = make_spin_kernel(10);
+  }
+  return make_launch(std::move(prog), threads, block, {0, threads});
+}
+
+TEST(Occupancy, LimitedByWarpSlots) {
+  sim::GpuParams p;  // 48 warps/SM
+  const sim::KernelLaunch l = launch_of(4096, 512);  // 16 warps per block
+  EXPECT_EQ(max_blocks_per_sm(p, l), 3u);
+}
+
+TEST(Occupancy, LimitedBySharedMemory) {
+  sim::GpuParams p;  // 48 KiB shared per SM
+  const sim::KernelLaunch l = launch_of(1024, 64, 20 * 1024);
+  EXPECT_EQ(max_blocks_per_sm(p, l), 2u);
+}
+
+TEST(Occupancy, LimitedByBlockSlots) {
+  sim::GpuParams p;  // max 16 blocks/SM
+  const sim::KernelLaunch l = launch_of(4096, 32);  // tiny blocks
+  EXPECT_EQ(max_blocks_per_sm(p, l), 16u);
+}
+
+TEST(Categorize, ShortKernel) {
+  sim::GpuParams p;  // launch gap 400 cycles
+  const sim::KernelLaunch l = launch_of(256, 128);
+  const CategoryReport rep = categorize_kernel(p, l, /*isolated_cycles=*/300);
+  EXPECT_EQ(rep.category, KernelCategory::kShort);
+}
+
+TEST(Categorize, HeavyKernelSaturatesGpu) {
+  sim::GpuParams p;
+  // 512-thread blocks -> 3 blocks/SM -> 18 blocks saturate; launch 64 blocks.
+  const sim::KernelLaunch l = launch_of(64 * 512, 512);
+  const CategoryReport rep = categorize_kernel(p, l, /*isolated_cycles=*/100000);
+  EXPECT_EQ(rep.category, KernelCategory::kHeavy);
+  EXPECT_GT(rep.gpu_fill, 1.0);
+}
+
+TEST(Categorize, FriendlyKernel) {
+  sim::GpuParams p;
+  // 4 modest blocks, long enough to overlap.
+  const sim::KernelLaunch l = launch_of(4 * 128, 128);
+  const CategoryReport rep = categorize_kernel(p, l, /*isolated_cycles=*/100000);
+  EXPECT_EQ(rep.category, KernelCategory::kFriendly);
+  EXPECT_LT(rep.gpu_fill, 1.0);
+}
+
+TEST(Categorize, PolicyRecommendation) {
+  EXPECT_EQ(recommend_policy(KernelCategory::kShort), sched::Policy::kSrrs);
+  EXPECT_EQ(recommend_policy(KernelCategory::kHeavy), sched::Policy::kSrrs);
+  EXPECT_EQ(recommend_policy(KernelCategory::kFriendly), sched::Policy::kHalf);
+}
+
+TEST(Categorize, NamesAreStable) {
+  EXPECT_STREQ(category_name(KernelCategory::kShort), "short");
+  EXPECT_STREQ(category_name(KernelCategory::kHeavy), "heavy");
+  EXPECT_STREQ(category_name(KernelCategory::kFriendly), "friendly");
+}
+
+}  // namespace
+}  // namespace higpu::core

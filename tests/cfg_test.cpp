@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "isa/builder.h"
+#include "isa/cfg.h"
+
+namespace higpu::isa {
+namespace {
+
+// Straight-line program: one block, branchless.
+TEST(Cfg, StraightLineSingleBlock) {
+  KernelBuilder kb("t");
+  Reg a = kb.reg();
+  kb.movi(a, 1);
+  kb.iadd(a, a, imm(2));
+  kb.exit();
+  auto prog = kb.build();
+  Cfg cfg(prog->code());
+  EXPECT_EQ(cfg.num_blocks(), 1u);
+  EXPECT_EQ(cfg.ipdom(0), cfg.virtual_exit());
+}
+
+// If/else diamond: reconvergence at the join block.
+TEST(Cfg, DiamondReconvergesAtJoin) {
+  KernelBuilder kb("t");
+  Reg a = kb.reg();
+  PredReg p = kb.pred();
+  Label els = kb.label(), join = kb.label();
+  kb.movi(a, 0);                                    // 0
+  kb.setp(p, CmpOp::kEq, DType::kI32, a, imm(0));   // 1
+  kb.bra(els).guard_if(p);                          // 2
+  kb.movi(a, 1);                                    // 3 then
+  kb.bra(join);                                     // 4
+  kb.bind(els);
+  kb.movi(a, 2);                                    // 5 else
+  kb.bind(join);
+  kb.iadd(a, a, imm(1));                            // 6 join
+  kb.exit();                                        // 7
+  auto prog = kb.build();
+  EXPECT_EQ(prog->at(2).reconv_pc, 6u);  // guarded branch reconverges at join
+}
+
+// If without else: reconvergence right after the guarded region.
+TEST(Cfg, IfWithoutElse) {
+  KernelBuilder kb("t");
+  Reg a = kb.reg();
+  PredReg p = kb.pred();
+  Label skip = kb.label();
+  kb.movi(a, 0);                                   // 0
+  kb.setp(p, CmpOp::kEq, DType::kI32, a, imm(0));  // 1
+  kb.bra(skip).guard_if(p);                        // 2
+  kb.movi(a, 1);                                   // 3
+  kb.bind(skip);
+  kb.iadd(a, a, imm(1));                           // 4
+  kb.exit();                                       // 5
+  auto prog = kb.build();
+  EXPECT_EQ(prog->at(2).reconv_pc, 4u);
+}
+
+// Loop: the divergent backward branch reconverges at the loop exit.
+TEST(Cfg, LoopBranchReconvergesAtExit) {
+  KernelBuilder kb("t");
+  Reg i = kb.reg();
+  PredReg p = kb.pred();
+  Label top = kb.label();
+  kb.movi(i, 0);                                     // 0
+  kb.bind(top);
+  kb.iadd(i, i, imm(1));                             // 1
+  kb.setp(p, CmpOp::kLt, DType::kI32, i, imm(10));   // 2
+  kb.bra(top).guard_if(p);                           // 3
+  kb.exit();                                         // 4
+  auto prog = kb.build();
+  EXPECT_EQ(prog->at(3).reconv_pc, 4u);
+}
+
+// Branch straight to exit: reconverges only at the end sentinel.
+TEST(Cfg, BranchToExitBlockReconvergesAtEnd) {
+  KernelBuilder kb("t");
+  Reg a = kb.reg();
+  PredReg p = kb.pred();
+  Label out = kb.label();
+  kb.movi(a, 0);                                   // 0
+  kb.setp(p, CmpOp::kEq, DType::kI32, a, imm(0));  // 1
+  kb.bra(out).guard_if(p);                         // 2
+  kb.movi(a, 1);                                   // 3
+  kb.bind(out);
+  kb.exit();                                       // 4
+  auto prog = kb.build();
+  // IPDOM is the exit block itself (pc 4).
+  EXPECT_EQ(prog->at(2).reconv_pc, 4u);
+}
+
+// Nested if inside a loop: inner reconvergence stays inside the loop body.
+TEST(Cfg, NestedIfInsideLoop) {
+  KernelBuilder kb("t");
+  Reg i = kb.reg(), a = kb.reg();
+  PredReg p = kb.pred(), q = kb.pred();
+  Label top = kb.label(), skip = kb.label();
+  kb.movi(i, 0);                                    // 0
+  kb.movi(a, 0);                                    // 1
+  kb.bind(top);
+  kb.setp(q, CmpOp::kEq, DType::kI32, i, imm(3));   // 2
+  kb.bra(skip).guard_if(q);                         // 3
+  kb.iadd(a, a, imm(1));                            // 4
+  kb.bind(skip);
+  kb.iadd(i, i, imm(1));                            // 5
+  kb.setp(p, CmpOp::kLt, DType::kI32, i, imm(10));  // 6
+  kb.bra(top).guard_if(p);                          // 7
+  kb.exit();                                        // 8
+  auto prog = kb.build();
+  EXPECT_EQ(prog->at(3).reconv_pc, 5u);  // inner if joins at `skip`
+  EXPECT_EQ(prog->at(7).reconv_pc, 8u);  // loop joins at exit
+}
+
+TEST(Cfg, PostdominanceQueries) {
+  KernelBuilder kb("t");
+  Reg a = kb.reg();
+  PredReg p = kb.pred();
+  Label els = kb.label(), join = kb.label();
+  kb.movi(a, 0);
+  kb.setp(p, CmpOp::kEq, DType::kI32, a, imm(0));
+  kb.bra(els).guard_if(p);
+  kb.movi(a, 1);
+  kb.bra(join);
+  kb.bind(els);
+  kb.movi(a, 2);
+  kb.bind(join);
+  kb.exit();
+  auto prog = kb.build();
+  Cfg cfg(prog->code());
+  const u32 entry = cfg.block_of(0);
+  const u32 join_blk = cfg.block_of(prog->size() - 1);
+  EXPECT_TRUE(cfg.postdominates(join_blk, entry));
+  EXPECT_FALSE(cfg.postdominates(entry, join_blk));
+}
+
+}  // namespace
+}  // namespace higpu::isa

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace higpu {
+namespace {
+
+TEST(Types, FloatBitCastRoundTrips) {
+  EXPECT_EQ(bits2f(f2bits(1.5f)), 1.5f);
+  EXPECT_EQ(bits2f(f2bits(-0.0f)), -0.0f);
+  EXPECT_EQ(f2bits(0.0f), 0u);
+}
+
+TEST(Types, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+}
+
+TEST(Types, AlignUp) {
+  EXPECT_EQ(align_up(0, 256), 0u);
+  EXPECT_EQ(align_up(1, 256), 256u);
+  EXPECT_EQ(align_up(256, 256), 256u);
+  EXPECT_EQ(align_up(257, 256), 512u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DiffersAcrossSeeds) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, FloatInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = r.next_float(2.0f, 3.0f);
+    EXPECT_GE(v, 2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(Rng, NextBelowBounded) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, ZeroSeedStillWorks) {
+  Rng r(0);
+  EXPECT_NE(r.next_u64(), r.next_u64());
+}
+
+TEST(Stats, AddAndGet) {
+  StatSet s;
+  EXPECT_EQ(s.get("x"), 0u);
+  s.add("x");
+  s.add("x", 4);
+  EXPECT_EQ(s.get("x"), 5u);
+  EXPECT_TRUE(s.has("x"));
+  EXPECT_FALSE(s.has("y"));
+}
+
+TEST(Stats, MergeSums) {
+  StatSet a, b;
+  a.add("hits", 3);
+  b.add("hits", 4);
+  b.add("misses", 1);
+  a.merge(b);
+  EXPECT_EQ(a.get("hits"), 7u);
+  EXPECT_EQ(a.get("misses"), 1u);
+}
+
+TEST(Stats, RatioHandlesZero) {
+  StatSet s;
+  EXPECT_DOUBLE_EQ(s.ratio("a", "b"), 0.0);
+  s.add("a", 3);
+  s.add("b", 1);
+  EXPECT_DOUBLE_EQ(s.ratio("a", "b"), 0.75);
+}
+
+TEST(RunningStat, TracksMinMaxMean) {
+  RunningStat r;
+  r.sample(2.0);
+  r.sample(4.0);
+  r.sample(6.0);
+  EXPECT_EQ(r.count(), 3u);
+  EXPECT_DOUBLE_EQ(r.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(r.min(), 2.0);
+  EXPECT_DOUBLE_EQ(r.max(), 6.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1.000"});
+  t.add_row({"longer", "2.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| longer"), std::string::npos);
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::fmt_ratio(0.5), "0.500");
+}
+
+}  // namespace
+}  // namespace higpu

@@ -1,0 +1,269 @@
+// Fault injection and the §IV.C detection argument: chip-wide droops are
+// detected under SRRS/HALF, permanent SM faults are detected whenever the
+// policy guarantees spatial diversity, and scheduler faults stay observable.
+#include <gtest/gtest.h>
+
+#include "core/diversity.h"
+#include "core/redundant.h"
+#include "fault/injector.h"
+#include "tests/test_kernels.h"
+
+namespace higpu::fault {
+namespace {
+
+using core::DualPtr;
+using core::RedundantSession;
+using testing::make_spin_kernel;
+
+TEST(Injector, ClassifyOutcomes) {
+  EXPECT_EQ(classify(true, true), Outcome::kMasked);
+  EXPECT_EQ(classify(false, true), Outcome::kDetected);
+  EXPECT_EQ(classify(false, false), Outcome::kDetected);
+  EXPECT_EQ(classify(true, false), Outcome::kSdc);
+}
+
+TEST(Injector, TallyAndCoverage) {
+  CampaignTally t;
+  t.count(Outcome::kMasked);
+  t.count(Outcome::kDetected);
+  t.count(Outcome::kDetected);
+  t.count(Outcome::kSdc);
+  EXPECT_EQ(t.total(), 4u);
+  EXPECT_DOUBLE_EQ(t.diagnostic_coverage(), 2.0 / 3.0);
+  CampaignTally clean;
+  clean.count(Outcome::kMasked);
+  EXPECT_DOUBLE_EQ(clean.diagnostic_coverage(), 1.0);  // nothing to detect
+}
+
+TEST(Injector, DroopCorruptsOnlyInsideWindow) {
+  FaultInjector fi;
+  fi.arm_droop(100, 10, 0);
+  EXPECT_EQ(fi.corrupt_alu(0, 99, 42), 42u);
+  EXPECT_EQ(fi.corrupt_alu(3, 105, 42), 43u);  // bit 0 flipped, any SM
+  EXPECT_EQ(fi.corrupt_alu(0, 110, 42), 42u);  // window is half-open
+  EXPECT_EQ(fi.corruptions(), 1u);
+}
+
+TEST(Injector, TransientSmRestrictsToOneSm) {
+  FaultInjector fi;
+  fi.arm_transient_sm(2, 100, 10, 4);
+  EXPECT_EQ(fi.corrupt_alu(1, 105, 0), 0u);
+  EXPECT_EQ(fi.corrupt_alu(2, 105, 0), 16u);
+}
+
+TEST(Injector, PermanentSmNeverEnds) {
+  FaultInjector fi;
+  fi.arm_permanent_sm(1, 50, 3);
+  EXPECT_EQ(fi.corrupt_alu(1, 49, 0), 0u);
+  EXPECT_EQ(fi.corrupt_alu(1, 1'000'000, 0), 8u);
+}
+
+TEST(Injector, SchedulerFaultRotatesMapping) {
+  FaultInjector fi;
+  fi.arm_scheduler_fault(0, 1);
+  EXPECT_EQ(fi.corrupt_block_mapping(0, 6, 10), 1u);
+  EXPECT_EQ(fi.corrupt_block_mapping(5, 6, 10), 0u);
+  EXPECT_EQ(fi.diverted_blocks(), 2u);
+}
+
+TEST(Injector, DisarmStopsEverything) {
+  FaultInjector fi;
+  fi.arm_droop(0, 1'000'000, 5);
+  fi.disarm();
+  EXPECT_FALSE(fi.armed());
+  EXPECT_EQ(fi.corrupt_alu(0, 10, 7), 7u);
+}
+
+/// Run a redundant spin-kernel pair under `policy` with a droop armed in
+/// [start, start+width). Returns (outputs_match, corruptions).
+std::pair<bool, u64> run_with_droop(sched::Policy policy, Cycle start,
+                                    Cycle width, u32 launch_gap = 400) {
+  sim::GpuParams p;
+  p.launch_gap_cycles = launch_gap;
+  runtime::Device dev(p);
+  FaultInjector fi;
+  fi.arm_droop(start, width, 20);  // bit 20: large numeric error
+  dev.gpu().set_fault_hook(&fi);
+
+  RedundantSession::Config cfg;
+  cfg.policy = policy;
+  RedundantSession s(dev, cfg);
+  const u32 n = 12 * 128;
+  const DualPtr out = s.alloc(n * 4);
+  s.launch(make_spin_kernel(200), sim::Dim3{12, 1, 1}, sim::Dim3{128, 1, 1},
+           {out, n});
+  s.sync();
+  const bool match = s.compare(out, n * 4);
+  return {match, fi.corruptions()};
+}
+
+TEST(DroopCampaign, SrrsDetectsMidExecutionDroop) {
+  // Droop while only one copy can be executing (SRRS serializes).
+  const auto [match, corruptions] = run_with_droop(sched::Policy::kSrrs, 2000, 50);
+  EXPECT_GT(corruptions, 0u);
+  EXPECT_FALSE(match);  // only one copy corrupted -> comparison flags it
+}
+
+TEST(DroopCampaign, HalfDetectsMidExecutionDroop) {
+  const auto [match, corruptions] = run_with_droop(sched::Policy::kHalf, 2000, 50);
+  EXPECT_GT(corruptions, 0u);
+  EXPECT_FALSE(match);
+}
+
+/// The adversarial scenario of §IV.C: under the Default policy with no
+/// dispatch slack, the redundant copies can execute the same computation at
+/// (nearly) the same instant. We *compute* a droop window that corrupts the
+/// exact same instruction set in both copies from the instruction trace,
+/// then inject it and observe an undetected CCF (SDC). SRRS makes such a
+/// window provably nonexistent.
+struct ZeroGapProbe {
+  core::InstrTraceCollector trace;
+  u32 id_a = 0, id_b = 0;
+  std::vector<u8> clean_output;
+};
+
+/// Straight-line FFMA chain: every datapath instruction feeds the output,
+/// so corrupting ANY of them must change the result (no dead code to mask
+/// the injection).
+isa::ProgramPtr make_chain_kernel() {
+  using namespace isa;
+  KernelBuilder kb("chain");
+  Reg out = kb.reg(), n = kb.reg();
+  kb.ldp(out, 0);
+  kb.ldp(n, 1);
+  Reg gid = kb.global_tid_x();
+  Label done = kb.label();
+  kb.guard_range(gid, n, done);
+  Reg acc = kb.reg();
+  kb.movf(acc, 1.37f);
+  for (int i = 0; i < 200; ++i)
+    kb.ffma(acc, acc, fimm(1.000001f), fimm(0.25f));
+  Reg addr = kb.reg();
+  kb.imad(addr, gid, imm(4), out);
+  kb.stg(addr, acc);
+  kb.bind(done);
+  kb.exit();
+  return kb.build();
+}
+
+ZeroGapProbe probe_zero_gap(sched::Policy policy, const u32 n,
+                            fault::FaultInjector* fi = nullptr,
+                            Cycle droop_start = 0, Cycle droop_end = 0,
+                            std::vector<u8>* out_bytes = nullptr,
+                            bool* out_match = nullptr) {
+  sim::GpuParams p;
+  p.launch_gap_cycles = 0;
+  runtime::Device dev(p);
+  ZeroGapProbe probe;
+  dev.gpu().set_trace_sink(&probe.trace);
+  if (fi != nullptr) {
+    fi->arm_droop(droop_start, droop_end - droop_start, 2);
+    dev.gpu().set_fault_hook(fi);
+  }
+  RedundantSession::Config cfg;
+  cfg.policy = policy;
+  RedundantSession s(dev, cfg);
+  const DualPtr out = s.alloc(n * 4);
+  s.launch(make_chain_kernel(), sim::Dim3{1, 1, 1}, sim::Dim3{n, 1, 1},
+           {out, n});
+  s.sync();
+  const bool match = s.compare(out, n * 4);
+  if (out_match != nullptr) *out_match = match;
+  if (out_bytes != nullptr) {
+    out_bytes->resize(n * 4);
+    dev.gpu().store().read_block(out_bytes->data(), out.a, n * 4);
+  }
+  probe.id_a = s.pairs()[0].first;
+  probe.id_b = s.pairs()[0].second;
+  return probe;
+}
+
+TEST(DroopCampaign, DefaultZeroGapHasIdenticalCorruptionWindows) {
+  std::vector<u8> clean;
+  ZeroGapProbe probe =
+      probe_zero_gap(sched::Policy::kDefault, 32, nullptr, 0, 0, &clean);
+  const auto window = probe.trace.find_identical_corruption_window(
+      probe.id_a, probe.id_b, /*max_width=*/16);
+  ASSERT_TRUE(window.has_value())
+      << "default policy with zero gap should expose aligned execution";
+
+  // Inject exactly that window: both copies corrupted identically ->
+  // comparison passes although the output is wrong (SDC).
+  fault::FaultInjector fi;
+  bool match = false;
+  std::vector<u8> faulty;
+  probe_zero_gap(sched::Policy::kDefault, 32, &fi, window->first,
+                 window->second, &faulty, &match);
+  EXPECT_GT(fi.corruptions(), 0u);
+  EXPECT_TRUE(match) << "identical corruption must be invisible to DCLS";
+  EXPECT_NE(clean, faulty) << "the output must actually be corrupted";
+}
+
+TEST(DroopCampaign, SrrsHasNoIdenticalCorruptionWindow) {
+  ZeroGapProbe probe = probe_zero_gap(sched::Policy::kSrrs, 32);
+  EXPECT_FALSE(probe.trace
+                   .find_identical_corruption_window(probe.id_a, probe.id_b,
+                                                     /*max_width=*/64)
+                   .has_value());
+}
+
+TEST(DroopCampaign, HalfZeroGapStillSpatiallyDiverse) {
+  // Even in the pathological zero-gap case, HALF keeps the copies on
+  // disjoint SMs, so permanent/spatial CCFs remain covered.
+  sim::GpuParams p;
+  p.launch_gap_cycles = 0;
+  runtime::Device dev(p);
+  RedundantSession::Config cfg;
+  cfg.policy = sched::Policy::kHalf;
+  RedundantSession s(dev, cfg);
+  const u32 n = 12 * 128;
+  const DualPtr out = s.alloc(n * 4);
+  s.launch(make_spin_kernel(50), sim::Dim3{12, 1, 1}, sim::Dim3{128, 1, 1},
+           {out, n});
+  s.sync();
+  const auto rep =
+      core::analyze_block_diversity(dev.gpu().block_records(), s.pairs());
+  EXPECT_TRUE(rep.spatially_diverse());
+}
+
+TEST(PermanentFault, SrrsDetectsBrokenSm) {
+  sim::GpuParams p;
+  runtime::Device dev(p);
+  FaultInjector fi;
+  fi.arm_permanent_sm(2, 0, 20);
+  dev.gpu().set_fault_hook(&fi);
+
+  RedundantSession::Config cfg;
+  cfg.policy = sched::Policy::kSrrs;
+  RedundantSession s(dev, cfg);
+  const u32 n = 12 * 128;
+  const DualPtr out = s.alloc(n * 4);
+  s.launch(make_spin_kernel(100), sim::Dim3{12, 1, 1}, sim::Dim3{128, 1, 1},
+           {out, n});
+  s.sync();
+  // SRRS guarantees each logical block runs on different SMs across copies,
+  // so a broken SM corrupts different logical blocks in each copy.
+  EXPECT_FALSE(s.compare(out, n * 4));
+}
+
+TEST(PermanentFault, HalfDetectsBrokenSm) {
+  sim::GpuParams p;
+  runtime::Device dev(p);
+  FaultInjector fi;
+  fi.arm_permanent_sm(4, 0, 20);
+  dev.gpu().set_fault_hook(&fi);
+
+  RedundantSession::Config cfg;
+  cfg.policy = sched::Policy::kHalf;
+  RedundantSession s(dev, cfg);
+  const u32 n = 12 * 128;
+  const DualPtr out = s.alloc(n * 4);
+  s.launch(make_spin_kernel(100), sim::Dim3{12, 1, 1}, sim::Dim3{128, 1, 1},
+           {out, n});
+  s.sync();
+  // SM 4 belongs to copy B's partition only: copies differ.
+  EXPECT_FALSE(s.compare(out, n * 4));
+}
+
+}  // namespace
+}  // namespace higpu::fault

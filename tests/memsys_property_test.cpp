@@ -1,0 +1,184 @@
+// Property tests for the memory system: the SetAssocCache is checked
+// against an independent reference LRU model over random access streams;
+// coalescer invariants hold for arbitrary address patterns; the hierarchy's
+// timing is monotonic and causal.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "memsys/cache.h"
+#include "memsys/coalescer.h"
+#include "memsys/hierarchy.h"
+
+namespace higpu::memsys {
+namespace {
+
+/// Independent reference: per-set LRU list of (tag, dirty).
+class RefCache {
+ public:
+  RefCache(u32 size_bytes, u32 assoc, u32 line_bytes)
+      : sets_(size_bytes / line_bytes / assoc), assoc_(assoc) {}
+
+  struct Result {
+    bool hit;
+    bool evicted_dirty;
+    u64 evicted_line;
+  };
+
+  Result access(u64 line, bool write) {
+    const u32 set = static_cast<u32>(line % sets_);
+    const u64 tag = line / sets_;
+    auto& lru = sets_state_[set];  // front = most recent
+    for (auto it = lru.begin(); it != lru.end(); ++it) {
+      if (it->first == tag) {
+        const bool dirty = it->second || write;
+        lru.erase(it);
+        lru.emplace_front(tag, dirty);
+        return {true, false, 0};
+      }
+    }
+    Result r{false, false, 0};
+    if (lru.size() == assoc_) {
+      r.evicted_dirty = lru.back().second;
+      r.evicted_line = lru.back().first * sets_ + set;
+      lru.pop_back();
+    }
+    lru.emplace_front(tag, write);
+    return r;
+  }
+
+ private:
+  u32 sets_;
+  u32 assoc_;
+  std::map<u32, std::list<std::pair<u64, bool>>> sets_state_;
+};
+
+struct CacheGeom {
+  u32 size;
+  u32 assoc;
+};
+
+class CacheVsReference : public ::testing::TestWithParam<CacheGeom> {};
+
+TEST_P(CacheVsReference, RandomStreamMatchesReferenceModel) {
+  const CacheGeom g = GetParam();
+  SetAssocCache dut(g.size, g.assoc, 128);
+  RefCache ref(g.size, g.assoc, 128);
+  Rng rng(g.size * 31 + g.assoc);
+
+  for (u32 i = 0; i < 20000; ++i) {
+    // Mix of hot lines (locality) and cold misses.
+    const u64 line = rng.next_bool(0.7f) ? rng.next_below(64)
+                                         : rng.next_below(1 << 16);
+    const bool write = rng.next_bool(0.3f);
+    const CacheAccessResult got = dut.access(line, write);
+    const RefCache::Result want = ref.access(line, write);
+    ASSERT_EQ(got.hit, want.hit) << "access " << i << " line " << line;
+    ASSERT_EQ(got.writeback_line.has_value(), want.evicted_dirty)
+        << "access " << i << " line " << line;
+    if (got.writeback_line) {
+      ASSERT_EQ(*got.writeback_line, want.evicted_line) << "access " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheVsReference,
+    ::testing::Values(CacheGeom{4 * 1024, 1}, CacheGeom{8 * 1024, 2},
+                      CacheGeom{24 * 1024, 4}, CacheGeom{64 * 1024, 8}),
+    [](const auto& info) {
+      return std::to_string(info.param.size / 1024) + "k_w" +
+             std::to_string(info.param.assoc);
+    });
+
+class CoalescerProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(CoalescerProperty, InvariantsHoldForRandomPatterns) {
+  Rng rng(GetParam());
+  for (u32 iter = 0; iter < 200; ++iter) {
+    std::vector<u64> addrs;
+    const u32 lanes = 1 + static_cast<u32>(rng.next_below(32));
+    for (u32 l = 0; l < lanes; ++l)
+      addrs.push_back(rng.next_below(1 << 20) * 4);
+    const std::vector<u64> lines = coalesce(addrs, 128);
+
+    // 1 <= |lines| <= lanes.
+    ASSERT_GE(lines.size(), 1u);
+    ASSERT_LE(lines.size(), addrs.size());
+    // No duplicates.
+    for (size_t i = 0; i < lines.size(); ++i)
+      for (size_t j = i + 1; j < lines.size(); ++j)
+        ASSERT_NE(lines[i], lines[j]);
+    // Every address covered; every line justified by some address.
+    for (u64 a : addrs)
+      ASSERT_NE(std::find(lines.begin(), lines.end(), a / 128), lines.end());
+    for (u64 line : lines) {
+      bool justified = false;
+      for (u64 a : addrs) justified |= a / 128 == line;
+      ASSERT_TRUE(justified);
+    }
+
+    // Bank-conflict degree bounded by distinct word count and >= 1.
+    const u32 deg = smem_conflict_degree(addrs, 32);
+    ASSERT_GE(deg, 1u);
+    ASSERT_LE(deg, lanes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoalescerProperty, ::testing::Range<u64>(1, 9));
+
+TEST(HierarchyProperty, CompletionNeverBeforeIssue) {
+  MemParams mp;
+  MemHierarchy mem(4, mp);
+  Rng rng(77);
+  Cycle now = 0;
+  for (u32 i = 0; i < 5000; ++i) {
+    now += rng.next_below(3);
+    const u32 sm = static_cast<u32>(rng.next_below(4));
+    const u64 line = rng.next_below(1 << 14);
+    const Cycle done = rng.next_bool(0.1f)
+                           ? mem.access_atomic(sm, line, now)
+                           : mem.access_line(sm, line, rng.next_bool(0.4f), now);
+    ASSERT_GT(done, now);
+    ASSERT_LT(done - now, 100'000u) << "latency blew up";
+  }
+}
+
+TEST(HierarchyProperty, HitLatencyIsBoundedByMissLatency) {
+  MemParams mp;
+  MemHierarchy mem(1, mp);
+  // Cold miss then repeated hits: hits must be uniformly cheaper.
+  const Cycle miss = mem.access_line(0, 42, false, 1000) - 1000;
+  for (u32 i = 0; i < 10; ++i) {
+    const Cycle t = 100'000 + i * 1000;
+    const Cycle hit = mem.access_line(0, 42, false, t) - t;
+    ASSERT_LT(hit, miss);
+  }
+}
+
+TEST(HierarchyProperty, StatsBalance) {
+  MemParams mp;
+  MemHierarchy mem(2, mp);
+  Rng rng(5);
+  u64 accesses = 0;
+  for (u32 i = 0; i < 3000; ++i) {
+    mem.access_line(static_cast<u32>(rng.next_below(2)),
+                    rng.next_below(4096), rng.next_bool(0.5f),
+                    i * 2);
+    ++accesses;
+  }
+  const StatSet& s = mem.stats();
+  const u64 classified = s.get("l1_hits") + s.get("l1_misses") +
+                         s.get("l1_write_hits") + s.get("l1_write_misses") +
+                         s.get("l1_mshr_merges");
+  EXPECT_EQ(classified, accesses);
+  // Every L2 access originates from an L1 miss or writeback.
+  EXPECT_LE(s.get("l2_misses"), s.get("l1_misses") + s.get("l1_write_misses") +
+                                    s.get("l1_writebacks"));
+}
+
+}  // namespace
+}  // namespace higpu::memsys

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "memsys/cache.h"
+#include "memsys/coalescer.h"
+#include "memsys/global_store.h"
+#include "memsys/hierarchy.h"
+
+namespace higpu::memsys {
+namespace {
+
+TEST(Cache, HitAfterFill) {
+  SetAssocCache c(1024, 2, 128);  // 4 sets
+  EXPECT_FALSE(c.access(0, false).hit);
+  EXPECT_TRUE(c.access(0, false).hit);
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_FALSE(c.probe(1));
+}
+
+TEST(Cache, LruEviction) {
+  SetAssocCache c(1024, 2, 128);  // 4 sets, 2 ways
+  // Lines 0, 4, 8 map to set 0 (line % 4).
+  c.access(0, false);
+  c.access(4, false);
+  c.access(0, false);  // touch 0 -> 4 is now LRU
+  c.access(8, false);  // evicts 4
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_FALSE(c.probe(4));
+  EXPECT_TRUE(c.probe(8));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback) {
+  SetAssocCache c(1024, 2, 128);
+  c.access(0, true);   // dirty
+  c.access(4, false);
+  const CacheAccessResult r = c.access(8, false);  // evicts line 0 (LRU)
+  ASSERT_TRUE(r.writeback_line.has_value());
+  EXPECT_EQ(*r.writeback_line, 0u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback) {
+  SetAssocCache c(1024, 2, 128);
+  c.access(0, false);
+  c.access(4, false);
+  const CacheAccessResult r = c.access(8, false);
+  EXPECT_FALSE(r.writeback_line.has_value());
+}
+
+TEST(Cache, InvalidateLineReportsDirtiness) {
+  SetAssocCache c(1024, 2, 128);
+  c.access(0, true);
+  EXPECT_TRUE(c.invalidate_line(0));
+  EXPECT_FALSE(c.probe(0));
+  EXPECT_FALSE(c.invalidate_line(0));
+}
+
+TEST(Cache, ClearDropsEverything) {
+  SetAssocCache c(1024, 2, 128);
+  c.access(0, true);
+  c.clear();
+  EXPECT_FALSE(c.probe(0));
+}
+
+TEST(Coalescer, ConsecutiveWordsShareOneLine) {
+  std::vector<u64> addrs;
+  for (u64 i = 0; i < 32; ++i) addrs.push_back(i * 4);
+  EXPECT_EQ(coalesce(addrs, 128).size(), 1u);
+}
+
+TEST(Coalescer, StridedAccessHitsManyLines) {
+  std::vector<u64> addrs;
+  for (u64 i = 0; i < 32; ++i) addrs.push_back(i * 128);
+  EXPECT_EQ(coalesce(addrs, 128).size(), 32u);
+}
+
+TEST(Coalescer, PreservesFirstAppearanceOrder) {
+  const std::vector<u64> addrs = {400, 0, 404, 8};
+  const std::vector<u64> lines = coalesce(addrs, 128);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], 3u);
+  EXPECT_EQ(lines[1], 0u);
+}
+
+TEST(SmemConflicts, ConsecutiveWordsConflictFree) {
+  std::vector<u64> addrs;
+  for (u64 i = 0; i < 32; ++i) addrs.push_back(i * 4);
+  EXPECT_EQ(smem_conflict_degree(addrs, 32), 1u);
+}
+
+TEST(SmemConflicts, SameWordBroadcastIsFree) {
+  std::vector<u64> addrs(32, 64);
+  EXPECT_EQ(smem_conflict_degree(addrs, 32), 1u);
+}
+
+TEST(SmemConflicts, PowerOfTwoStrideConflicts) {
+  std::vector<u64> addrs;
+  for (u64 i = 0; i < 32; ++i) addrs.push_back(i * 32 * 4);  // all bank 0
+  EXPECT_EQ(smem_conflict_degree(addrs, 32), 32u);
+}
+
+TEST(GlobalStore, AllocAlignsAndSeparates) {
+  GlobalStore g;
+  const DevPtr a = g.alloc(100);
+  const DevPtr b = g.alloc(100);
+  EXPECT_EQ(a % 256, 0u);
+  EXPECT_EQ(b % 256, 0u);
+  EXPECT_GE(b, a + 100);
+  EXPECT_NE(a, 0u);  // null device pointer reserved
+}
+
+TEST(GlobalStore, ReadWriteRoundTrip) {
+  GlobalStore g;
+  const DevPtr p = g.alloc(16);
+  g.write32(p, 0xDEADBEEF);
+  g.write32(p + 4, 42);
+  EXPECT_EQ(g.read32(p), 0xDEADBEEFu);
+  EXPECT_EQ(g.read32(p + 4), 42u);
+}
+
+TEST(GlobalStore, BlockTransfers) {
+  GlobalStore g;
+  const DevPtr p = g.alloc(64);
+  std::vector<u32> in = {1, 2, 3, 4};
+  g.write_block(p, in.data(), 16);
+  std::vector<u32> out(4, 0);
+  g.read_block(out.data(), p, 16);
+  EXPECT_EQ(in, out);
+}
+
+TEST(Hierarchy, L1HitIsFasterThanMiss) {
+  MemParams mp;
+  MemHierarchy mem(2, mp);
+  const Cycle miss = mem.access_line(0, 100, false, 1000);
+  const Cycle hit = mem.access_line(0, 100, false, 2000);
+  EXPECT_GT(miss - 1000, mp.l1_latency);
+  EXPECT_EQ(hit - 2000, mp.l1_latency);
+  EXPECT_EQ(mem.stats().get("l1_misses"), 1u);
+  EXPECT_EQ(mem.stats().get("l1_hits"), 1u);
+}
+
+TEST(Hierarchy, L2SharedAcrossSms) {
+  MemParams mp;
+  MemHierarchy mem(2, mp);
+  mem.access_line(0, 100, false, 0);   // fills L2 (and SM0's L1)
+  const Cycle t = mem.access_line(1, 100, false, 10000);
+  // SM1 misses L1 but hits L2: no new DRAM read.
+  EXPECT_EQ(mem.stats().get("dram_reads"), 1u);
+  EXPECT_LT(t - 10000, mp.dram_latency);
+}
+
+TEST(Hierarchy, MshrMergesConcurrentMisses) {
+  MemParams mp;
+  MemHierarchy mem(1, mp);
+  const Cycle a = mem.access_line(0, 7, false, 100);
+  const Cycle b = mem.access_line(0, 7, false, 101);  // in-flight merge
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(mem.stats().get("l1_mshr_merges"), 1u);
+  EXPECT_EQ(mem.stats().get("dram_reads"), 1u);
+}
+
+TEST(Hierarchy, DramBandwidthSerializesBursts) {
+  MemParams mp;
+  mp.dram_channels = 1;
+  MemHierarchy mem(1, mp);
+  // Distinct lines mapping to the single channel back to back.
+  const Cycle t0 = mem.access_line(0, 0, false, 0);
+  const Cycle t1 = mem.access_line(0, 64, false, 0);
+  EXPECT_GE(t1, t0 + mp.dram_service - 1);
+}
+
+TEST(Hierarchy, AtomicBypassesL1) {
+  MemParams mp;
+  MemHierarchy mem(1, mp);
+  mem.access_line(0, 5, false, 0);   // line resides in L1
+  mem.access_atomic(0, 5, 1000);
+  EXPECT_EQ(mem.stats().get("atomics"), 1u);
+  // A later read misses the (invalidated) L1 line.
+  mem.access_line(0, 5, false, 5000);
+  EXPECT_EQ(mem.stats().get("l1_misses"), 2u);
+}
+
+TEST(Hierarchy, ResetRestoresColdState) {
+  MemParams mp;
+  MemHierarchy mem(1, mp);
+  mem.access_line(0, 9, false, 0);
+  mem.reset();
+  EXPECT_EQ(mem.stats().get("l1_misses"), 0u);
+  mem.access_line(0, 9, false, 0);
+  EXPECT_EQ(mem.stats().get("l1_misses"), 1u);
+}
+
+}  // namespace
+}  // namespace higpu::memsys

@@ -1,0 +1,184 @@
+// N-modular redundancy (TMR extension, paper footnote 1) and the
+// fail-operational recovery manager.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/nmr.h"
+#include "core/recovery.h"
+#include "fault/injector.h"
+#include "tests/test_kernels.h"
+
+namespace higpu::core {
+namespace {
+
+using testing::make_spin_kernel;
+using testing::make_store_kernel;
+
+constexpr u32 kN = 12 * 64;
+
+NPtr run_nmr(NmrSession& s, isa::ProgramPtr prog) {
+  NPtr out = s.alloc(kN * 4);
+  std::vector<u32> zeros(kN, 0);
+  s.h2d(out, zeros.data(), kN * 4);
+  s.launch(std::move(prog), sim::Dim3{12, 1, 1}, sim::Dim3{64, 1, 1},
+           {out, kN});
+  s.sync();
+  return out;
+}
+
+TEST(Nmr, TripleCopiesAllAgreeWhenFaultFree) {
+  for (sched::Policy p : {sched::Policy::kDefault, sched::Policy::kHalf,
+                          sched::Policy::kSrrs}) {
+    runtime::Device dev;
+    NmrSession s(dev, {p, 3});
+    NPtr out = run_nmr(s, make_spin_kernel(30));
+    const VoteResult v = s.vote(out, kN * 4);
+    EXPECT_TRUE(v.unanimous) << sched::policy_name(p);
+    EXPECT_TRUE(v.majority);
+    EXPECT_FALSE(v.detected());
+    EXPECT_EQ(v.faulty_copy, -1);
+  }
+}
+
+TEST(Nmr, LaunchesOneKernelPerCopy) {
+  runtime::Device dev;
+  NmrSession s(dev, {sched::Policy::kSrrs, 3});
+  run_nmr(s, make_store_kernel());
+  ASSERT_EQ(s.groups().size(), 1u);
+  EXPECT_EQ(s.groups()[0].size(), 3u);
+  // Distinct streams -> distinct launch ids and distinct SRRS start SMs.
+  std::set<u32> starts;
+  for (u32 id : s.groups()[0])
+    starts.insert(dev.gpu().launch_of(id).hints.start_sm);
+  EXPECT_EQ(starts.size(), 3u);
+}
+
+TEST(Nmr, HalfPartitionsAreDisjointForThreeCopies) {
+  runtime::Device dev;
+  NmrSession s(dev, {sched::Policy::kHalf, 3});
+  run_nmr(s, make_spin_kernel(50));
+  std::map<u32, std::set<u32>> sms;
+  for (const sim::BlockRecord& r : dev.gpu().block_records())
+    sms[r.launch_id].insert(r.sm);
+  ASSERT_EQ(sms.size(), 3u);
+  std::set<u32> all;
+  u64 total = 0;
+  for (const auto& [id, set] : sms) {
+    total += set.size();
+    all.insert(set.begin(), set.end());
+  }
+  EXPECT_EQ(all.size(), total);  // pairwise disjoint
+}
+
+TEST(Nmr, MajorityOutvotesSingleFaultyCopy) {
+  runtime::Device dev;
+  NmrSession s(dev, {sched::Policy::kSrrs, 3});
+  NPtr out = run_nmr(s, make_store_kernel());
+  // Corrupt one word of copy 2 directly.
+  dev.gpu().store().write32(out.copy[2] + 16, 0xDEAD);
+  std::vector<u32> voted;
+  const VoteResult v = s.vote(out, kN * 4, &voted);
+  EXPECT_TRUE(v.detected());
+  EXPECT_TRUE(v.majority);  // fail-operational: majority still intact
+  EXPECT_FALSE(v.unanimous);
+  EXPECT_EQ(v.dissenting_words, 1u);
+  EXPECT_EQ(v.tied_words, 0u);
+  EXPECT_EQ(v.faulty_copy, 2);
+  EXPECT_EQ(voted[4], 4u);  // corrected value (out[gid] = gid)
+}
+
+TEST(Nmr, TieWithTwoCopiesIsDetectedNotCorrected) {
+  runtime::Device dev;
+  NmrSession s(dev, {sched::Policy::kSrrs, 2});
+  NPtr out = run_nmr(s, make_store_kernel());
+  dev.gpu().store().write32(out.copy[1] + 16, 0xBAD);
+  const VoteResult v = s.vote(out, kN * 4);
+  EXPECT_TRUE(v.detected());
+  EXPECT_FALSE(v.majority);  // 1 vs 1: no strict majority
+  EXPECT_EQ(v.tied_words, 1u);
+}
+
+TEST(Nmr, TmrSurvivesPermanentSmFaultUnderSrrs) {
+  // With three SRRS copies and one broken SM, at most one copy of any
+  // logical block is corrupted: the majority always wins.
+  runtime::Device dev;
+  fault::FaultInjector fi;
+  fi.arm_permanent_sm(1, 0, 20);
+  dev.gpu().set_fault_hook(&fi);
+  NmrSession s(dev, {sched::Policy::kSrrs, 3});
+  NPtr out = run_nmr(s, make_spin_kernel(40));
+  std::vector<u32> voted;
+  const VoteResult v = s.vote(out, kN * 4, &voted);
+  EXPECT_TRUE(v.detected());
+  EXPECT_TRUE(v.majority) << "TMR must remain fail-operational";
+  EXPECT_EQ(v.tied_words, 0u);
+
+  // The voted result equals a fault-free execution.
+  runtime::Device clean_dev;
+  NmrSession clean(clean_dev, {sched::Policy::kSrrs, 1 + 1});
+  NPtr ref = run_nmr(clean, make_spin_kernel(40));
+  std::vector<u32> golden(kN);
+  clean_dev.gpu().store().read_block(golden.data(), ref.copy[0], kN * 4);
+  EXPECT_EQ(voted, golden);
+}
+
+TEST(Recovery, NoRetryWhenFaultFree) {
+  runtime::Device dev;
+  RecoveryManager mgr(dev, {sched::Policy::kSrrs, 2, 100'000'000});
+  const RecoveryReport rep = mgr.run([](RedundantSession& s) {
+    const u32 n = 256;
+    DualPtr out = s.alloc(n * 4);
+    s.launch(make_store_kernel(), sim::Dim3{2, 1, 1}, sim::Dim3{128, 1, 1},
+             {out, n});
+    s.sync();
+    s.compare(out, n * 4);
+  });
+  EXPECT_TRUE(rep.success);
+  EXPECT_EQ(rep.attempts, 1u);
+  EXPECT_TRUE(rep.budget.met());
+}
+
+TEST(Recovery, TransientFaultRecoveredByReexecution) {
+  runtime::Device dev;
+  fault::FaultInjector fi;
+  // Single-SM transient hitting only the first attempt's execution window.
+  fi.arm_transient_sm(0, 4000, 4000, 20);
+  dev.gpu().set_fault_hook(&fi);
+
+  RecoveryManager mgr(dev, {sched::Policy::kSrrs, 3, 1'000'000'000});
+  const RecoveryReport rep = mgr.run([](RedundantSession& s) {
+    const u32 n = 12 * 64;
+    DualPtr out = s.alloc(n * 4);
+    s.launch(make_spin_kernel(60), sim::Dim3{12, 1, 1}, sim::Dim3{64, 1, 1},
+             {out, n});
+    s.sync();
+    s.compare(out, n * 4);
+  });
+  EXPECT_TRUE(rep.success);
+  EXPECT_GT(rep.attempts, 1u) << "first attempt must have been corrupted";
+  EXPECT_TRUE(rep.budget.met());
+}
+
+TEST(Recovery, PermanentFaultExhaustsRetries) {
+  runtime::Device dev;
+  fault::FaultInjector fi;
+  fi.arm_permanent_sm(2, 0, 20);
+  dev.gpu().set_fault_hook(&fi);
+
+  RecoveryManager mgr(dev, {sched::Policy::kSrrs, 2, 100'000'000});
+  const RecoveryReport rep = mgr.run([](RedundantSession& s) {
+    const u32 n = 12 * 64;
+    DualPtr out = s.alloc(n * 4);
+    s.launch(make_spin_kernel(60), sim::Dim3{12, 1, 1}, sim::Dim3{64, 1, 1},
+             {out, n});
+    s.sync();
+    s.compare(out, n * 4);
+  });
+  EXPECT_FALSE(rep.success);
+  EXPECT_EQ(rep.attempts, 3u);  // initial + 2 retries
+}
+
+}  // namespace
+}  // namespace higpu::core

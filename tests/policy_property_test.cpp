@@ -1,0 +1,197 @@
+// Property-style parameterized sweeps: the paper's diversity guarantees must
+// hold for every (policy-relevant) configuration, not just the defaults.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/diversity.h"
+#include "core/redundant.h"
+#include "sched/policies.h"
+#include "tests/test_kernels.h"
+
+namespace higpu {
+namespace {
+
+using core::DualPtr;
+using core::RedundantSession;
+using testing::make_spin_kernel;
+
+// ---------------------------------------------------------------------------
+// Property: SRRS places every logical block of the two copies on different
+// SMs for EVERY pair of distinct starting SMs and several grid shapes.
+// ---------------------------------------------------------------------------
+
+struct SrrsCase {
+  u32 start_a;
+  u32 start_b;
+  u32 blocks;
+};
+
+class SrrsDiversityProperty : public ::testing::TestWithParam<SrrsCase> {};
+
+TEST_P(SrrsDiversityProperty, BlocksAlwaysOnDifferentSmsAtDifferentTimes) {
+  const SrrsCase c = GetParam();
+  runtime::Device dev;
+  RedundantSession::Config cfg;
+  cfg.policy = sched::Policy::kSrrs;
+  cfg.srrs_start_a = c.start_a;
+  cfg.srrs_start_b = c.start_b;
+  RedundantSession s(dev, cfg);
+
+  const u32 n = c.blocks * 64;
+  const DualPtr out = s.alloc(n * 4);
+  s.launch(make_spin_kernel(20), sim::Dim3{c.blocks, 1, 1},
+           sim::Dim3{64, 1, 1}, {out, n});
+  s.sync();
+
+  const core::DiversityReport rep =
+      core::analyze_block_diversity(dev.gpu().block_records(), s.pairs());
+  EXPECT_EQ(rep.blocks_checked, c.blocks);
+  EXPECT_TRUE(rep.spatially_diverse())
+      << "starts " << c.start_a << "/" << c.start_b;
+  EXPECT_TRUE(rep.temporally_disjoint());
+  EXPECT_TRUE(s.all_outputs_matched() || s.comparisons() == 0);
+}
+
+std::vector<SrrsCase> srrs_cases() {
+  std::vector<SrrsCase> cases;
+  for (u32 a = 0; a < 6; ++a)
+    for (u32 b = 0; b < 6; ++b)
+      if (a != b) cases.push_back({a, b, 13});
+  cases.push_back({0, 3, 1});
+  cases.push_back({0, 1, 6});
+  cases.push_back({5, 2, 48});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStartPairs, SrrsDiversityProperty,
+                         ::testing::ValuesIn(srrs_cases()));
+
+// ---------------------------------------------------------------------------
+// Property: identical starting SMs break the guarantee (negative control —
+// the BIST/diversity monitor must notice, proving the checks are not
+// vacuous).
+// ---------------------------------------------------------------------------
+
+TEST(SrrsDiversityNegative, SameStartSmSharesEverySm) {
+  runtime::Device dev;
+  RedundantSession::Config cfg;
+  cfg.policy = sched::Policy::kSrrs;
+  cfg.srrs_start_a = 2;
+  cfg.srrs_start_b = 2;  // misconfigured on purpose
+  RedundantSession s(dev, cfg);
+  const u32 blocks = 12, n = blocks * 64;
+  const DualPtr out = s.alloc(n * 4);
+  s.launch(make_spin_kernel(20), sim::Dim3{blocks, 1, 1}, sim::Dim3{64, 1, 1},
+           {out, n});
+  s.sync();
+  const core::DiversityReport rep =
+      core::analyze_block_diversity(dev.gpu().block_records(), s.pairs());
+  EXPECT_EQ(rep.same_sm, blocks);  // every block pair shares its SM
+  EXPECT_TRUE(rep.temporally_disjoint());  // serialization still holds
+}
+
+// ---------------------------------------------------------------------------
+// Property: HALF keeps the copies spatially disjoint for every partition
+// split and block count.
+// ---------------------------------------------------------------------------
+
+struct HalfCase {
+  u32 blocks;
+  u32 spin;
+};
+
+class HalfDiversityProperty : public ::testing::TestWithParam<HalfCase> {};
+
+TEST_P(HalfDiversityProperty, PartitionsNeverShareSms) {
+  const HalfCase c = GetParam();
+  runtime::Device dev;
+  RedundantSession::Config cfg;
+  cfg.policy = sched::Policy::kHalf;
+  RedundantSession s(dev, cfg);
+  const u32 n = c.blocks * 64;
+  const DualPtr out = s.alloc(n * 4);
+  s.launch(make_spin_kernel(c.spin), sim::Dim3{c.blocks, 1, 1},
+           sim::Dim3{64, 1, 1}, {out, n});
+  s.sync();
+
+  std::map<u32, std::set<u32>> sms_by_launch;
+  for (const sim::BlockRecord& r : dev.gpu().block_records())
+    sms_by_launch[r.launch_id].insert(r.sm);
+  ASSERT_EQ(sms_by_launch.size(), 2u);
+  const auto& a = sms_by_launch.begin()->second;
+  const auto& b = std::next(sms_by_launch.begin())->second;
+  for (u32 sm : a) EXPECT_EQ(b.count(sm), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridShapes, HalfDiversityProperty,
+    ::testing::Values(HalfCase{1, 50}, HalfCase{3, 50}, HalfCase{6, 200},
+                      HalfCase{12, 200}, HalfCase{24, 100}, HalfCase{48, 20}));
+
+// ---------------------------------------------------------------------------
+// Property: results are bit-identical across policies (scheduling must never
+// change functional behaviour).
+// ---------------------------------------------------------------------------
+
+class PolicyFunctionalEquivalence
+    : public ::testing::TestWithParam<sched::Policy> {};
+
+TEST_P(PolicyFunctionalEquivalence, SameOutputsAsDefault) {
+  auto run_with = [](sched::Policy policy) {
+    runtime::Device dev;
+    RedundantSession::Config cfg;
+    cfg.policy = policy;
+    RedundantSession s(dev, cfg);
+    const u32 n = 12 * 64;
+    const DualPtr out = s.alloc(n * 4);
+    std::vector<u32> zero(n, 0);
+    s.h2d(out, zero.data(), n * 4);
+    s.launch(make_spin_kernel(37), sim::Dim3{12, 1, 1}, sim::Dim3{64, 1, 1},
+             {out, n});
+    s.sync();
+    std::vector<u32> result(n);
+    s.d2h(result.data(), out, n * 4);
+    return result;
+  };
+  EXPECT_EQ(run_with(GetParam()), run_with(sched::Policy::kDefault));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyFunctionalEquivalence,
+                         ::testing::Values(sched::Policy::kDefault,
+                                           sched::Policy::kHalf,
+                                           sched::Policy::kSrrs));
+
+// ---------------------------------------------------------------------------
+// Property: SM-count sweep — SRRS diversity holds for any GPU size >= 2.
+// ---------------------------------------------------------------------------
+
+class SmCountProperty : public ::testing::TestWithParam<u32> {};
+
+TEST_P(SmCountProperty, SrrsDiverseOnAnyGpuSize) {
+  const u32 num_sms = GetParam();
+  sim::GpuParams p;
+  p.num_sms = num_sms;
+  runtime::Device dev(p);
+  RedundantSession::Config cfg;
+  cfg.policy = sched::Policy::kSrrs;
+  cfg.srrs_start_a = 0;
+  cfg.srrs_start_b = num_sms / 2 + (num_sms / 2 == 0 ? 1 : 0);
+  RedundantSession s(dev, cfg);
+  const u32 blocks = 2 * num_sms + 1;
+  const u32 n = blocks * 64;
+  const DualPtr out = s.alloc(n * 4);
+  s.launch(make_spin_kernel(20), sim::Dim3{blocks, 1, 1}, sim::Dim3{64, 1, 1},
+           {out, n});
+  s.sync();
+  const core::DiversityReport rep =
+      core::analyze_block_diversity(dev.gpu().block_records(), s.pairs());
+  EXPECT_TRUE(rep.spatially_diverse()) << num_sms << " SMs";
+  EXPECT_TRUE(rep.temporally_disjoint());
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuSizes, SmCountProperty,
+                         ::testing::Values(2u, 3u, 4u, 6u, 8u, 12u, 16u));
+
+}  // namespace
+}  // namespace higpu

@@ -1,0 +1,162 @@
+// RedundantSession: the 5-step redundant execution flow of paper §IV.A.
+#include <gtest/gtest.h>
+
+#include "core/redundant.h"
+#include "tests/test_kernels.h"
+
+namespace higpu::core {
+namespace {
+
+using testing::make_spin_kernel;
+using testing::make_store_kernel;
+
+RedundantSession::Config cfg_for(sched::Policy p, bool redundant = true) {
+  RedundantSession::Config c;
+  c.policy = p;
+  c.redundant = redundant;
+  return c;
+}
+
+TEST(RedundantSession, BaselineModeAliasesBuffers) {
+  runtime::Device dev;
+  RedundantSession s(dev, cfg_for(sched::Policy::kDefault, false));
+  const DualPtr p = s.alloc(64);
+  EXPECT_EQ(p.a, p.b);
+  EXPECT_TRUE(s.compare(p, 64));  // vacuous in baseline mode
+  EXPECT_EQ(s.comparisons(), 0u);
+}
+
+TEST(RedundantSession, RedundantModeSeparatesBuffers) {
+  runtime::Device dev;
+  RedundantSession s(dev, cfg_for(sched::Policy::kSrrs));
+  const DualPtr p = s.alloc(64);
+  EXPECT_NE(p.a, p.b);
+}
+
+TEST(RedundantSession, UploadReachesBothCopies) {
+  runtime::Device dev;
+  RedundantSession s(dev, cfg_for(sched::Policy::kSrrs));
+  const DualPtr p = s.alloc(16);
+  const std::vector<u32> data = {1, 2, 3, 4};
+  s.h2d(p, data.data(), 16);
+  std::vector<u32> a(4), b(4);
+  dev.memcpy_d2h(a.data(), p.a, 16);
+  dev.memcpy_d2h(b.data(), p.b, 16);
+  EXPECT_EQ(a, data);
+  EXPECT_EQ(b, data);
+}
+
+TEST(RedundantSession, LaunchCreatesPairsOnDistinctStreams) {
+  runtime::Device dev;
+  RedundantSession s(dev, cfg_for(sched::Policy::kSrrs));
+  const u32 n = 256;
+  const DualPtr out = s.alloc(n * 4);
+  s.launch(make_store_kernel(), sim::Dim3{2, 1, 1}, sim::Dim3{128, 1, 1},
+           {out, n});
+  s.sync();
+  ASSERT_EQ(s.pairs().size(), 1u);
+  const auto [ida, idb] = s.pairs()[0];
+  EXPECT_NE(ida, idb);
+  EXPECT_EQ(dev.gpu().launch_of(ida).stream, 0u);
+  EXPECT_EQ(dev.gpu().launch_of(idb).stream, 1u);
+}
+
+TEST(RedundantSession, SrrsHintsDifferPerCopy) {
+  runtime::Device dev;
+  RedundantSession s(dev, cfg_for(sched::Policy::kSrrs));
+  const u32 n = 256;
+  const DualPtr out = s.alloc(n * 4);
+  s.launch(make_store_kernel(), sim::Dim3{2, 1, 1}, sim::Dim3{128, 1, 1},
+           {out, n});
+  s.sync();
+  const auto [ida, idb] = s.pairs()[0];
+  const u32 start_a = dev.gpu().launch_of(ida).hints.start_sm;
+  const u32 start_b = dev.gpu().launch_of(idb).hints.start_sm;
+  EXPECT_NE(start_a, start_b);
+  EXPECT_EQ(start_b, dev.gpu().num_sms() / 2);  // kAuto default
+}
+
+TEST(RedundantSession, HalfMasksAreDisjointHalves) {
+  runtime::Device dev;
+  RedundantSession s(dev, cfg_for(sched::Policy::kHalf));
+  const u32 n = 256;
+  const DualPtr out = s.alloc(n * 4);
+  s.launch(make_store_kernel(), sim::Dim3{2, 1, 1}, sim::Dim3{128, 1, 1},
+           {out, n});
+  s.sync();
+  const auto [ida, idb] = s.pairs()[0];
+  const u64 mask_a = dev.gpu().launch_of(ida).hints.sm_mask;
+  const u64 mask_b = dev.gpu().launch_of(idb).hints.sm_mask;
+  EXPECT_NE(mask_a, 0u);
+  EXPECT_NE(mask_b, 0u);
+  EXPECT_EQ(mask_a & mask_b, 0u);
+  EXPECT_EQ(mask_a | mask_b, sched::sm_range_mask(0, dev.gpu().num_sms()));
+}
+
+TEST(RedundantSession, IdenticalCopiesCompareEqual) {
+  for (sched::Policy p : {sched::Policy::kDefault, sched::Policy::kHalf,
+                          sched::Policy::kSrrs}) {
+    runtime::Device dev;
+    RedundantSession s(dev, cfg_for(p));
+    const u32 n = 2048;
+    const DualPtr out = s.alloc(n * 4);
+    s.launch(make_spin_kernel(30), sim::Dim3{16, 1, 1}, sim::Dim3{128, 1, 1},
+             {out, n});
+    s.sync();
+    EXPECT_TRUE(s.compare(out, n * 4)) << "policy " << sched::policy_name(p);
+    EXPECT_TRUE(s.all_outputs_matched());
+    EXPECT_EQ(s.comparisons(), 1u);
+    EXPECT_EQ(s.mismatches(), 0u);
+  }
+}
+
+TEST(RedundantSession, DetectsInjectedOutputCorruption) {
+  runtime::Device dev;
+  RedundantSession s(dev, cfg_for(sched::Policy::kSrrs));
+  const u32 n = 256;
+  const DualPtr out = s.alloc(n * 4);
+  s.launch(make_store_kernel(), sim::Dim3{2, 1, 1}, sim::Dim3{128, 1, 1},
+           {out, n});
+  s.sync();
+  // Corrupt one word of copy B directly in device memory.
+  dev.gpu().store().write32(out.b + 40, 0xBAD);
+  EXPECT_FALSE(s.compare(out, n * 4));
+  EXPECT_FALSE(s.all_outputs_matched());
+  EXPECT_EQ(s.mismatches(), 1u);
+}
+
+TEST(RedundantSession, KernelCyclesAccumulate) {
+  runtime::Device dev;
+  RedundantSession s(dev, cfg_for(sched::Policy::kSrrs));
+  const u32 n = 1024;
+  const DualPtr out = s.alloc(n * 4);
+  s.launch(make_spin_kernel(50), sim::Dim3{8, 1, 1}, sim::Dim3{128, 1, 1},
+           {out, n});
+  s.sync();
+  const Cycle c1 = s.kernel_cycles();
+  EXPECT_GT(c1, 0u);
+  s.launch(make_spin_kernel(50), sim::Dim3{8, 1, 1}, sim::Dim3{128, 1, 1},
+           {out, n});
+  s.sync();
+  EXPECT_GT(s.kernel_cycles(), c1);
+}
+
+TEST(RedundantSession, RedundantCostsMoreWallClockThanBaseline) {
+  auto run = [&](bool redundant) {
+    runtime::Device dev;
+    RedundantSession s(dev, cfg_for(sched::Policy::kSrrs, redundant));
+    const u32 n = 4096;
+    const DualPtr out = s.alloc(n * 4);
+    std::vector<u32> zeros(n, 0);
+    s.h2d(out, zeros.data(), n * 4);
+    s.launch(make_spin_kernel(100), sim::Dim3{32, 1, 1}, sim::Dim3{128, 1, 1},
+             {out, n});
+    s.sync();
+    s.compare(out, n * 4);
+    return dev.elapsed_ns();
+  };
+  EXPECT_GT(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace higpu::core

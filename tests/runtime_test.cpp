@@ -1,0 +1,111 @@
+// Host runtime: memory transfers, launch/synchronize semantics, and the
+// end-to-end wall-clock model.
+#include <gtest/gtest.h>
+
+#include "runtime/device.h"
+#include "sched/policies.h"
+#include "tests/test_kernels.h"
+
+namespace higpu::runtime {
+namespace {
+
+using testing::make_launch;
+using testing::make_spin_kernel;
+using testing::make_store_kernel;
+
+std::unique_ptr<Device> make_device() {
+  auto dev = std::make_unique<Device>();
+  dev->set_kernel_scheduler(std::make_unique<sched::DefaultKernelScheduler>());
+  return dev;
+}
+
+TEST(Device, MemcpyRoundTrip) {
+  auto dev = make_device();
+  const DevPtr p = dev->malloc(64);
+  std::vector<u32> in = {10, 20, 30, 40};
+  dev->memcpy_h2d(p, in.data(), 16);
+  std::vector<u32> out(4, 0);
+  dev->memcpy_d2h(out.data(), p, 16);
+  EXPECT_EQ(in, out);
+}
+
+TEST(Device, EveryOperationAdvancesTime) {
+  auto dev = make_device();
+  const NanoSec t0 = dev->elapsed_ns();
+  const DevPtr p = dev->malloc(1024);
+  const NanoSec t1 = dev->elapsed_ns();
+  EXPECT_GT(t1, t0);
+  std::vector<u32> data(256, 1);
+  dev->memcpy_h2d(p, data.data(), 1024);
+  const NanoSec t2 = dev->elapsed_ns();
+  EXPECT_GT(t2, t1);
+  dev->host_compare(1024);
+  EXPECT_GT(dev->elapsed_ns(), t2);
+}
+
+TEST(Device, LargerTransfersCostMore) {
+  PlatformParams pp;
+  const NanoSec small = pp.transfer_ns(1024, true);
+  const NanoSec big = pp.transfer_ns(16 * 1024 * 1024, true);
+  EXPECT_GT(big, small);
+  EXPECT_GE(small, pp.memcpy_latency_ns);  // latency floor
+}
+
+TEST(Device, KernelExecutionExtendsWallClock) {
+  auto dev = make_device();
+  const DevPtr out = dev->malloc(4096 * 4);
+  const NanoSec before = dev->elapsed_ns();
+  dev->launch(make_launch(make_spin_kernel(200), 4096, 128, {out, 4096}));
+  const Cycle cycles = dev->synchronize();
+  EXPECT_GT(cycles, 0u);
+  // Wall clock advanced at least by the kernel's cycles / clock.
+  const double ns_per_cycle = 1.0 / dev->gpu().params().clock_ghz;
+  EXPECT_GE(dev->elapsed_ns() - before,
+            static_cast<NanoSec>(static_cast<double>(cycles) * ns_per_cycle * 0.9));
+}
+
+TEST(Device, SynchronizeIsIdempotentOnTime) {
+  auto dev = make_device();
+  const DevPtr out = dev->malloc(256 * 4);
+  dev->launch(make_launch(make_store_kernel(), 256, 128, {out, 256}));
+  dev->synchronize();
+  const NanoSec t1 = dev->elapsed_ns();
+  dev->synchronize();  // nothing pending: only the fixed sync overhead
+  EXPECT_LE(dev->elapsed_ns() - t1, dev->platform().sync_ns + 1);
+}
+
+TEST(Device, GpuCyclesAccumulateAcrossSyncs) {
+  auto dev = make_device();
+  const DevPtr out = dev->malloc(1024 * 4);
+  dev->launch(make_launch(make_spin_kernel(50), 1024, 128, {out, 1024}));
+  dev->synchronize();
+  const Cycle after_first = dev->gpu_cycles_consumed();
+  dev->launch(make_launch(make_spin_kernel(50), 1024, 128, {out, 1024}));
+  dev->synchronize();
+  EXPECT_GT(dev->gpu_cycles_consumed(), after_first);
+}
+
+TEST(Device, HostChargesScaleWithBytes) {
+  auto dev = make_device();
+  const NanoSec t0 = dev->elapsed_ns();
+  dev->host_parse(1'000'000);
+  const NanoSec parse = dev->elapsed_ns() - t0;
+  dev->host_generate(1'000'000);
+  const NanoSec gen = dev->elapsed_ns() - t0 - parse;
+  EXPECT_GT(parse, gen);  // parsing a text file is slower than generating
+}
+
+TEST(Device, D2hSynchronizesPendingKernels) {
+  // Reading back a buffer written by an unsynchronized kernel must see the
+  // kernel's output (implicit sync).
+  auto dev = make_device();
+  const u32 n = 256;
+  const DevPtr out = dev->malloc(n * 4);
+  dev->launch(make_launch(make_store_kernel(), n, 128, {out, n}));
+  std::vector<u32> host(n, 0xFF);
+  dev->memcpy_d2h(host.data(), out, n * 4);
+  for (u32 i = 0; i < n; ++i) EXPECT_EQ(host[i], i);
+}
+
+}  // namespace
+}  // namespace higpu::runtime

@@ -1,0 +1,121 @@
+// ISO 26262 safety model: ASIL decomposition (Fig. 1), FTTI budgets,
+// hardware metrics thresholds, and the kernel-scheduler BIST (§IV.C).
+#include <gtest/gtest.h>
+
+#include "fault/injector.h"
+#include "safety/asil.h"
+#include "safety/bist.h"
+
+namespace higpu::safety {
+namespace {
+
+TEST(Asil, Names) {
+  EXPECT_STREQ(asil_name(Asil::kQM), "QM");
+  EXPECT_STREQ(asil_name(Asil::kD), "ASIL-D");
+}
+
+TEST(Asil, Figure1Decompositions) {
+  // Left example: ASIL-C = ASIL-A + ASIL-B (independent).
+  EXPECT_TRUE(valid_decomposition(Asil::kC, Asil::kA, Asil::kB, true));
+  // Middle example: ASIL-D = ASIL-B + ASIL-B — the DCLS pattern this paper
+  // brings to GPUs.
+  EXPECT_TRUE(valid_decomposition(Asil::kD, Asil::kB, Asil::kB, true));
+  // Right example: ASIL-D = ASIL-D monitor + QM operation part.
+  EXPECT_TRUE(valid_decomposition(Asil::kD, Asil::kD, Asil::kQM, true));
+}
+
+TEST(Asil, DecompositionIsOrderInsensitive) {
+  EXPECT_TRUE(valid_decomposition(Asil::kC, Asil::kB, Asil::kA, true));
+  EXPECT_TRUE(valid_decomposition(Asil::kD, Asil::kC, Asil::kA, true));
+  EXPECT_TRUE(valid_decomposition(Asil::kD, Asil::kA, Asil::kC, true));
+}
+
+TEST(Asil, InvalidDecompositionsRejected) {
+  EXPECT_FALSE(valid_decomposition(Asil::kD, Asil::kB, Asil::kA, true));
+  EXPECT_FALSE(valid_decomposition(Asil::kD, Asil::kA, Asil::kA, true));
+  EXPECT_FALSE(valid_decomposition(Asil::kC, Asil::kA, Asil::kA, true));
+  EXPECT_FALSE(valid_decomposition(Asil::kB, Asil::kA, Asil::kQM, true));
+}
+
+TEST(Asil, IndependenceIsMandatory) {
+  // Without freedom from common-cause faults no decomposition credit: this
+  // is exactly why redundant kernels need *diverse* scheduling.
+  EXPECT_FALSE(valid_decomposition(Asil::kD, Asil::kB, Asil::kB, false));
+  EXPECT_FALSE(valid_decomposition(Asil::kC, Asil::kA, Asil::kB, false));
+}
+
+TEST(Asil, ComposedAsil) {
+  EXPECT_EQ(composed_asil(Asil::kB, Asil::kB, true), Asil::kD);
+  EXPECT_EQ(composed_asil(Asil::kA, Asil::kB, true), Asil::kC);
+  EXPECT_EQ(composed_asil(Asil::kA, Asil::kA, true), Asil::kB);
+  // Dependent redundancy earns nothing beyond the stronger element.
+  EXPECT_EQ(composed_asil(Asil::kB, Asil::kB, false), Asil::kB);
+}
+
+TEST(Ftti, BudgetArithmetic) {
+  FttiBudget b;
+  b.detection_ns = 6'000'000;   // 6 ms redundant execution + compare
+  b.reaction_ns = 20'000'000;   // 20 ms re-execution
+  b.ftti_ns = 100'000'000;      // 100 ms FTTI
+  EXPECT_TRUE(b.met());
+  EXPECT_EQ(b.response_ns(), 26'000'000u);
+  EXPECT_NEAR(b.margin(), 0.74, 1e-9);
+  b.ftti_ns = 20'000'000;
+  EXPECT_FALSE(b.met());
+}
+
+TEST(HwMetrics, AsilThresholds) {
+  EXPECT_EQ(max_asil_for({0.995, 0.95}), Asil::kD);
+  EXPECT_EQ(max_asil_for({0.98, 0.85}), Asil::kC);
+  EXPECT_EQ(max_asil_for({0.92, 0.70}), Asil::kB);
+  EXPECT_EQ(max_asil_for({0.50, 0.10}), Asil::kA);
+  // LFM shortfall demotes even with a perfect SPFM.
+  EXPECT_EQ(max_asil_for({1.00, 0.85}), Asil::kC);
+  EXPECT_EQ(max_asil_for({1.00, 0.70}), Asil::kB);
+}
+
+TEST(HwMetrics, RequiredMetricsRoundTrip) {
+  for (Asil a : {Asil::kB, Asil::kC, Asil::kD}) {
+    const HwMetrics m = required_metrics(a);
+    EXPECT_EQ(max_asil_for(m), a);
+  }
+}
+
+TEST(Bist, PassesOnHealthyScheduler) {
+  for (sched::Policy p : {sched::Policy::kSrrs, sched::Policy::kHalf}) {
+    runtime::Device dev;
+    const BistResult r = run_scheduler_bist(dev, p);
+    EXPECT_TRUE(r.pass) << sched::policy_name(p);
+    EXPECT_GT(r.blocks_checked, 0u);
+    EXPECT_EQ(r.placement_violations, 0u);
+    EXPECT_EQ(r.diversity_violations, 0u);
+    EXPECT_FALSE(r.output_mismatch);
+  }
+}
+
+TEST(Bist, CatchesSchedulerMappingFault) {
+  // A latent scheduler fault (type-(2) of §IV.C): blocks silently placed on
+  // the wrong SM. Functionally invisible — the BIST must flag it.
+  runtime::Device dev;
+  fault::FaultInjector fi;
+  fi.arm_scheduler_fault(0, /*sm_offset=*/3);
+  dev.gpu().set_fault_hook(&fi);
+  const BistResult r = run_scheduler_bist(dev, sched::Policy::kSrrs);
+  EXPECT_FALSE(r.pass);
+  EXPECT_GT(r.placement_violations, 0u);
+  EXPECT_FALSE(r.output_mismatch);  // outputs are fine: the fault is latent
+}
+
+TEST(Bist, CatchesDiversityLossUnderHalf) {
+  // Offset of half the SMs maps copy A's partition onto copy B's: blocks
+  // land outside their mask and redundant blocks share SMs.
+  runtime::Device dev;
+  fault::FaultInjector fi;
+  fi.arm_scheduler_fault(0, /*sm_offset=*/3);
+  dev.gpu().set_fault_hook(&fi);
+  const BistResult r = run_scheduler_bist(dev, sched::Policy::kHalf);
+  EXPECT_FALSE(r.pass);
+}
+
+}  // namespace
+}  // namespace higpu::safety

@@ -1,0 +1,192 @@
+// Kernel-scheduler policy behaviour: SRRS mapping/serialization, HALF
+// partitioning via masks, default-policy concurrency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "memsys/global_store.h"
+#include "sched/policies.h"
+#include "sim/gpu.h"
+#include "tests/test_kernels.h"
+
+namespace higpu::sched {
+namespace {
+
+using sim::BlockRecord;
+using sim::Gpu;
+using sim::GpuParams;
+using sim::KernelLaunch;
+using testing::make_launch;
+using testing::make_spin_kernel;
+
+struct RunResult {
+  std::vector<BlockRecord> records;
+  Cycle first_dispatch_a = 0, done_a = 0;
+  Cycle first_dispatch_b = 0, done_b = 0;
+};
+
+/// Launch two copies of the same kernel under `policy` with the given hints.
+RunResult run_pair(Policy policy, u32 threads, u32 spin, sim::SchedHints ha,
+                   sim::SchedHints hb) {
+  GpuParams p;
+  memsys::GlobalStore store;
+  Gpu gpu(p, &store);
+  gpu.set_kernel_scheduler(make_scheduler(policy));
+
+  isa::ProgramPtr prog = make_spin_kernel(spin);
+  KernelLaunch a = make_launch(prog, threads, 128,
+                               {store.alloc(threads * 4), threads});
+  a.hints = ha;
+  a.stream = 0;
+  KernelLaunch b = make_launch(prog, threads, 128,
+                               {store.alloc(threads * 4), threads});
+  b.hints = hb;
+  b.stream = 1;
+
+  const u32 ida = gpu.launch(std::move(a));
+  const u32 idb = gpu.launch(std::move(b));
+  gpu.run_until_idle(200'000'000);
+
+  RunResult r;
+  r.records = gpu.block_records();
+  r.first_dispatch_a = gpu.kernel_state(ida).first_dispatch_cycle;
+  r.done_a = gpu.kernel_state(ida).done_cycle;
+  r.first_dispatch_b = gpu.kernel_state(idb).first_dispatch_cycle;
+  r.done_b = gpu.kernel_state(idb).done_cycle;
+  return r;
+}
+
+TEST(SmRangeMask, BuildsExpectedBits) {
+  EXPECT_EQ(sm_range_mask(0, 3), 0b111u);
+  EXPECT_EQ(sm_range_mask(3, 6), 0b111000u);
+  EXPECT_EQ(sm_range_mask(2, 2), 0u);
+}
+
+TEST(SchedHints, MaskSemantics) {
+  sim::SchedHints h;
+  EXPECT_TRUE(h.sm_allowed(0));  // 0 mask = all allowed
+  EXPECT_TRUE(h.sm_allowed(5));
+  h.sm_mask = 0b101;
+  EXPECT_TRUE(h.sm_allowed(0));
+  EXPECT_FALSE(h.sm_allowed(1));
+  EXPECT_TRUE(h.sm_allowed(2));
+}
+
+TEST(Srrs, StrictRoundRobinMapping) {
+  sim::SchedHints ha, hb;
+  ha.start_sm = 0;
+  hb.start_sm = 3;
+  const RunResult r = run_pair(Policy::kSrrs, 36 * 128, 20, ha, hb);
+  for (const BlockRecord& rec : r.records) {
+    const u32 start = rec.launch_id == 0 ? 0u : 3u;
+    EXPECT_EQ(rec.sm, (start + rec.block_linear) % 6)
+        << "launch " << rec.launch_id << " block " << rec.block_linear;
+  }
+}
+
+TEST(Srrs, DifferentStartsGiveDisjointSmsPerBlock) {
+  sim::SchedHints ha, hb;
+  ha.start_sm = 0;
+  hb.start_sm = 3;
+  const RunResult r = run_pair(Policy::kSrrs, 24 * 128, 20, ha, hb);
+  std::map<u32, u32> sm_a, sm_b;
+  for (const BlockRecord& rec : r.records)
+    (rec.launch_id == 0 ? sm_a : sm_b)[rec.block_linear] = rec.sm;
+  ASSERT_EQ(sm_a.size(), sm_b.size());
+  for (const auto& [block, sm] : sm_a) EXPECT_NE(sm, sm_b.at(block));
+}
+
+TEST(Srrs, FullySerializesKernels) {
+  sim::SchedHints ha, hb;
+  hb.start_sm = 3;
+  const RunResult r = run_pair(Policy::kSrrs, 24 * 128, 50, ha, hb);
+  // The second kernel starts only after the first fully completed.
+  EXPECT_GE(r.first_dispatch_b, r.done_a);
+}
+
+TEST(Srrs, BlockIntervalsNeverOverlapAcrossCopies) {
+  sim::SchedHints ha, hb;
+  hb.start_sm = 1;
+  const RunResult r = run_pair(Policy::kSrrs, 12 * 128, 50, ha, hb);
+  Cycle max_end_a = 0, min_start_b = ~Cycle{0};
+  for (const BlockRecord& rec : r.records) {
+    if (rec.launch_id == 0) max_end_a = std::max(max_end_a, rec.end_cycle);
+    if (rec.launch_id == 1)
+      min_start_b = std::min(min_start_b, rec.dispatch_cycle);
+  }
+  EXPECT_GE(min_start_b, max_end_a);
+}
+
+TEST(Half, MasksPartitionTheSms) {
+  sim::SchedHints ha, hb;
+  ha.sm_mask = sm_range_mask(0, 3);
+  hb.sm_mask = sm_range_mask(3, 6);
+  const RunResult r = run_pair(Policy::kHalf, 24 * 128, 50, ha, hb);
+  for (const BlockRecord& rec : r.records) {
+    if (rec.launch_id == 0)
+      EXPECT_LT(rec.sm, 3u);
+    else
+      EXPECT_GE(rec.sm, 3u);
+  }
+}
+
+TEST(Half, CopiesOverlapInTime) {
+  sim::SchedHints ha, hb;
+  ha.sm_mask = sm_range_mask(0, 3);
+  hb.sm_mask = sm_range_mask(3, 6);
+  const RunResult r = run_pair(Policy::kHalf, 24 * 128, 400, ha, hb);
+  // Friendly kernels: the second copy starts well before the first ends.
+  EXPECT_LT(r.first_dispatch_b, r.done_a);
+}
+
+TEST(Default, UsesAllSmsAndOverlaps) {
+  const RunResult r = run_pair(Policy::kDefault, 24 * 128, 400, {}, {});
+  std::set<u32> sms_a;
+  for (const BlockRecord& rec : r.records)
+    if (rec.launch_id == 0) sms_a.insert(rec.sm);
+  EXPECT_EQ(sms_a.size(), 6u);  // unconstrained kernel spreads over all SMs
+  EXPECT_LT(r.first_dispatch_b, r.done_a);  // concurrent kernels
+}
+
+TEST(Default, RespectsStreamOrdering) {
+  // Two kernels on the SAME stream must serialize even under Default.
+  GpuParams p;
+  memsys::GlobalStore store;
+  Gpu gpu(p, &store);
+  gpu.set_kernel_scheduler(std::make_unique<DefaultKernelScheduler>());
+  isa::ProgramPtr prog = make_spin_kernel(50);
+  KernelLaunch a = make_launch(prog, 12 * 128, 128, {store.alloc(12 * 128 * 4), 12 * 128});
+  KernelLaunch b = make_launch(prog, 12 * 128, 128, {store.alloc(12 * 128 * 4), 12 * 128});
+  a.stream = 7;
+  b.stream = 7;
+  const u32 ida = gpu.launch(std::move(a));
+  const u32 idb = gpu.launch(std::move(b));
+  gpu.run_until_idle(100'000'000);
+  EXPECT_GE(gpu.kernel_state(idb).first_dispatch_cycle,
+            gpu.kernel_state(ida).done_cycle);
+}
+
+TEST(Policies, FactoryAndNames) {
+  EXPECT_EQ(make_scheduler(Policy::kSrrs)->name(), "srrs");
+  EXPECT_EQ(make_scheduler(Policy::kDefault)->name(), "default");
+  EXPECT_EQ(make_scheduler(Policy::kHalf)->name(), "default");  // HALF = masks
+  EXPECT_STREQ(policy_name(Policy::kHalf), "half");
+  EXPECT_STREQ(policy_name(Policy::kSrrs), "srrs");
+}
+
+TEST(Srrs, HonoursLaunchGapBeforeStart) {
+  GpuParams p;
+  memsys::GlobalStore store;
+  Gpu gpu(p, &store);
+  gpu.set_kernel_scheduler(std::make_unique<SrrsKernelScheduler>());
+  KernelLaunch l = make_launch(make_spin_kernel(10), 128, 128,
+                               {store.alloc(128 * 4), 128});
+  const u32 id = gpu.launch(std::move(l));
+  gpu.run_until_idle(10'000'000);
+  EXPECT_GE(gpu.kernel_state(id).first_dispatch_cycle, p.launch_gap_cycles);
+}
+
+}  // namespace
+}  // namespace higpu::sched

@@ -1,0 +1,385 @@
+// Functional correctness of the SIMT execution engine: ALU semantics,
+// divergence/reconvergence, predication, barriers, shared memory, atomics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "isa/builder.h"
+#include "memsys/global_store.h"
+#include "sched/policies.h"
+#include "sim/executor.h"
+#include "sim/gpu.h"
+
+namespace higpu::sim {
+namespace {
+
+using isa::CmpOp;
+using isa::DType;
+using isa::imm;
+using isa::fimm;
+using isa::KernelBuilder;
+using isa::Label;
+using isa::Op;
+using isa::PredReg;
+using isa::Reg;
+using isa::SReg;
+
+/// Test fixture owning a small GPU with the default scheduler.
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest() : gpu_(params_, &store_) {
+    gpu_.set_kernel_scheduler(std::make_unique<sched::DefaultKernelScheduler>());
+  }
+
+  u32 run(isa::ProgramPtr prog, Dim3 grid, Dim3 block,
+          std::vector<u32> params) {
+    KernelLaunch l;
+    l.program = std::move(prog);
+    l.grid = grid;
+    l.block = block;
+    l.params = std::move(params);
+    const u32 id = gpu_.launch(std::move(l));
+    gpu_.run_until_idle(50'000'000);
+    return id;
+  }
+
+  GpuParams params_;
+  memsys::GlobalStore store_;
+  Gpu gpu_;
+};
+
+TEST(EvalAlu, IntegerOps) {
+  EXPECT_EQ(eval_alu(Op::kIadd, 3, 4, 0), 7u);
+  EXPECT_EQ(eval_alu(Op::kIsub, 3, 4, 0), static_cast<u32>(-1));
+  EXPECT_EQ(eval_alu(Op::kImul, 5, 7, 0), 35u);
+  EXPECT_EQ(eval_alu(Op::kImad, 2, 3, 4), 10u);
+  EXPECT_EQ(eval_alu(Op::kImin, static_cast<u32>(-5), 3, 0),
+            static_cast<u32>(-5));
+  EXPECT_EQ(eval_alu(Op::kImax, static_cast<u32>(-5), 3, 0), 3u);
+  EXPECT_EQ(eval_alu(Op::kAnd, 0xF0, 0x3C, 0), 0x30u);
+  EXPECT_EQ(eval_alu(Op::kOr, 0xF0, 0x0C, 0), 0xFCu);
+  EXPECT_EQ(eval_alu(Op::kXor, 0xFF, 0x0F, 0), 0xF0u);
+  EXPECT_EQ(eval_alu(Op::kNot, 0, 0, 0), 0xFFFFFFFFu);
+  EXPECT_EQ(eval_alu(Op::kShl, 1, 4, 0), 16u);
+  EXPECT_EQ(eval_alu(Op::kShr, 0x80000000u, 31, 0), 1u);
+  EXPECT_EQ(eval_alu(Op::kSra, 0x80000000u, 31, 0), 0xFFFFFFFFu);
+}
+
+TEST(EvalAlu, FloatOps) {
+  EXPECT_EQ(bits2f(eval_alu(Op::kFadd, f2bits(1.5f), f2bits(2.5f), 0)), 4.0f);
+  EXPECT_EQ(bits2f(eval_alu(Op::kFmul, f2bits(3.0f), f2bits(2.0f), 0)), 6.0f);
+  EXPECT_EQ(bits2f(eval_alu(Op::kFfma, f2bits(2.0f), f2bits(3.0f),
+                            f2bits(1.0f))),
+            std::fma(2.0f, 3.0f, 1.0f));
+  EXPECT_EQ(bits2f(eval_alu(Op::kFsqrt, f2bits(16.0f), 0, 0)), 4.0f);
+  EXPECT_EQ(bits2f(eval_alu(Op::kFrcp, f2bits(4.0f), 0, 0)), 0.25f);
+  EXPECT_EQ(bits2f(eval_alu(Op::kFneg, f2bits(2.0f), 0, 0)), -2.0f);
+  EXPECT_EQ(bits2f(eval_alu(Op::kFabs, f2bits(-2.0f), 0, 0)), 2.0f);
+  EXPECT_EQ(eval_alu(Op::kI2f, static_cast<u32>(-3), 0, 0), f2bits(-3.0f));
+  EXPECT_EQ(eval_alu(Op::kF2i, f2bits(-3.7f), 0, 0), static_cast<u32>(-3));
+}
+
+TEST(EvalCmp, AllOperatorsAndTypes) {
+  EXPECT_TRUE(eval_cmp(CmpOp::kLt, DType::kI32, static_cast<u32>(-1), 0));
+  EXPECT_FALSE(eval_cmp(CmpOp::kLt, DType::kU32, static_cast<u32>(-1), 0));
+  EXPECT_TRUE(eval_cmp(CmpOp::kGe, DType::kI32, 5, 5));
+  EXPECT_TRUE(eval_cmp(CmpOp::kNe, DType::kI32, 1, 2));
+  EXPECT_TRUE(eval_cmp(CmpOp::kLe, DType::kF32, f2bits(1.0f), f2bits(1.0f)));
+  EXPECT_TRUE(eval_cmp(CmpOp::kGt, DType::kF32, f2bits(2.0f), f2bits(1.0f)));
+  EXPECT_FALSE(eval_cmp(CmpOp::kEq, DType::kF32, f2bits(1.0f), f2bits(2.0f)));
+}
+
+TEST_F(ExecTest, VecAddAcrossBlocks) {
+  const u32 n = 1000;
+  const memsys::DevPtr a = store_.alloc(n * 4);
+  const memsys::DevPtr b = store_.alloc(n * 4);
+  const memsys::DevPtr c = store_.alloc(n * 4);
+  for (u32 i = 0; i < n; ++i) {
+    store_.write32(a + i * 4, f2bits(static_cast<float>(i)));
+    store_.write32(b + i * 4, f2bits(2.0f * static_cast<float>(i)));
+  }
+
+  KernelBuilder kb("vecadd");
+  Reg pa = kb.reg(), pb = kb.reg(), pc = kb.reg(), pn = kb.reg();
+  kb.ldp(pa, 0);
+  kb.ldp(pb, 1);
+  kb.ldp(pc, 2);
+  kb.ldp(pn, 3);
+  Reg gid = kb.global_tid_x();
+  Label done = kb.label();
+  kb.guard_range(gid, pn, done);
+  Reg aa = kb.reg(), ab = kb.reg(), ac = kb.reg(), va = kb.reg(),
+      vb = kb.reg(), vc = kb.reg();
+  kb.imad(aa, gid, imm(4), pa);
+  kb.imad(ab, gid, imm(4), pb);
+  kb.imad(ac, gid, imm(4), pc);
+  kb.ldg(va, aa);
+  kb.ldg(vb, ab);
+  kb.fadd(vc, va, vb);
+  kb.stg(ac, vc);
+  kb.bind(done);
+  kb.exit();
+
+  run(kb.build(), Dim3{ceil_div(n, 128), 1, 1}, Dim3{128, 1, 1}, {a, b, c, n});
+  for (u32 i = 0; i < n; ++i)
+    EXPECT_EQ(bits2f(store_.read32(c + i * 4)), 3.0f * static_cast<float>(i))
+        << "element " << i;
+}
+
+TEST_F(ExecTest, DivergentIfElsePerLane) {
+  const u32 n = 64;
+  const memsys::DevPtr out = store_.alloc(n * 4);
+
+  // out[i] = (i % 2 == 0) ? 100 + i : 200 + i
+  KernelBuilder kb("diverge");
+  Reg po = kb.reg();
+  kb.ldp(po, 0);
+  Reg gid = kb.global_tid_x();
+  Reg par = kb.reg(), v = kb.reg();
+  kb.and_(par, gid, imm(1));
+  PredReg p = kb.pred();
+  kb.setp(p, CmpOp::kEq, DType::kI32, par, imm(0));
+  Label els = kb.label(), join = kb.label();
+  kb.bra(els).guard_ifnot(p);
+  kb.iadd(v, gid, imm(100));
+  kb.bra(join);
+  kb.bind(els);
+  kb.iadd(v, gid, imm(200));
+  kb.bind(join);
+  Reg addr = kb.reg();
+  kb.imad(addr, gid, imm(4), po);
+  kb.stg(addr, v);
+  kb.exit();
+
+  run(kb.build(), Dim3{2, 1, 1}, Dim3{32, 1, 1}, {out});
+  for (u32 i = 0; i < n; ++i) {
+    const u32 expect = (i % 2 == 0) ? 100 + i : 200 + i;
+    EXPECT_EQ(store_.read32(out + i * 4), expect) << "lane " << i;
+  }
+}
+
+TEST_F(ExecTest, PerLaneLoopTripCounts) {
+  const u32 n = 32;
+  const memsys::DevPtr out = store_.alloc(n * 4);
+
+  // out[i] = sum of 0..i  (loop trip count differs per lane -> divergence)
+  KernelBuilder kb("tri");
+  Reg po = kb.reg();
+  kb.ldp(po, 0);
+  Reg gid = kb.global_tid_x();
+  Reg acc = kb.reg(), k = kb.reg();
+  kb.movi(acc, 0);
+  kb.movi(k, 0);
+  Label loop = kb.label(), end = kb.label();
+  kb.bind(loop);
+  PredReg pdone = kb.pred();
+  kb.setp(pdone, CmpOp::kGt, DType::kI32, k, gid);
+  kb.bra(end).guard_if(pdone);
+  kb.iadd(acc, acc, k);
+  kb.iadd(k, k, imm(1));
+  kb.bra(loop);
+  kb.bind(end);
+  Reg addr = kb.reg();
+  kb.imad(addr, gid, imm(4), po);
+  kb.stg(addr, acc);
+  kb.exit();
+
+  run(kb.build(), Dim3{1, 1, 1}, Dim3{32, 1, 1}, {out});
+  for (u32 i = 0; i < n; ++i)
+    EXPECT_EQ(store_.read32(out + i * 4), i * (i + 1) / 2) << "lane " << i;
+}
+
+TEST_F(ExecTest, BarrierReductionInSharedMemory) {
+  const memsys::DevPtr out = store_.alloc(4);
+
+  // 64-thread block, tree reduction of thread ids -> 2016.
+  KernelBuilder kb("reduce");
+  kb.set_shared_bytes(64 * 4);
+  Reg po = kb.reg();
+  kb.ldp(po, 0);
+  Reg tid = kb.reg();
+  kb.s2r(tid, SReg::kTidX);
+  Reg sh = kb.reg();
+  kb.imul(sh, tid, imm(4));
+  kb.sts(sh, tid);
+  kb.bar();
+  Reg other = kb.reg(), mine = kb.reg(), oaddr = kb.reg();
+  for (u32 s = 32; s >= 1; s /= 2) {
+    PredReg p = kb.pred();
+    kb.setp(p, CmpOp::kLt, DType::kI32, tid, imm(static_cast<i32>(s)));
+    kb.iadd(oaddr, sh, imm(static_cast<i32>(s * 4))).guard_if(p);
+    kb.lds(other, oaddr).guard_if(p);
+    kb.lds(mine, sh).guard_if(p);
+    kb.iadd(mine, mine, other).guard_if(p);
+    kb.sts(sh, mine).guard_if(p);
+    kb.bar();
+  }
+  PredReg first = kb.pred();
+  kb.setp(first, CmpOp::kEq, DType::kI32, tid, imm(0));
+  Reg result = kb.reg();
+  kb.lds(result, imm(0)).guard_if(first);
+  kb.stg(po, result).guard_if(first);
+  kb.exit();
+
+  run(kb.build(), Dim3{1, 1, 1}, Dim3{64, 1, 1}, {out});
+  EXPECT_EQ(store_.read32(out), 63u * 64u / 2u);
+}
+
+TEST_F(ExecTest, PredicationWithoutBranches) {
+  const u32 n = 32;
+  const memsys::DevPtr out = store_.alloc(n * 4);
+
+  KernelBuilder kb("selp");
+  Reg po = kb.reg();
+  kb.ldp(po, 0);
+  Reg gid = kb.global_tid_x();
+  PredReg p = kb.pred();
+  kb.setp(p, CmpOp::kLt, DType::kI32, gid, imm(10));
+  Reg v = kb.reg();
+  kb.selp(v, imm(111), imm(222), p);
+  Reg addr = kb.reg();
+  kb.imad(addr, gid, imm(4), po);
+  kb.stg(addr, v);
+  kb.exit();
+
+  run(kb.build(), Dim3{1, 1, 1}, Dim3{32, 1, 1}, {out});
+  for (u32 i = 0; i < n; ++i)
+    EXPECT_EQ(store_.read32(out + i * 4), i < 10 ? 111u : 222u);
+}
+
+TEST_F(ExecTest, SetpAndCombinesConditions) {
+  const u32 n = 32;
+  const memsys::DevPtr out = store_.alloc(n * 4);
+
+  // out[i] = (i > 5 && i < 20) ? 1 : 0
+  KernelBuilder kb("setp_and");
+  Reg po = kb.reg();
+  kb.ldp(po, 0);
+  Reg gid = kb.global_tid_x();
+  PredReg a = kb.pred(), b = kb.pred();
+  kb.setp(a, CmpOp::kGt, DType::kI32, gid, imm(5));
+  kb.setp_and(b, CmpOp::kLt, DType::kI32, gid, imm(20), a);
+  Reg v = kb.reg();
+  kb.selp(v, imm(1), imm(0), b);
+  Reg addr = kb.reg();
+  kb.imad(addr, gid, imm(4), po);
+  kb.stg(addr, v);
+  kb.exit();
+
+  run(kb.build(), Dim3{1, 1, 1}, Dim3{32, 1, 1}, {out});
+  for (u32 i = 0; i < n; ++i)
+    EXPECT_EQ(store_.read32(out + i * 4), (i > 5 && i < 20) ? 1u : 0u);
+}
+
+TEST_F(ExecTest, AtomicAddAccumulatesAcrossBlocks) {
+  const memsys::DevPtr counter = store_.alloc(4);
+  store_.write32(counter, 0);
+
+  KernelBuilder kb("atom");
+  Reg pc = kb.reg(), old = kb.reg();
+  kb.ldp(pc, 0);
+  kb.atom_add(old, pc, imm(1));
+  kb.exit();
+
+  run(kb.build(), Dim3{4, 1, 1}, Dim3{64, 1, 1}, {counter});
+  EXPECT_EQ(store_.read32(counter), 256u);
+}
+
+TEST_F(ExecTest, SpecialRegistersExposeGeometry) {
+  // out[gid] = ctaid.y * 1000 + tid.y * 10 + tid.x for a (2,3) block grid.
+  const u32 bx = 4, by = 3, gx = 2, gy = 2;
+  const u32 total = bx * by * gx * gy;
+  const memsys::DevPtr out = store_.alloc(total * 4);
+
+  KernelBuilder kb("sregs");
+  Reg po = kb.reg();
+  kb.ldp(po, 0);
+  Reg tx = kb.reg(), ty = kb.reg(), cx = kb.reg(), cy = kb.reg(),
+      ntx = kb.reg(), nty = kb.reg();
+  kb.s2r(tx, SReg::kTidX);
+  kb.s2r(ty, SReg::kTidY);
+  kb.s2r(cx, SReg::kCtaIdX);
+  kb.s2r(cy, SReg::kCtaIdY);
+  kb.s2r(ntx, SReg::kNTidX);
+  kb.s2r(nty, SReg::kNTidY);
+  // linear thread id within grid:
+  // ((cy*gy_dim... keep simple: idx = ((cy*2+cx)*by+ty)*bx+tx
+  Reg blk = kb.reg(), idx = kb.reg(), v = kb.reg();
+  kb.imad(blk, cy, imm(static_cast<i32>(gx)), cx);
+  kb.imad(idx, blk, imm(static_cast<i32>(by)), ty);
+  kb.imad(idx, idx, imm(static_cast<i32>(bx)), tx);
+  kb.imad(v, cy, imm(1000), tx);
+  kb.imad(v, ty, imm(10), v);
+  Reg addr = kb.reg();
+  kb.imad(addr, idx, imm(4), po);
+  kb.stg(addr, v);
+  kb.exit();
+
+  run(kb.build(), Dim3{gx, gy, 1}, Dim3{bx, by, 1}, {out});
+  for (u32 cy = 0; cy < gy; ++cy)
+    for (u32 cx = 0; cx < gx; ++cx)
+      for (u32 ty = 0; ty < by; ++ty)
+        for (u32 tx = 0; tx < bx; ++tx) {
+          const u32 idx = ((cy * gx + cx) * by + ty) * bx + tx;
+          EXPECT_EQ(store_.read32(out + idx * 4), cy * 1000 + ty * 10 + tx);
+        }
+}
+
+TEST_F(ExecTest, PartialWarpAndPartialBlock) {
+  // 50 threads in a 32-wide warp world; all must execute exactly once.
+  const u32 n = 50;
+  const memsys::DevPtr out = store_.alloc(64 * 4);
+
+  KernelBuilder kb("partial");
+  Reg po = kb.reg();
+  kb.ldp(po, 0);
+  Reg gid = kb.global_tid_x();
+  Reg addr = kb.reg();
+  kb.imad(addr, gid, imm(4), po);
+  Reg v = kb.reg();
+  kb.iadd(v, gid, imm(7));
+  kb.stg(addr, v);
+  kb.exit();
+
+  run(kb.build(), Dim3{1, 1, 1}, Dim3{n, 1, 1}, {out});
+  for (u32 i = 0; i < n; ++i) EXPECT_EQ(store_.read32(out + i * 4), i + 7);
+  // Lanes beyond the block never ran.
+  for (u32 i = n; i < 64; ++i) EXPECT_EQ(store_.read32(out + i * 4), 0u);
+}
+
+TEST_F(ExecTest, TwoKernelsSameStreamSerialize) {
+  // k2 reads what k1 wrote: stream ordering must hold.
+  const memsys::DevPtr buf = store_.alloc(4);
+
+  KernelBuilder k1("writer");
+  Reg p1 = k1.reg();
+  k1.ldp(p1, 0);
+  k1.stg(p1, imm(41));
+  k1.exit();
+
+  KernelBuilder k2("incrementer");
+  Reg p2 = k2.reg(), v = k2.reg();
+  k2.ldp(p2, 0);
+  k2.ldg(v, p2);
+  k2.iadd(v, v, imm(1));
+  k2.stg(p2, v);
+  k2.exit();
+
+  KernelLaunch a;
+  a.program = k1.build();
+  a.grid = {1, 1, 1};
+  a.block = {1, 1, 1};
+  a.params = {buf};
+  KernelLaunch b;
+  b.program = k2.build();
+  b.grid = {1, 1, 1};
+  b.block = {1, 1, 1};
+  b.params = {buf};
+  gpu_.launch(std::move(a));
+  gpu_.launch(std::move(b));
+  gpu_.run_until_idle(10'000'000);
+  EXPECT_EQ(store_.read32(buf), 42u);
+}
+
+}  // namespace
+}  // namespace higpu::sim

@@ -1,0 +1,292 @@
+// SIMT stress cases: deep nested divergence, exits inside divergent code,
+// barrier/exit interaction, maximum-size blocks, 3D grids, and shared-memory
+// isolation between concurrently resident blocks.
+#include <gtest/gtest.h>
+
+#include "isa/builder.h"
+#include "memsys/global_store.h"
+#include "sched/policies.h"
+#include "sim/gpu.h"
+
+namespace higpu::sim {
+namespace {
+
+using isa::CmpOp;
+using isa::DType;
+using isa::imm;
+using isa::KernelBuilder;
+using isa::Label;
+using isa::PredReg;
+using isa::Reg;
+using isa::SReg;
+
+struct Harness {
+  memsys::GlobalStore store;
+  GpuParams params;
+  std::unique_ptr<Gpu> gpu;
+
+  Harness() {
+    gpu = std::make_unique<Gpu>(params, &store);
+    gpu->set_kernel_scheduler(std::make_unique<sched::DefaultKernelScheduler>());
+  }
+  void run(isa::ProgramPtr prog, Dim3 grid, Dim3 block, std::vector<u32> p) {
+    KernelLaunch l;
+    l.program = std::move(prog);
+    l.grid = grid;
+    l.block = block;
+    l.params = std::move(p);
+    gpu->launch(std::move(l));
+    gpu->run_until_idle(100'000'000);
+  }
+};
+
+// Three levels of nested data-dependent branches; each lane takes its own
+// path. out[i] = 100*b2 + 10*b1 + b0 where bK = bit K of the lane id.
+TEST(SimStress, ThreeLevelNestedDivergence) {
+  Harness h;
+  const memsys::DevPtr out = h.store.alloc(32 * 4);
+
+  KernelBuilder kb("nested");
+  Reg po = kb.reg();
+  kb.ldp(po, 0);
+  Reg gid = kb.global_tid_x();
+  Reg acc = kb.reg(), bit = kb.reg();
+  kb.movi(acc, 0);
+
+  // For each level, branchy accumulate (not predication: real divergence).
+  const i32 weights[3] = {1, 10, 100};
+  for (u32 level = 0; level < 3; ++level) {
+    PredReg p = kb.pred();
+    Label skip = kb.label();
+    kb.and_(bit, gid, imm(static_cast<i32>(1u << level)));
+    kb.setp(p, CmpOp::kEq, DType::kI32, bit, imm(0));
+    kb.bra(skip).guard_if(p);
+    kb.iadd(acc, acc, imm(weights[level]));
+    kb.bind(skip);
+  }
+  Reg addr = kb.reg();
+  kb.imad(addr, gid, imm(4), po);
+  kb.stg(addr, acc);
+  kb.exit();
+
+  h.run(kb.build(), {1, 1, 1}, {32, 1, 1}, {out});
+  for (u32 i = 0; i < 32; ++i) {
+    const u32 expect = (i & 1 ? 1 : 0) + (i & 2 ? 10 : 0) + (i & 4 ? 100 : 0);
+    EXPECT_EQ(h.store.read32(out + i * 4), expect) << "lane " << i;
+  }
+}
+
+// Lanes exit at different loop iterations (divergent exit); survivors keep
+// looping. out[i] = i for lanes < 16 (exited early), 1000+i for the rest.
+TEST(SimStress, DivergentEarlyExit) {
+  Harness h;
+  const memsys::DevPtr out = h.store.alloc(32 * 4);
+
+  KernelBuilder kb("early_exit");
+  Reg po = kb.reg();
+  kb.ldp(po, 0);
+  Reg gid = kb.global_tid_x();
+  Reg addr = kb.reg(), v = kb.reg();
+  kb.imad(addr, gid, imm(4), po);
+
+  PredReg low = kb.pred();
+  Label stay = kb.label();
+  kb.setp(low, CmpOp::kGe, DType::kI32, gid, imm(16));
+  kb.bra(stay).guard_if(low);
+  // Lanes 0..15: store gid and terminate.
+  kb.stg(addr, gid);
+  kb.exit();
+  kb.bind(stay);
+  kb.iadd(v, gid, imm(1000));
+  kb.stg(addr, v);
+  kb.exit();
+
+  h.run(kb.build(), {1, 1, 1}, {32, 1, 1}, {out});
+  for (u32 i = 0; i < 32; ++i)
+    EXPECT_EQ(h.store.read32(out + i * 4), i < 16 ? i : 1000 + i);
+}
+
+// A warp exits entirely before reaching the barrier the other warps wait
+// at; the block must not deadlock.
+TEST(SimStress, WarpExitReleasesBarrier) {
+  Harness h;
+  const memsys::DevPtr out = h.store.alloc(64 * 4);
+
+  KernelBuilder kb("exit_vs_barrier");
+  kb.set_shared_bytes(4);
+  Reg po = kb.reg();
+  kb.ldp(po, 0);
+  Reg tid = kb.reg(), wid = kb.reg();
+  kb.s2r(tid, SReg::kTidX);
+  kb.s2r(wid, SReg::kWarpId);
+
+  // Warp 0 exits immediately; warp 1 passes a barrier then stores.
+  PredReg w0 = kb.pred();
+  Label work = kb.label();
+  kb.setp(w0, CmpOp::kEq, DType::kI32, wid, imm(1));
+  kb.bra(work).guard_if(w0);
+  kb.exit();
+  kb.bind(work);
+  kb.bar();
+  Reg addr = kb.reg();
+  kb.imad(addr, tid, imm(4), po);
+  kb.stg(addr, tid);
+  kb.exit();
+
+  h.run(kb.build(), {1, 1, 1}, {64, 1, 1}, {out});
+  for (u32 i = 32; i < 64; ++i) EXPECT_EQ(h.store.read32(out + i * 4), i);
+}
+
+// Maximum-size thread block (fills all warp slots of one SM).
+TEST(SimStress, MaxSizeBlock) {
+  Harness h;
+  const u32 threads = h.params.max_warps_per_sm * h.params.warp_size;
+  const memsys::DevPtr out = h.store.alloc(threads * 4);
+
+  KernelBuilder kb("max_block");
+  Reg po = kb.reg();
+  kb.ldp(po, 0);
+  Reg gid = kb.global_tid_x();
+  Reg addr = kb.reg();
+  kb.imad(addr, gid, imm(4), po);
+  kb.stg(addr, gid);
+  kb.exit();
+
+  h.run(kb.build(), {1, 1, 1}, {threads, 1, 1}, {out});
+  for (u32 i = 0; i < threads; i += 97)
+    EXPECT_EQ(h.store.read32(out + i * 4), i);
+}
+
+// 3D grid and 3D blocks: every special register combination addressed once.
+TEST(SimStress, ThreeDimensionalGrid) {
+  Harness h;
+  const Dim3 grid{2, 3, 2}, block{4, 2, 2};
+  const u32 total = grid.count() * block.count();
+  const memsys::DevPtr out = h.store.alloc(total * 4);
+
+  KernelBuilder kb("grid3d");
+  Reg po = kb.reg();
+  kb.ldp(po, 0);
+  Reg tx = kb.reg(), ty = kb.reg(), tz = kb.reg(), cx = kb.reg(),
+      cy = kb.reg(), cz = kb.reg();
+  kb.s2r(tx, SReg::kTidX);
+  kb.s2r(ty, SReg::kTidY);
+  kb.s2r(tz, SReg::kTidZ);
+  kb.s2r(cx, SReg::kCtaIdX);
+  kb.s2r(cy, SReg::kCtaIdY);
+  kb.s2r(cz, SReg::kCtaIdZ);
+  // linear = ((((cz*3+cy)*2+cx)*2+tz)*2+ty)*4+tx
+  Reg lin = kb.reg();
+  kb.imad(lin, cz, imm(3), cy);
+  kb.imad(lin, lin, imm(2), cx);
+  kb.imad(lin, lin, imm(2), tz);
+  kb.imad(lin, lin, imm(2), ty);
+  kb.imad(lin, lin, imm(4), tx);
+  Reg addr = kb.reg(), one = kb.reg();
+  kb.imad(addr, lin, imm(4), po);
+  kb.movi(one, 1);
+  Reg old = kb.reg();
+  kb.atom_add(old, addr, one);
+  kb.exit();
+
+  h.run(kb.build(), grid, block, {out});
+  for (u32 i = 0; i < total; ++i)
+    EXPECT_EQ(h.store.read32(out + i * 4), 1u) << "slot " << i;
+}
+
+// Shared memory of concurrently resident blocks must be isolated: each
+// block writes its block id everywhere, barriers, and checks it read back
+// its own id (not a neighbour's).
+TEST(SimStress, SharedMemoryIsolationBetweenBlocks) {
+  Harness h;
+  const u32 blocks = 24;
+  const memsys::DevPtr out = h.store.alloc(blocks * 4);
+
+  KernelBuilder kb("smem_isolation");
+  kb.set_shared_bytes(64 * 4);
+  Reg po = kb.reg();
+  kb.ldp(po, 0);
+  Reg tid = kb.reg(), cta = kb.reg();
+  kb.s2r(tid, SReg::kTidX);
+  kb.s2r(cta, SReg::kCtaIdX);
+  Reg sh = kb.reg();
+  kb.imul(sh, tid, imm(4));
+  kb.sts(sh, cta);
+  kb.bar();
+  // Read a different lane's slot: must still hold this block's id.
+  Reg other = kb.reg(), oaddr = kb.reg(), t = kb.reg();
+  kb.iadd(t, tid, imm(7));
+  kb.and_(t, t, imm(63));
+  kb.imul(oaddr, t, imm(4));
+  kb.lds(other, oaddr);
+  PredReg first = kb.pred();
+  kb.setp(first, CmpOp::kEq, DType::kI32, tid, imm(0));
+  Reg addr = kb.reg();
+  kb.imad(addr, cta, imm(4), po).guard_if(first);
+  kb.stg(addr, other).guard_if(first);
+  kb.exit();
+
+  h.run(kb.build(), {blocks, 1, 1}, {64, 1, 1}, {out});
+  for (u32 b = 0; b < blocks; ++b)
+    EXPECT_EQ(h.store.read32(out + b * 4), b) << "block " << b;
+}
+
+// Back-to-back kernels reusing the same SM slots must start from clean
+// register/predicate/shared state.
+TEST(SimStress, WarpSlotReuseStartsClean) {
+  Harness h;
+  const memsys::DevPtr out = h.store.alloc(64 * 4);
+
+  // Kernel 1 dirties registers; kernel 2 stores an uninitialized register,
+  // which must read as zero.
+  KernelBuilder k1("dirty");
+  Reg p1 = k1.reg(), x = k1.reg();
+  k1.ldp(p1, 0);
+  k1.movi(x, 0xDEAD);
+  k1.stg(p1, x);
+  k1.exit();
+
+  KernelBuilder k2("clean_check");
+  Reg p2 = k2.reg();
+  k2.ldp(p2, 0);
+  Reg fresh = k2.reg();  // never written
+  Reg gid = k2.global_tid_x();
+  Reg addr = k2.reg();
+  k2.imad(addr, gid, imm(4), p2);
+  k2.stg(addr, fresh);
+  k2.exit();
+
+  h.run(k1.build(), {6, 1, 1}, {64, 1, 1}, {out});
+  h.run(k2.build(), {1, 1, 1}, {64, 1, 1}, {out});
+  for (u32 i = 0; i < 64; ++i) EXPECT_EQ(h.store.read32(out + i * 4), 0u);
+}
+
+// Issue-stall statistics are populated and consistent.
+TEST(SimStress, StallCountersExported) {
+  Harness h;
+  const memsys::DevPtr out = h.store.alloc(4096 * 4);
+
+  KernelBuilder kb("stalls");
+  Reg po = kb.reg();
+  kb.ldp(po, 0);
+  Reg gid = kb.global_tid_x();
+  Reg acc = kb.reg();
+  kb.movf(acc, 1.0f);
+  for (int i = 0; i < 32; ++i) kb.fdiv(acc, acc, isa::fimm(1.1f));  // SFU chain
+  Reg addr = kb.reg();
+  kb.imad(addr, gid, imm(4), po);
+  kb.stg(addr, acc);
+  kb.exit();
+
+  h.run(kb.build(), {32, 1, 1}, {128, 1, 1}, {out});
+  const StatSet stats = h.gpu->collect_stats();
+  EXPECT_GT(stats.get("issue_attempts_issued"), 0u);
+  EXPECT_EQ(stats.get("issue_attempts_issued"), stats.get("instructions"));
+  // A dependent SFU chain must produce scoreboard and/or structural stalls.
+  EXPECT_GT(stats.get("issue_stall_scoreboard") +
+                stats.get("issue_stall_structural"),
+            0u);
+}
+
+}  // namespace
+}  // namespace higpu::sim

@@ -1,0 +1,72 @@
+// Shared helpers for simulator-level tests: tiny kernels of controllable
+// shape and a convenience harness around Gpu.
+#pragma once
+
+#include "isa/builder.h"
+#include "sim/gpu.h"
+
+namespace higpu::testing {
+
+/// A kernel that spins `iters` FFMA iterations per thread, then writes one
+/// word to out[gid]. Duration scales ~linearly with `iters`.
+inline isa::ProgramPtr make_spin_kernel(u32 iters, const std::string& name = "spin") {
+  using namespace isa;
+  KernelBuilder kb(name);
+  Reg out = kb.reg(), n = kb.reg();
+  kb.ldp(out, 0);
+  kb.ldp(n, 1);
+  Reg gid = kb.global_tid_x();
+  Label done = kb.label();
+  kb.guard_range(gid, n, done);
+
+  Reg acc = kb.reg(), k = kb.reg();
+  kb.movf(acc, 1.0f);
+  kb.movi(k, 0);
+  Label loop = kb.label(), end = kb.label();
+  kb.bind(loop);
+  PredReg fin = kb.pred();
+  kb.setp(fin, CmpOp::kGe, DType::kI32, k, imm(static_cast<i32>(iters)));
+  kb.bra(end).guard_if(fin);
+  kb.ffma(acc, acc, fimm(1.000001f), fimm(0.5f));
+  kb.iadd(k, k, imm(1));
+  kb.bra(loop);
+  kb.bind(end);
+  Reg addr = kb.reg();
+  kb.imad(addr, gid, imm(4), out);
+  kb.stg(addr, acc);
+  kb.bind(done);
+  kb.exit();
+  return kb.build();
+}
+
+/// A trivial one-instruction-per-thread kernel: out[gid] = gid.
+inline isa::ProgramPtr make_store_kernel(const std::string& name = "store_gid") {
+  using namespace isa;
+  KernelBuilder kb(name);
+  Reg out = kb.reg(), n = kb.reg();
+  kb.ldp(out, 0);
+  kb.ldp(n, 1);
+  Reg gid = kb.global_tid_x();
+  Label done = kb.label();
+  kb.guard_range(gid, n, done);
+  Reg addr = kb.reg();
+  kb.imad(addr, gid, imm(4), out);
+  kb.stg(addr, gid);
+  kb.bind(done);
+  kb.exit();
+  return kb.build();
+}
+
+/// Build a launch descriptor for `threads` total threads in blocks of
+/// `block_size`.
+inline sim::KernelLaunch make_launch(isa::ProgramPtr prog, u32 threads,
+                                     u32 block_size, std::vector<u32> params) {
+  sim::KernelLaunch l;
+  l.program = std::move(prog);
+  l.grid = {higpu::ceil_div(threads, block_size), 1, 1};
+  l.block = {block_size, 1, 1};
+  l.params = std::move(params);
+  return l;
+}
+
+}  // namespace higpu::testing

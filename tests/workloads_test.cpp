@@ -1,0 +1,125 @@
+// Every workload must produce correct results (vs its CPU reference) in
+// baseline mode and under each redundancy policy, with matching redundant
+// outputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/workload.h"
+
+namespace higpu::workloads {
+namespace {
+
+class WorkloadCorrectness
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadCorrectness, BaselineMatchesCpuReference) {
+  WorkloadPtr w = make(GetParam());
+  w->setup(Scale::kTest, /*seed=*/1234);
+  runtime::Device dev;
+  core::RedundantSession::Config cfg;
+  cfg.policy = sched::Policy::kDefault;
+  cfg.redundant = false;
+  core::RedundantSession session(dev, cfg);
+  w->run(session);
+  EXPECT_TRUE(w->verify()) << GetParam() << " baseline output wrong";
+}
+
+TEST_P(WorkloadCorrectness, SrrsRedundantPairMatches) {
+  WorkloadPtr w = make(GetParam());
+  w->setup(Scale::kTest, /*seed=*/99);
+  runtime::Device dev;
+  core::RedundantSession::Config cfg;
+  cfg.policy = sched::Policy::kSrrs;
+  core::RedundantSession session(dev, cfg);
+  w->run(session);
+  EXPECT_TRUE(w->verify()) << GetParam() << " output wrong under SRRS";
+  EXPECT_TRUE(session.all_outputs_matched())
+      << GetParam() << " redundant copies diverged under SRRS";
+  EXPECT_GT(session.comparisons(), 0u);
+}
+
+TEST_P(WorkloadCorrectness, HalfRedundantPairMatches) {
+  WorkloadPtr w = make(GetParam());
+  w->setup(Scale::kTest, /*seed=*/7);
+  runtime::Device dev;
+  core::RedundantSession::Config cfg;
+  cfg.policy = sched::Policy::kHalf;
+  core::RedundantSession session(dev, cfg);
+  w->run(session);
+  EXPECT_TRUE(w->verify()) << GetParam() << " output wrong under HALF";
+  EXPECT_TRUE(session.all_outputs_matched())
+      << GetParam() << " redundant copies diverged under HALF";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadCorrectness,
+                         ::testing::ValuesIn(all_names()),
+                         [](const auto& info) {
+                           // gtest names must be alphanumeric ("b+tree").
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return name;
+                         });
+
+TEST(WorkloadRegistry, Fig4SubsetIsImplemented) {
+  const auto names = all_names();
+  for (const std::string& n : fig4_names())
+    EXPECT_NE(std::find(names.begin(), names.end(), n), names.end()) << n;
+  EXPECT_EQ(fig4_names().size(), 11u);  // the paper's simulated subset
+}
+
+TEST(WorkloadRegistry, FullSuiteIncludesCotsOnlyBenchmarks) {
+  const auto names = all_names();
+  EXPECT_EQ(names.size(), 19u);
+  for (const char* extra :
+       {"cfd", "streamcluster", "kmeans", "pathfinder", "srad", "lavaMD",
+        "particlefilter", "b+tree"})
+    EXPECT_NE(std::find(names.begin(), names.end(), extra), names.end());
+}
+
+TEST(WorkloadRegistry, UnknownNameThrows) {
+  EXPECT_THROW(make("no_such_workload"), std::out_of_range);
+}
+
+TEST(WorkloadHelpers, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0f, 1.0f));
+  EXPECT_TRUE(approx_equal(1000.0f, 1000.5f, 1e-3f));
+  EXPECT_FALSE(approx_equal(1.0f, 1.1f, 1e-3f));
+  EXPECT_FALSE(approx_equal(std::nanf(""), 1.0f));
+  EXPECT_FALSE(approx_equal({1.0f, 2.0f}, {1.0f}));
+  EXPECT_TRUE(approx_equal({1.0f, 2.0f}, {1.0f, 2.0f}));
+}
+
+TEST(WorkloadHelpers, BitCastRoundTrip) {
+  const std::vector<float> f = {1.5f, -2.25f, 0.0f};
+  EXPECT_EQ(from_bits(to_bits(f)), f);
+}
+
+TEST(WorkloadDeterminism, SameSeedSameResults) {
+  auto run_once = [] {
+    WorkloadPtr w = make("hotspot");
+    w->setup(Scale::kTest, 42);
+    runtime::Device dev;
+    core::RedundantSession::Config cfg;
+    cfg.redundant = false;
+    core::RedundantSession session(dev, cfg);
+    w->run(session);
+    return std::make_pair(dev.elapsed_ns(), session.kernel_cycles());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(WorkloadMetadata, ByteCountsArePositive) {
+  for (const std::string& n : all_names()) {
+    WorkloadPtr w = make(n);
+    w->setup(Scale::kTest, 1);
+    EXPECT_GT(w->input_bytes(), 0u) << n;
+    EXPECT_GT(w->output_bytes(), 0u) << n;
+    EXPECT_EQ(w->name(), n);
+  }
+}
+
+}  // namespace
+}  // namespace higpu::workloads
