@@ -1,0 +1,230 @@
+// Dense-tick vs event-driven engine throughput on representative workloads:
+// `hotspot` (compute-regular) and `bfs` (memory-stalled, many short kernel
+// launches — the event engine's best case). Emits BENCH_engine.json so the
+// perf trajectory is tracked from PR to PR.
+//
+//   $ ./bench_engine_speedup [--scale=test|bench] [--out=BENCH_engine.json]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/redundant.h"
+#include "isa/builder.h"
+#include "memsys/global_store.h"
+#include "sched/policies.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace higpu;
+
+struct EngineRun {
+  double wall_sec = 0;        // full 5-step flow (host work included)
+  double sim_sec = 0;         // time inside the simulation engine only
+  Cycle sim_cycles = 0;       // GPU cycles covered by the run
+  Cycle ff_cycles = 0;        // cycles fast-forwarded (event engine only)
+  bool verified = false;
+  /// Engine throughput: the metric this bench tracks. The host-side flow
+  /// (transfers, comparisons, program building) is identical under both
+  /// engines and excluded.
+  double cycles_per_sec() const {
+    return sim_sec > 0 ? static_cast<double>(sim_cycles) / sim_sec : 0.0;
+  }
+  double e2e_cycles_per_sec() const {
+    return wall_sec > 0 ? static_cast<double>(sim_cycles) / wall_sec : 0.0;
+  }
+};
+
+EngineRun run_once(const std::string& name, workloads::Scale scale,
+                   sim::SimEngine engine) {
+  workloads::WorkloadPtr w = workloads::make(name);
+  w->setup(scale, /*seed=*/2019);
+
+  sim::GpuParams params;
+  params.engine = engine;
+  runtime::Device dev(params);
+  core::RedundantSession::Config cfg;
+  cfg.policy = sched::Policy::kSrrs;
+  cfg.redundant = true;
+  core::RedundantSession session(dev, cfg);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  w->run(session);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  EngineRun r;
+  r.wall_sec = std::chrono::duration<double>(t1 - t0).count();
+  r.sim_sec = dev.sim_wall_seconds();
+  r.sim_cycles = dev.gpu().now();
+  r.ff_cycles = dev.gpu().fast_forwarded_cycles();
+  r.verified = w->verify();
+  return r;
+}
+
+/// The memory-stalled regime of the paper's fault campaigns, distilled:
+/// BFS-style pointer-chasing over an 8 MiB table, every SM fully occupied
+/// with warps whose next instruction waits on a DRAM response (serial
+/// dependence, scattered lines, guaranteed L1/L2 misses). The dense loop
+/// re-attempts every resident warp on every one of those stall cycles; the
+/// event engine sleeps until the memory response arrives.
+isa::ProgramPtr make_chase_kernel(u32 reps) {
+  using namespace isa;
+  KernelBuilder kb("bfs_chase");
+  Reg base = kb.reg(), out = kb.reg();
+  kb.ldp(base, 0);
+  kb.ldp(out, 1);
+  Reg gid = kb.global_tid_x();
+
+  Reg v = kb.reg(), k = kb.reg(), addr = kb.reg();
+  // One chain per block (uniform across lanes and warps): each load is a
+  // single scattered line, so rounds are DRAM-latency-bound — long fully
+  // quiescent windows — rather than bandwidth-staggered.
+  Reg cta = kb.reg();
+  kb.s2r(cta, SReg::kCtaIdX);
+  kb.imul(v, cta, imm(static_cast<i32>(2654435761u)));
+  kb.movi(k, 0);
+  Label loop = kb.label(), end = kb.label();
+  kb.bind(loop);
+  PredReg fin = kb.pred();
+  kb.setp(fin, CmpOp::kGe, DType::kI32, k, imm(static_cast<i32>(reps)));
+  kb.bra(end).guard_if(fin);
+  // Serially dependent scattered load: address derives from the last value.
+  kb.and_(addr, v, imm(0x1FFFFF));  // 2M words = 8 MiB table
+  kb.imad(addr, addr, imm(4), base);
+  kb.ldg(v, addr);
+  kb.iadd(k, k, imm(1));
+  kb.bra(loop);
+  kb.bind(end);
+  kb.imad(addr, gid, imm(4), out);
+  kb.stg(addr, v);
+  kb.exit();
+  return kb.build();
+}
+
+EngineRun run_memstall_once(sim::SimEngine engine) {
+  sim::GpuParams params;
+  params.engine = engine;
+  memsys::GlobalStore store;
+  sim::Gpu gpu(params, &store);
+  gpu.set_kernel_scheduler(std::make_unique<sched::DefaultKernelScheduler>());
+
+  // Every word holds a pseudo-random successor so the chase never collapses
+  // onto a cached line.
+  const memsys::DevPtr table = store.alloc(8u << 20);
+  for (u32 i = 0; i < (2u << 20); ++i)
+    store.write32(table + i * 4, i * 0x9E3779B9u + 0x7F4A7C15u);
+  // Sparse-frontier shape: a couple of warps per SM, each round one
+  // DRAM-latency-bound load — the GPU spends >90% of its cycles with every
+  // resident warp waiting on a memory response.
+  const u32 threads = 6 * 64;
+  const memsys::DevPtr outp = store.alloc(threads * 4);
+
+  sim::KernelLaunch l;
+  l.program = make_chase_kernel(40);
+  l.grid = {6, 1, 1};
+  l.block = {64, 1, 1};
+  l.params = {table, outp};
+
+  gpu.launch(std::move(l));
+  const auto t0 = std::chrono::steady_clock::now();
+  gpu.run_until_idle(100'000'000);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  EngineRun r;
+  r.wall_sec = r.sim_sec = std::chrono::duration<double>(t1 - t0).count();
+  r.sim_cycles = gpu.now();
+  r.ff_cycles = gpu.fast_forwarded_cycles();
+  r.verified = true;
+  for (u32 i = 0; i < threads; i += 37)
+    r.verified = r.verified && store.read32(outp + i * 4) != 0xDEADBEEFu;
+  return r;
+}
+
+/// Best-of-N wall clock to damp scheduler noise; cycle counts are checked
+/// to be identical across engines while we are at it.
+EngineRun best_of(const std::string& name, workloads::Scale scale,
+                  sim::SimEngine engine, int reps) {
+  EngineRun best;
+  for (int i = 0; i < reps; ++i) {
+    EngineRun r = name == "bfs_memstall" ? run_memstall_once(engine)
+                                         : run_once(name, scale, engine);
+    if (i == 0 || r.sim_sec < best.sim_sec) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workloads::Scale scale = workloads::Scale::kTest;
+  std::string out_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale=bench") == 0)
+      scale = workloads::Scale::kBench;
+    else if (std::strcmp(argv[i], "--scale=test") == 0)
+      scale = workloads::Scale::kTest;
+    else if (std::strncmp(argv[i], "--out=", 6) == 0)
+      out_path = argv[i] + 6;
+  }
+
+  const std::vector<std::string> names = {"hotspot", "bfs", "bfs_memstall"};
+  const int reps = 3;
+
+  std::string json = "{\n  \"bench\": \"engine_speedup\",\n  \"metric\": "
+                     "\"simulated_cycles_per_sec\",\n  \"workloads\": [\n";
+  bool all_ok = true;
+  for (size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    const EngineRun dense = best_of(name, scale, sim::SimEngine::kDense, reps);
+    const EngineRun event = best_of(name, scale, sim::SimEngine::kEvent, reps);
+    const bool cycles_match = dense.sim_cycles == event.sim_cycles;
+    const double speedup = dense.cycles_per_sec() > 0
+                               ? event.cycles_per_sec() / dense.cycles_per_sec()
+                               : 0.0;
+    all_ok = all_ok && dense.verified && event.verified && cycles_match;
+
+    const double e2e_speedup =
+        dense.e2e_cycles_per_sec() > 0
+            ? event.e2e_cycles_per_sec() / dense.e2e_cycles_per_sec()
+            : 0.0;
+    std::printf("%-10s sim_cycles=%llu  dense=%.3g cyc/s  event=%.3g cyc/s  "
+                "speedup=%.2fx (end-to-end %.2fx)  ff=%.1f%%%s\n",
+                name.c_str(),
+                static_cast<unsigned long long>(event.sim_cycles),
+                dense.cycles_per_sec(), event.cycles_per_sec(), speedup,
+                e2e_speedup,
+                100.0 * static_cast<double>(event.ff_cycles) /
+                    static_cast<double>(event.sim_cycles ? event.sim_cycles : 1),
+                cycles_match ? "" : "  [CYCLE MISMATCH]");
+
+    char buf[640];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"sim_cycles\": %llu, "
+                  "\"dense_cycles_per_sec\": %.1f, "
+                  "\"event_cycles_per_sec\": %.1f, "
+                  "\"fast_forwarded_cycles\": %llu, "
+                  "\"speedup\": %.3f, \"end_to_end_speedup\": %.3f, "
+                  "\"cycles_match\": %s, \"verified\": %s}%s\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(event.sim_cycles),
+                  dense.cycles_per_sec(), event.cycles_per_sec(),
+                  static_cast<unsigned long long>(event.ff_cycles), speedup,
+                  e2e_speedup, cycles_match ? "true" : "false",
+                  dense.verified && event.verified ? "true" : "false",
+                  i + 1 < names.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  return all_ok ? 0 : 1;
+}

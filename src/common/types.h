@@ -19,6 +19,10 @@ using i64 = std::int64_t;
 /// Simulator time unit: one GPU core clock cycle.
 using Cycle = u64;
 
+/// Sentinel for "no such future cycle" (event-driven engine wake times,
+/// fault-trigger queries). Larger than any reachable simulation cycle.
+constexpr Cycle kNeverCycle = ~Cycle{0};
+
 /// Host-side time in nanoseconds (platform model).
 using NanoSec = u64;
 

@@ -70,7 +70,10 @@ class RedundantSession {
   void launch(isa::ProgramPtr prog, sim::Dim3 grid, sim::Dim3 block,
               const std::vector<DualParam>& params, const std::string& tag = "");
 
-  /// Wait for all launched kernels of both copies.
+  /// Wait for all launched kernels of both copies. Drains the GPU through
+  /// the configured simulation engine (event-driven by default; cycle
+  /// counts are engine-independent, so Fig. 4/5 metrics and fault-campaign
+  /// verdicts do not depend on the engine).
   /// Returns GPU cycles consumed (accumulated into kernel_cycles()).
   Cycle sync();
 

@@ -57,9 +57,18 @@ u32 FaultInjector::corrupt_alu(u32 sm, Cycle cycle, u32 value) {
 u32 FaultInjector::corrupt_block_mapping(u32 intended_sm, u32 num_sms,
                                          Cycle cycle) {
   if (mode_ != Mode::kScheduler || cycle < start_) return intended_sm;
-  const u32 diverted = (intended_sm + sm_offset_) % num_sms;
-  if (diverted != intended_sm) ++diverted_;
-  return diverted;
+  return (intended_sm + sm_offset_) % num_sms;
+}
+
+void FaultInjector::on_block_diverted(u32 intended_sm, u32 actual_sm) {
+  if (actual_sm != intended_sm) ++diverted_;
+}
+
+Cycle FaultInjector::next_trigger_cycle(Cycle now) const {
+  if (mode_ == Mode::kNone) return kNeverCycle;
+  if (start_ > now) return start_;           // window opens
+  if (end_ != kNeverCycle && end_ > now) return end_;  // window closes
+  return kNeverCycle;
 }
 
 const char* outcome_name(Outcome o) {

@@ -30,7 +30,9 @@ class FaultInjector final : public sim::IFaultHook {
   // sim::IFaultHook
   u32 corrupt_alu(u32 sm, Cycle cycle, u32 value) override;
   u32 corrupt_block_mapping(u32 intended_sm, u32 num_sms, Cycle cycle) override;
+  void on_block_diverted(u32 intended_sm, u32 actual_sm) override;
   bool armed() const override { return mode_ != Mode::kNone; }
+  Cycle next_trigger_cycle(Cycle now) const override;
 
   /// Number of datapath results actually corrupted so far.
   u64 corruptions() const { return corruptions_; }

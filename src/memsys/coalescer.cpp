@@ -6,13 +6,18 @@ namespace higpu::memsys {
 
 std::vector<u64> coalesce(const std::vector<u64>& byte_addrs, u32 line_bytes) {
   std::vector<u64> lines;
-  lines.reserve(byte_addrs.size());
+  coalesce_into(byte_addrs, line_bytes, lines);
+  return lines;
+}
+
+void coalesce_into(const std::vector<u64>& byte_addrs, u32 line_bytes,
+                   std::vector<u64>& lines) {
+  lines.clear();
   for (u64 a : byte_addrs) {
     const u64 line = a / line_bytes;
     if (std::find(lines.begin(), lines.end(), line) == lines.end())
       lines.push_back(line);
   }
-  return lines;
 }
 
 u32 smem_conflict_degree(const std::vector<u64>& byte_addrs, u32 num_banks) {

@@ -12,6 +12,11 @@ namespace higpu::memsys {
 /// addresses, in first-appearance order (deterministic).
 std::vector<u64> coalesce(const std::vector<u64>& byte_addrs, u32 line_bytes);
 
+/// Allocation-free variant for the per-instruction hot path: `lines` is
+/// cleared and filled with the distinct line addresses in first-touch order.
+void coalesce_into(const std::vector<u64>& byte_addrs, u32 line_bytes,
+                   std::vector<u64>& lines);
+
 /// Shared-memory bank-conflict degree for the given word addresses: the
 /// maximum number of *distinct words* mapping to any one bank. 1 means
 /// conflict-free (broadcast of the same word does not conflict).

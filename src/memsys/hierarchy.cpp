@@ -23,7 +23,33 @@ void MemHierarchy::reset() {
   std::fill(l2_bank_free_.begin(), l2_bank_free_.end(), 0);
   std::fill(dram_channel_free_.begin(), dram_channel_free_.end(), 0);
   for (auto& m : mshr_) m.clear();
-  stats_.clear();
+  l1_hits_ = l1_misses_ = 0;
+  l1_write_hits_ = l1_write_misses_ = 0;
+  l1_mshr_merges_ = l1_writebacks_ = 0;
+  l2_hits_ = l2_misses_ = 0;
+  dram_reads_ = dram_writebacks_ = 0;
+  atomics_ = 0;
+}
+
+StatSet MemHierarchy::stats() const {
+  StatSet s;
+  // Counters appear only once nonzero, mirroring StatSet entries that were
+  // created on first add().
+  auto put = [&s](const char* name, u64 v) {
+    if (v) s.add(name, v);
+  };
+  put("l1_hits", l1_hits_);
+  put("l1_misses", l1_misses_);
+  put("l1_write_hits", l1_write_hits_);
+  put("l1_write_misses", l1_write_misses_);
+  put("l1_mshr_merges", l1_mshr_merges_);
+  put("l1_writebacks", l1_writebacks_);
+  put("l2_hits", l2_hits_);
+  put("l2_misses", l2_misses_);
+  put("dram_reads", dram_reads_);
+  put("dram_writebacks", dram_writebacks_);
+  put("atomics", atomics_);
+  return s;
 }
 
 Cycle MemHierarchy::access_l2(u64 line_addr, bool is_write, Cycle now,
@@ -40,36 +66,42 @@ Cycle MemHierarchy::access_l2(u64 line_addr, bool is_write, Cycle now,
     const u32 ch = static_cast<u32>(*res.writeback_line % params_.dram_channels);
     dram_channel_free_[ch] =
         std::max(dram_channel_free_[ch], start) + params_.dram_service;
-    stats_.add("dram_writebacks");
+    dram_writebacks_ += 1;
   }
   if (res.hit) {
-    stats_.add("l2_hits");
+    l2_hits_ += 1;
     return start + params_.l2_latency;
   }
-  stats_.add("l2_misses");
+  l2_misses_ += 1;
   const u32 ch = static_cast<u32>(line_addr % params_.dram_channels);
   const Cycle dram_start = std::max(start, dram_channel_free_[ch]);
   dram_channel_free_[ch] = dram_start + params_.dram_service;
-  stats_.add("dram_reads");
+  dram_reads_ += 1;
   return dram_start + params_.dram_latency;
 }
 
 Cycle MemHierarchy::access_line(u32 sm, u64 line_addr, bool is_write, Cycle now) {
+  // The cycle returned here is final (the event-driven contract in the
+  // header): all contention is resolved now, against the bandwidth counters
+  // as of `now`, so the caller can sleep until it without re-checking.
   // L1 port: one line transaction per cycle per SM.
   const Cycle t = std::max(now, l1_port_free_[sm]);
   l1_port_free_[sm] = t + 1;
 
   // Reap completed in-flight fills lazily.
   auto& mshr = mshr_[sm];
-  if (auto it = mshr.find(line_addr); it != mshr.end()) {
-    if (it->second > t) {
+  for (size_t i = 0; i < mshr.size(); ++i) {
+    if (mshr[i].line != line_addr) continue;
+    if (mshr[i].ready > t) {
       // Merge into the in-flight fill (MSHR hit): no new traffic.
-      stats_.add("l1_mshr_merges");
-      const Cycle done = it->second;
+      l1_mshr_merges_ += 1;
+      const Cycle done = mshr[i].ready;
       if (is_write) l1_[sm].access(line_addr, true);
       return done;
     }
-    mshr.erase(it);
+    mshr[i] = mshr.back();
+    mshr.pop_back();
+    break;
   }
 
   const CacheAccessResult res = l1_[sm].access(line_addr, is_write);
@@ -78,17 +110,18 @@ Cycle MemHierarchy::access_line(u32 sm, u64 line_addr, bool is_write, Cycle now)
     const u32 bank = static_cast<u32>(*res.writeback_line % params_.l2_banks);
     l2_bank_free_[bank] = std::max(l2_bank_free_[bank], t) + params_.l2_service;
     l2_.access(*res.writeback_line, /*is_write=*/true);
-    stats_.add("l1_writebacks");
+    l1_writebacks_ += 1;
   }
   if (res.hit) {
-    stats_.add(is_write ? "l1_write_hits" : "l1_hits");
+    (is_write ? l1_write_hits_ : l1_hits_) += 1;
     return t + params_.l1_latency;
   }
-  stats_.add(is_write ? "l1_write_misses" : "l1_misses");
+  (is_write ? l1_write_misses_ : l1_misses_) += 1;
 
   const Cycle ready = access_l2(line_addr, is_write, t + params_.l1_latency,
                                 /*is_atomic=*/false);
-  if (mshr.size() < params_.l1_mshr_entries) mshr[line_addr] = ready;
+  if (mshr.size() < params_.l1_mshr_entries)
+    mshr.push_back(MshrEntry{line_addr, ready});
   return ready;
 }
 
@@ -97,7 +130,7 @@ Cycle MemHierarchy::access_atomic(u32 sm, u64 line_addr, Cycle now) {
   const Cycle t = std::max(now, l1_port_free_[sm]);
   l1_port_free_[sm] = t + 1;
   l1_[sm].invalidate_line(line_addr);
-  stats_.add("atomics");
+  atomics_ += 1;
   return access_l2(line_addr, /*is_write=*/true, t, /*is_atomic=*/true);
 }
 

@@ -5,9 +5,15 @@
 // (L1 port, L2 banks, DRAM channels). The model is deterministic and
 // order-sensitive: contention between SMs emerges from shared L2/DRAM
 // counters, which is the level of fidelity the scheduling-policy study needs.
+//
+// Event-driven contract: every access returns the exact cycle at which it
+// completes, decided fully at issue time and never revised afterwards. The
+// SM records that cycle on the destination register's scoreboard entry, and
+// the scoreboard release becomes a wake event in the GPU's event heap —
+// memory responses are *pushed* into the simulation core's timeline; nothing
+// ever polls the hierarchy for completion.
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "common/stats.h"
@@ -33,8 +39,10 @@ class MemHierarchy {
   void reset();
 
   const MemParams& params() const { return params_; }
-  const StatSet& stats() const { return stats_; }
-  StatSet& stats() { return stats_; }
+  /// Statistics snapshot. Counters are kept as plain integers (a map lookup
+  /// per access would dominate memory-bound simulations) and exported here
+  /// under their original names.
+  StatSet stats() const;
 
  private:
   /// L2 + DRAM path; returns data-ready cycle at the L2 boundary.
@@ -46,9 +54,21 @@ class MemHierarchy {
   std::vector<Cycle> l1_port_free_;        // per SM
   std::vector<Cycle> l2_bank_free_;        // per bank
   std::vector<Cycle> dram_channel_free_;   // per channel
-  // Per-SM MSHR: line -> cycle at which the in-flight fill completes.
-  std::vector<std::unordered_map<u64, Cycle>> mshr_;
-  StatSet stats_;
+  // Per-SM MSHR: line -> cycle at which the in-flight fill completes. Flat
+  // storage: at most l1_mshr_entries (~32) entries, so a linear scan beats
+  // hashing on the per-access hot path.
+  struct MshrEntry {
+    u64 line;
+    Cycle ready;
+  };
+  std::vector<std::vector<MshrEntry>> mshr_;
+
+  u64 l1_hits_ = 0, l1_misses_ = 0;
+  u64 l1_write_hits_ = 0, l1_write_misses_ = 0;
+  u64 l1_mshr_merges_ = 0, l1_writebacks_ = 0;
+  u64 l2_hits_ = 0, l2_misses_ = 0;
+  u64 dram_reads_ = 0, dram_writebacks_ = 0;
+  u64 atomics_ = 0;
 };
 
 }  // namespace higpu::memsys

@@ -1,5 +1,7 @@
 #include "runtime/device.h"
 
+#include <chrono>
+
 namespace higpu::runtime {
 
 Device::Device(const sim::GpuParams& gpu_params, const PlatformParams& platform)
@@ -33,7 +35,11 @@ u32 Device::launch(sim::KernelLaunch launch, u32 stream) {
 
 Cycle Device::synchronize() {
   const Cycle before = gpu_->now();
+  const auto wall0 = std::chrono::steady_clock::now();
   gpu_->run_until_idle();
+  sim_wall_sec_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
   const Cycle delta = gpu_->now() - before;
   // Only GPU time not already accounted for extends the wall clock.
   if (gpu_->now() > synced_upto_) {

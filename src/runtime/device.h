@@ -5,6 +5,11 @@
 // operations advance a single nanosecond timeline (`elapsed_ns`), combining
 // platform overheads with simulated GPU cycles, which is what the Fig. 5
 // end-to-end experiment measures.
+//
+// synchronize() drains the GPU through the engine selected by
+// GpuParams::engine (event-driven by default): wall-clock cost scales with
+// the work simulated, not with idle GPU cycles, while cycle counts and all
+// reported statistics stay bit-identical to the dense reference loop.
 #pragma once
 
 #include <memory>
@@ -27,6 +32,8 @@ class Device {
   // ---- Configuration -----------------------------------------------------
   sim::Gpu& gpu() { return *gpu_; }
   const PlatformParams& platform() const { return platform_; }
+  /// Simulation engine driving this device's GPU (set via GpuParams).
+  sim::SimEngine engine() const { return gpu_->params().engine; }
   void set_kernel_scheduler(std::unique_ptr<sim::IKernelScheduler> s) {
     gpu_->set_kernel_scheduler(std::move(s));
   }
@@ -60,6 +67,10 @@ class Device {
   NanoSec elapsed_ns() const { return now_ns_; }
   /// Total GPU cycles consumed inside synchronize() calls.
   Cycle gpu_cycles_consumed() const { return gpu_cycles_; }
+  /// Real (host wall-clock) seconds spent inside the simulation engine
+  /// across synchronize() calls — the denominator for engine-throughput
+  /// benches. Not part of the modelled timeline.
+  double sim_wall_seconds() const { return sim_wall_sec_; }
 
  private:
   PlatformParams platform_;
@@ -69,6 +80,7 @@ class Device {
   Cycle gpu_cycles_ = 0;
   Cycle synced_upto_ = 0;
   double ns_per_cycle_;
+  double sim_wall_sec_ = 0.0;
 };
 
 }  // namespace higpu::runtime

@@ -13,7 +13,13 @@ const char* policy_name(Policy p) {
 
 void DefaultKernelScheduler::dispatch(sim::Gpu& gpu) {
   const u32 n = gpu.num_sms();
-  for (sim::KernelState* ks : gpu.kernel_states()) {
+  const auto& states = gpu.kernel_states();
+  // The fully-dispatched prefix only grows; skip it in amortized O(1).
+  while (first_pending_ < states.size() &&
+         states[first_pending_]->fully_dispatched())
+    ++first_pending_;
+  for (u32 k = first_pending_; k < states.size(); ++k) {
+    sim::KernelState* ks = states[k];
     if (ks->fully_dispatched() || !ks->arrived(gpu.now())) continue;
     if (!ks->started() && !gpu.stream_ready(*ks)) continue;
     const sim::KernelLaunch& launch = gpu.launch_of(ks->launch_id);
@@ -32,15 +38,15 @@ void DefaultKernelScheduler::dispatch(sim::Gpu& gpu) {
 }
 
 void SrrsKernelScheduler::dispatch(sim::Gpu& gpu) {
-  // Strictly serial: only the earliest unfinished kernel may dispatch.
-  sim::KernelState* ks = nullptr;
-  for (sim::KernelState* k : gpu.kernel_states()) {
-    if (!k->finished()) {
-      ks = k;
-      break;
-    }
-  }
-  if (ks == nullptr || !ks->arrived(gpu.now())) return;
+  // Strictly serial: only the earliest unfinished kernel may dispatch. The
+  // finished prefix only grows; skip it in amortized O(1).
+  const auto& states = gpu.kernel_states();
+  while (first_unfinished_ < states.size() &&
+         states[first_unfinished_]->finished())
+    ++first_unfinished_;
+  if (first_unfinished_ >= states.size()) return;
+  sim::KernelState* ks = states[first_unfinished_];
+  if (!ks->arrived(gpu.now())) return;
   if (ks->fully_dispatched()) return;  // draining
   // A kernel may only start on an idle GPU (rule 1).
   if (!ks->started() && !gpu.all_sms_drained()) return;

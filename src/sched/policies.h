@@ -27,16 +27,21 @@ class DefaultKernelScheduler final : public sim::IKernelScheduler {
  public:
   std::string name() const override { return "default"; }
   void dispatch(sim::Gpu& gpu) override;
-  void reset() override { rr_cursor_ = 0; }
+  void reset() override { rr_cursor_ = first_pending_ = 0; }
 
  private:
   u32 rr_cursor_ = 0;  // SM round-robin cursor for fair greedy placement
+  u32 first_pending_ = 0;  // skip the fully-dispatched launch prefix
 };
 
 class SrrsKernelScheduler final : public sim::IKernelScheduler {
  public:
   std::string name() const override { return "srrs"; }
   void dispatch(sim::Gpu& gpu) override;
+  void reset() override { first_unfinished_ = 0; }
+
+ private:
+  u32 first_unfinished_ = 0;  // skip the finished launch prefix
 };
 
 /// Instantiate the scheduler implementing `p`. (HALF uses the default

@@ -45,7 +45,14 @@ inline u32 eval_alu(isa::Op op, u32 a, u32 b, u32 c) {
     case Op::kFsin: return f2bits(std::sin(fa));
     case Op::kFcos: return f2bits(std::cos(fa));
     case Op::kI2f: return f2bits(static_cast<float>(sa));
-    case Op::kF2i: return static_cast<u32>(static_cast<i32>(fa));
+    case Op::kF2i: {
+      // Saturating conversion (CUDA cvt.rzi.s32.f32 semantics): a plain
+      // static_cast is undefined behaviour for NaN and out-of-range values.
+      if (std::isnan(fa)) return 0;
+      if (fa >= 2147483648.0f) return 0x7FFFFFFFu;   // >= 2^31  -> INT_MAX
+      if (fa < -2147483648.0f) return 0x80000000u;   // < -2^31 -> INT_MIN
+      return static_cast<u32>(static_cast<i32>(fa));
+    }
     default: return 0;
   }
 }

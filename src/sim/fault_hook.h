@@ -19,12 +19,33 @@ class IFaultHook {
   virtual u32 corrupt_alu(u32 sm, Cycle cycle, u32 value) = 0;
 
   /// Possibly corrupt the kernel scheduler's block->SM mapping decision.
-  /// Return the SM the block is actually sent to.
+  /// Return the SM the block is actually sent to. Must be pure: the engines
+  /// may query at different cadences (the dense loop re-attempts a blocked
+  /// dispatch every cycle, the event engine only at event cycles), so any
+  /// accounting belongs in on_block_diverted(), which fires once per
+  /// actually placed block.
   virtual u32 corrupt_block_mapping(u32 intended_sm, u32 num_sms, Cycle cycle) = 0;
+
+  /// A block was actually placed on `actual_sm` instead of `intended_sm`
+  /// as a result of corrupt_block_mapping(). Called once per placed block.
+  virtual void on_block_diverted(u32 intended_sm, u32 actual_sm) {
+    (void)intended_sm;
+    (void)actual_sm;
+  }
 
   /// Cheap global gate so the hot path can skip per-lane virtual calls when
   /// no fault is armed.
   virtual bool armed() const = 0;
+
+  /// Earliest cycle strictly after `now` at which this hook's behaviour can
+  /// change (a fault window opening or closing), or kNeverCycle if none.
+  /// The event-driven engine treats these cycles as wake events so that
+  /// cycle-targeted triggers land exactly as under the dense tick loop and
+  /// are never skipped by quiescent-cycle fast-forward.
+  virtual Cycle next_trigger_cycle(Cycle now) const {
+    (void)now;
+    return kNeverCycle;
+  }
 };
 
 }  // namespace higpu::sim

@@ -1,5 +1,6 @@
 #include "sim/gpu.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace higpu::sim {
@@ -50,30 +51,129 @@ u32 Gpu::launch(KernelLaunch launch) {
   last_arrival_ = std::max(cycle_, last_arrival_) + params_.launch_gap_cycles;
   slot->state.arrival = last_arrival_;
   launches_.push_back(std::move(slot));
+  state_ptrs_.push_back(&launches_.back()->state);
   stats_.add("kernels_launched");
   return id;
 }
 
 bool Gpu::idle() const {
-  for (const auto& slot : launches_)
-    if (!slot->state.finished()) return false;
-  return true;
+  return kernels_finished_ == launches_.size();
 }
 
 void Gpu::step() {
   cycle_ += 1;
   dispatched_this_cycle_ = false;
   if (ksched_) ksched_->dispatch(*this);
-  for (auto& sm : sms_) sm->cycle(cycle_);
+  for (auto& sm : sms_) {
+    sm->set_use_wake_records(false);  // faithful dense semantics
+    sm->cycle(cycle_);
+  }
 }
 
 Cycle Gpu::run_until_idle(u64 max_cycles) {
+  return params_.engine == SimEngine::kDense ? run_dense(max_cycles)
+                                             : run_event(max_cycles);
+}
+
+Cycle Gpu::run_dense(u64 max_cycles) {
   const Cycle limit = cycle_ + max_cycles;
+  for (auto& sm : sms_) sm->set_use_wake_records(false);
   while (!idle()) {
     if (cycle_ >= limit)
       throw SimTimeout("GPU did not drain within cycle budget (scheduler deadlock?)");
     step();
   }
+  return cycle_;
+}
+
+Cycle Gpu::next_kernel_arrival() {
+  // Arrivals are assigned in monotonically increasing order at launch(), so
+  // a cursor over the prefix already visible at cycle_ is exact.
+  while (arrival_cursor_ < launches_.size() &&
+         launches_[arrival_cursor_]->state.arrival <= cycle_)
+    ++arrival_cursor_;
+  return arrival_cursor_ < launches_.size()
+             ? launches_[arrival_cursor_]->state.arrival
+             : kNeverCycle;
+}
+
+void Gpu::wake_sm(u32 sm, Cycle when) {
+  if (!event_running_ || when >= sm_wake_[sm]) return;
+  sm_wake_[sm] = when;
+  wake_heap_.push({when, sm});
+}
+
+Cycle Gpu::run_event(u64 max_cycles) {
+  const Cycle limit = cycle_ + max_cycles;
+  event_running_ = true;
+  for (auto& sm : sms_) sm->set_use_wake_records(true);
+  // (Re)build the active set. Host code may have stepped the GPU densely or
+  // launched new kernels since the last run, so start every resident SM on
+  // the next cycle and let the first ticks establish real wake times.
+  sm_wake_.assign(num_sms(), kNeverCycle);
+  wake_heap_ = {};
+  for (u32 i = 0; i < num_sms(); ++i)
+    if (!sms_[i]->idle()) wake_sm(i, cycle_ + 1);
+  Cycle dispatch_wake = cycle_ + 1;
+
+  while (!idle()) {
+    // Earliest future event: dispatch recheck, kernel arrival, SM wake, or
+    // fault-window boundary. SMs due on the very next cycle (the common
+    // case while work is flowing) bypass the heap entirely; the heap only
+    // holds true sleeps.
+    Cycle next = std::min(dispatch_wake, next_kernel_arrival());
+    while (!wake_heap_.empty()) {
+      const auto [when, sm] = wake_heap_.top();
+      if (when != sm_wake_[sm]) {  // stale heap entry
+        wake_heap_.pop();
+        continue;
+      }
+      next = std::min(next, when);
+      break;
+    }
+    if (fault_ != nullptr)
+      next = std::min(next, fault_->next_trigger_cycle(cycle_));
+
+    if (next > limit) {
+      // The dense loop would have ticked quiescently up to `limit` before
+      // throwing; replay its accounting so statistics stay bit-identical.
+      for (auto& sm : sms_) sm->settle_to(limit);
+      cycle_ = limit;
+      event_running_ = false;
+      throw SimTimeout("GPU did not drain within cycle budget (scheduler deadlock?)");
+    }
+
+    ff_cycles_ += next - cycle_ - 1;
+    cycle_ = next;
+    dispatched_this_cycle_ = false;
+    // Dispatch first, exactly as in the dense loop. A dispatch may wake a
+    // sleeping SM for this very cycle (wake_sm via try_dispatch_block).
+    if (ksched_) ksched_->dispatch(*this);
+    bool progress = dispatched_this_cycle_;
+
+    bool any_next_cycle = false;
+    for (u32 i = 0; i < num_sms(); ++i) {
+      if (sm_wake_[i] > cycle_) continue;
+      SmCore& sm = *sms_[i];
+      sm.cycle(cycle_);
+      if (sm.progressed()) {
+        // State changed; other warps (or the scheduler) may act next cycle.
+        sm_wake_[i] = cycle_ + 1;
+        progress = true;
+        any_next_cycle = true;
+      } else {
+        sm_wake_[i] = sm.next_event_cycle();
+        if (sm_wake_[i] != kNeverCycle) wake_heap_.push({sm_wake_[i], i});
+      }
+    }
+
+    // Any progress (issue, completion, block placement) can change the next
+    // dispatch decision, so re-run the kernel scheduler one cycle later.
+    // With no progress, only a kernel arrival or an SM wake can unblock it —
+    // both are events already in the computation above.
+    dispatch_wake = (progress || any_next_cycle) ? cycle_ + 1 : kNeverCycle;
+  }
+  event_running_ = false;
   return cycle_;
 }
 
@@ -85,13 +185,6 @@ bool Gpu::all_sms_drained() const {
   for (const auto& sm : sms_)
     if (!sm->idle()) return false;
   return true;
-}
-
-std::vector<KernelState*> Gpu::kernel_states() {
-  std::vector<KernelState*> out;
-  out.reserve(launches_.size());
-  for (auto& slot : launches_) out.push_back(&slot->state);
-  return out;
 }
 
 const KernelLaunch& Gpu::launch_of(u32 launch_id) const {
@@ -127,8 +220,12 @@ bool Gpu::try_dispatch_block(KernelState& ks, u32 sm) {
   if (!ks.started()) ks.first_dispatch_cycle = cycle_;
   sms_[actual_sm]->accept_block(launch, ks.launch_id, ks.blocks_dispatched, sm,
                                 cycle_);
+  if (fault_ != nullptr && actual_sm != sm) fault_->on_block_diverted(sm, actual_sm);
   ks.blocks_dispatched += 1;
   dispatched_this_cycle_ = true;
+  // The target SM must simulate this cycle so the new block's warps can
+  // start issuing exactly when the dense loop would run them.
+  wake_sm(actual_sm, cycle_);
   stats_.add("blocks_dispatched");
   return true;
 }
@@ -149,6 +246,7 @@ void Gpu::on_block_done(const BlockRecord& rec) {
   ks.blocks_done += 1;
   if (ks.finished()) {
     ks.done_cycle = cycle_;
+    kernels_finished_ += 1;
     stats_.add("kernels_completed");
   }
 }

@@ -1,11 +1,22 @@
 // Top-level GPU: SM array, shared memory hierarchy, kernel launch queue and
-// the cycle loop. The block-dispatch policy is delegated to a pluggable
+// the simulation core. The block-dispatch policy is delegated to a pluggable
 // IKernelScheduler (the component this paper modifies).
+//
+// Two interchangeable, bit-identical engines drive run_until_idle():
+//  * event-driven (default): an active set of SMs with a min-heap of wake
+//    times. Each SM reports the earliest cycle at which any resident warp
+//    can become ready; the global clock jumps directly to the next event
+//    (SM wake, kernel arrival, dispatch recheck, or fault-window boundary),
+//    fast-forwarding quiescent cycles in O(1).
+//  * dense: the classic one-cycle-at-a-time tick loop, kept as the
+//    reference for the dual-engine equivalence test (GpuParams::engine).
 #pragma once
 
 #include <memory>
+#include <queue>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -47,23 +58,28 @@ class Gpu {
   /// scheduler `launch_gap_cycles` after the previous one (paper §IV.A).
   u32 launch(KernelLaunch launch);
 
-  /// Run until all launched kernels completed. Throws SimTimeout after
-  /// `max_cycles`. Returns the current cycle.
+  /// Run until all launched kernels completed, using the engine selected by
+  /// GpuParams::engine. Throws SimTimeout after `max_cycles`. Returns the
+  /// current cycle.
   Cycle run_until_idle(u64 max_cycles = 2'000'000'000ull);
 
-  /// Advance a single cycle.
+  /// Advance a single cycle (always dense; composes with run_until_idle).
   void step();
 
   bool idle() const;
   Cycle now() const { return cycle_; }
+  /// Quiescent cycles skipped by the event-driven engine so far (kept out
+  /// of collect_stats() so both engines report identical statistics).
+  Cycle fast_forwarded_cycles() const { return ff_cycles_; }
 
   // ---- Scheduler-facing API ----------------------------------------------
   u32 num_sms() const { return static_cast<u32>(sms_.size()); }
   bool sm_can_accept(u32 sm, const KernelLaunch& launch) const;
   /// True when no SM holds any resident block.
   bool all_sms_drained() const;
-  /// Kernel states in launch order (stable storage).
-  std::vector<KernelState*> kernel_states();
+  /// Kernel states in launch order (stable storage; the vector itself is
+  /// cached — schedulers call this every cycle).
+  const std::vector<KernelState*>& kernel_states() { return state_ptrs_; }
   const KernelLaunch& launch_of(u32 launch_id) const;
   /// True if every kernel launched before `launch_id` has finished.
   bool priors_finished(u32 launch_id) const;
@@ -87,6 +103,14 @@ class Gpu {
 
  private:
   void on_block_done(const BlockRecord& rec);
+  Cycle run_dense(u64 max_cycles);
+  Cycle run_event(u64 max_cycles);
+  /// Earliest future kernel-arrival cycle (launch_gap_cycles visibility),
+  /// or kNeverCycle. Amortized O(1): arrivals are monotone in launch order.
+  Cycle next_kernel_arrival();
+  /// Pull SM `sm`'s wake time forward to `when` (event engine only); used
+  /// by try_dispatch_block so a newly placed block executes immediately.
+  void wake_sm(u32 sm, Cycle when);
 
   GpuParams params_;
   memsys::GlobalStore* store_;
@@ -100,6 +124,17 @@ class Gpu {
   Cycle last_dispatch_cycle_ = 0;
   bool dispatched_this_cycle_ = false;
 
+  // Event-engine state. sm_wake_[i] is the next cycle SM i must simulate;
+  // kNeverCycle marks SMs outside the active set (no resident blocks and
+  // nothing pending). The heap holds (wake, sm) pairs with lazy deletion:
+  // an entry is stale when it no longer matches sm_wake_.
+  bool event_running_ = false;
+  std::vector<Cycle> sm_wake_;
+  std::priority_queue<std::pair<Cycle, u32>, std::vector<std::pair<Cycle, u32>>,
+                      std::greater<>>
+      wake_heap_;
+  Cycle ff_cycles_ = 0;
+
   // Launches are stored behind unique_ptr so KernelState/KernelLaunch
   // references stay stable as new kernels arrive.
   struct LaunchSlot {
@@ -107,6 +142,9 @@ class Gpu {
     KernelState state;
   };
   std::vector<std::unique_ptr<LaunchSlot>> launches_;
+  std::vector<KernelState*> state_ptrs_;  // parallel to launches_
+  u32 kernels_finished_ = 0;              // == launches_.size() when idle
+  size_t arrival_cursor_ = 0;             // first launch not yet visible
   std::vector<BlockRecord> records_;
   StatSet stats_;
 };

@@ -9,7 +9,22 @@
 
 namespace higpu::sim {
 
+/// Simulation-core engine selection.
+///
+/// * kEvent — event-driven: SMs report the earliest cycle at which any
+///   resident warp can become ready (scoreboard release, memory-response
+///   arrival, unit availability, barrier release) and the GPU advances the
+///   clock directly to the next such event, fast-forwarding quiescent
+///   cycles. Bit-identical in results, cycle counts and statistics to the
+///   dense loop.
+/// * kDense — the classic tick loop: every SM is stepped on every cycle.
+///   Kept as the reference implementation for the dual-engine equivalence
+///   test and as a debugging fallback.
+enum class SimEngine { kEvent, kDense };
+
 struct GpuParams {
+  SimEngine engine = SimEngine::kEvent;
+
   u32 num_sms = 6;
   u32 warp_size = 32;
 

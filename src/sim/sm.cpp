@@ -1,6 +1,7 @@
 #include "sim/sm.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "memsys/coalescer.h"
@@ -18,6 +19,9 @@ SmCore::SmCore(u32 sm_id, const GpuParams& params, memsys::MemHierarchy* mem,
   blocks_.resize(params.max_blocks_per_sm);
   warps_.resize(params.max_warps_per_sm);
   last_issued_.assign(params.num_warp_schedulers, -1);
+  sched_order_.resize(params.num_warp_schedulers);
+  for (auto& order : sched_order_) order.reserve(params.max_warps_per_sm);
+  warp_stall_.assign(params.max_warps_per_sm, StallRec{});
 }
 
 u32 SmCore::warps_needed(const GpuParams& p, const KernelLaunch& l) {
@@ -41,6 +45,9 @@ bool SmCore::can_accept(const KernelLaunch& launch) const {
 void SmCore::accept_block(const KernelLaunch& launch, u32 launch_id,
                           u32 block_linear, u32 intended_sm, Cycle now) {
   assert(can_accept(launch));
+  // Dispatch happens before this SM's tick at `now`: close out any skipped
+  // quiescent window under the pre-acceptance occupancy first.
+  if (now > 0) settle_to(now - 1);
 
   // Find a free block slot.
   u32 slot = 0;
@@ -90,15 +97,21 @@ void SmCore::accept_block(const KernelLaunch& launch, u32 launch_id,
     w.at_barrier = false;
     w.pending.clear();
     w.instructions = 0;
+    warp_stall_[wslot] = StallRec{};
+    sched_order_[wslot % params_.num_warp_schedulers].push_back(wslot);
     ++assigned;
   }
   assert(assigned == b.num_warps);
-  stats_.add("blocks_accepted");
+  blocks_accepted_ += 1;
 }
 
 void SmCore::cycle(Cycle now) {
+  if (now > 0) settle_to(now - 1);
+  last_settled_ = now;
+  progress_ = false;
+  quiet_wake_ = kNeverCycle;
   if (blocks_used_ == 0) return;
-  stats_.add("active_cycles");
+  active_cycles_ += 1;
 
   const u32 nsched = params_.num_warp_schedulers;
   for (u32 s = 0; s < nsched; ++s) {
@@ -107,19 +120,30 @@ void SmCore::cycle(Cycle now) {
       Warp& w = warps_[static_cast<u32>(last_issued_[s])];
       if (w.active && try_issue(w, now)) continue;
     }
-    // Then oldest first among this scheduler's warps. (Under LRR, `age` is
-    // refreshed on every issue, so oldest == least-recently issued.)
-    order_scratch_.clear();
-    for (u32 slot = s; slot < warps_.size(); slot += nsched)
-      if (warps_[slot].active) order_scratch_.emplace_back(warps_[slot].age, slot);
-    std::sort(order_scratch_.begin(), order_scratch_.end());
+    // Then oldest first among this scheduler's warps, walking the
+    // incrementally maintained age order. (Under LRR an issue moves the
+    // warp to the back, so oldest == least-recently issued.)
+    std::vector<u32>& order = sched_order_[s];
     last_issued_[s] = -1;
-    for (auto [age, slot] : order_scratch_) {
-      (void)age;
+    for (u32 idx = 0; idx < order.size();) {
+      const u32 slot = order[idx];
+      const StallRec& rec = warp_stall_[slot];
+      if (use_wake_records_ && rec.wake > now) {
+        // Provably still blocked (same class) until the recorded wake:
+        // count the stall exactly as the full attempt would and keep the
+        // wake as an event candidate, skipping the hazard re-check.
+        count_stall(rec.cls);
+        if (rec.wake < quiet_wake_) quiet_wake_ = rec.wake;
+        ++idx;
+        continue;
+      }
       if (try_issue(warps_[slot], now)) {
         last_issued_[s] = static_cast<i32>(slot);
         break;
       }
+      // A failed attempt may still have removed `slot` (the warp turned out
+      // to be complete); only advance when the element is still in place.
+      if (idx < order.size() && order[idx] == slot) ++idx;
     }
   }
 }
@@ -127,7 +151,11 @@ void SmCore::cycle(Cycle now) {
 bool SmCore::try_issue(Warp& w, Cycle now) {
   const IssueOutcome outcome = try_issue_classified(w, now);
   switch (outcome) {
-    case IssueOutcome::kIssued: ++issued_attempts_; return true;
+    case IssueOutcome::kIssued:
+      ++issued_attempts_;
+      progress_ = true;
+      warp_stall_[static_cast<size_t>(&w - warps_.data())].wake = 0;
+      return true;
     case IssueOutcome::kScoreboard: ++stall_scoreboard_; return false;
     case IssueOutcome::kBarrier: ++stall_barrier_; return false;
     case IssueOutcome::kStructural: ++stall_structural_; return false;
@@ -141,34 +169,48 @@ SmCore::IssueOutcome SmCore::try_issue_classified(Warp& w, Cycle now) {
     complete_warp(w, now);
     return IssueOutcome::kWarpDone;
   }
-  if (w.at_barrier) return IssueOutcome::kBarrier;
+  // Failed attempts call stall(), which records the stall class and the
+  // earliest cycle the blocking condition can clear: the raw material for
+  // the event engine's wake time and skipped-cycle stall accounting. A
+  // scoreboard wake uses the first hazarded register's release; a later
+  // hazard then re-stalls the warp at that (still scoreboard-classified)
+  // cycle, so classes stay constant between events.
+  if (w.at_barrier) return stall(w, IssueOutcome::kBarrier, kNeverCycle);
 
   const Instruction& ins = w.prog->at(w.pc());
 
   // Scoreboard hazards (RAW on sources/guard, WAW on destination).
   if (ins.guard != isa::kNoPred && w.hazard(static_cast<u16>(ins.guard), true, now))
-    return IssueOutcome::kScoreboard;
+    return stall(w, IssueOutcome::kScoreboard,
+                 w.release_cycle(static_cast<u16>(ins.guard), true, now));
   if (ins.pred_src != isa::kNoPred && w.hazard(static_cast<u16>(ins.pred_src), true, now))
-    return IssueOutcome::kScoreboard;
+    return stall(w, IssueOutcome::kScoreboard,
+                 w.release_cycle(static_cast<u16>(ins.pred_src), true, now));
   for (const isa::Operand& o : ins.src)
-    if (o.is_reg() && w.hazard(o.reg, false, now)) return IssueOutcome::kScoreboard;
+    if (o.is_reg() && w.hazard(o.reg, false, now))
+      return stall(w, IssueOutcome::kScoreboard,
+                   w.release_cycle(o.reg, false, now));
   if (isa::writes_gpr(ins.op) && w.hazard(ins.dst, false, now))
-    return IssueOutcome::kScoreboard;
+    return stall(w, IssueOutcome::kScoreboard,
+                 w.release_cycle(ins.dst, false, now));
   if (isa::writes_pred(ins.op) && w.hazard(ins.dst, true, now))
-    return IssueOutcome::kScoreboard;
+    return stall(w, IssueOutcome::kScoreboard,
+                 w.release_cycle(ins.dst, true, now));
 
   // Structural hazards.
   const UnitClass uc = isa::unit_class(ins.op);
-  if (uc == UnitClass::kSfu && now < sfu_free_) return IssueOutcome::kStructural;
-  if (uc == UnitClass::kMem && now < mem_free_) return IssueOutcome::kStructural;
+  if (uc == UnitClass::kSfu && now < sfu_free_)
+    return stall(w, IssueOutcome::kStructural, sfu_free_);
+  if (uc == UnitClass::kMem && now < mem_free_)
+    return stall(w, IssueOutcome::kStructural, mem_free_);
 
   // Guard mask over the effective lanes.
   const u32 eff = w.effective_mask();
   u32 guard_mask = eff;
   if (ins.guard != isa::kNoPred) {
     guard_mask = 0;
-    for (u32 lane = 0; lane < kWarpSize; ++lane) {
-      if (!((eff >> lane) & 1)) continue;
+    for (u32 m = eff; m != 0; m &= m - 1) {
+      const u32 lane = static_cast<u32>(std::countr_zero(m));
       const bool p = w.pred_at(ins.guard, lane) != 0;
       if (p != ins.guard_neg) guard_mask |= 1u << lane;
     }
@@ -184,8 +226,15 @@ SmCore::IssueOutcome SmCore::try_issue_classified(Warp& w, Cycle now) {
   }
   execute(w, ins, guard_mask, now);
   ++w.instructions;
-  if (warp_policy_ == WarpSchedPolicy::kLrr) w.age = ++age_counter_;
-  stats_.add("instructions");
+  if (warp_policy_ == WarpSchedPolicy::kLrr) {
+    // Refresh recency: the warp becomes the youngest of its scheduler.
+    w.age = ++age_counter_;
+    const u32 slot = static_cast<u32>(&w - warps_.data());
+    std::vector<u32>& order = sched_order_[slot % params_.num_warp_schedulers];
+    order.erase(std::find(order.begin(), order.end(), slot));
+    order.push_back(slot);
+  }
+  instructions_ += 1;
 
   // A warp whose last instruction was EXIT completes immediately.
   if (!w.refresh_stack()) complete_warp(w, now);
@@ -193,12 +242,53 @@ SmCore::IssueOutcome SmCore::try_issue_classified(Warp& w, Cycle now) {
 }
 
 StatSet SmCore::snapshot_stats() const {
-  StatSet s = stats_;
+  StatSet s;
+  // Counters appear only once nonzero, mirroring the behaviour when they
+  // were StatSet entries created on first add().
+  auto put = [&s](const char* name, u64 v) {
+    if (v) s.add(name, v);
+  };
+  put("blocks_accepted", blocks_accepted_);
+  put("blocks_completed", blocks_completed_);
+  put("active_cycles", active_cycles_);
+  put("instructions", instructions_);
+  put("divergent_branches", divergent_branches_);
+  put("barriers", barriers_);
+  put("smem_accesses", smem_accesses_);
+  put("smem_bank_conflicts", smem_bank_conflicts_);
+  put("global_atomics", global_atomics_);
+  put("global_load_transactions", global_load_transactions_);
+  put("global_store_transactions", global_store_transactions_);
   s.add("issue_attempts_issued", issued_attempts_);
   s.add("issue_stall_scoreboard", stall_scoreboard_);
   s.add("issue_stall_barrier", stall_barrier_);
   s.add("issue_stall_structural", stall_structural_);
   return s;
+}
+
+void SmCore::settle_to(Cycle upto) {
+  if (upto <= last_settled_) return;
+  const u64 n = upto - last_settled_;
+  last_settled_ = upto;
+  if (blocks_used_ == 0) return;
+
+  // Replay what the dense loop would have counted over the quiescent window
+  // (last settled, upto]: one active cycle each, and one classified stall
+  // attempt per active warp per cycle (every scheduler walks all of its
+  // warps when none can issue; the GTO greedy slot was already cleared by
+  // the no-progress cycle that opened the window). Each warp's class was
+  // recorded by that cycle's failed attempt via stall() and is constant
+  // across the window because the wake time never spans a classification
+  // boundary.
+  active_cycles_ += n;
+  for (const Warp& w : warps_) {
+    if (!w.active) continue;
+    switch (warp_stall_[static_cast<size_t>(&w - warps_.data())].cls) {
+      case IssueOutcome::kBarrier: stall_barrier_ += n; break;
+      case IssueOutcome::kScoreboard: stall_scoreboard_ += n; break;
+      default: stall_structural_ += n; break;
+    }
+  }
 }
 
 u32 SmCore::maybe_corrupt(u32 value, Cycle now) const {
@@ -216,10 +306,13 @@ u32 SmCore::sreg_value(const Warp& w, isa::SReg sreg, u32 lane) const {
   const Dim3& gd = b.launch->grid;
   const u32 lin = w.warp_in_block * params_.warp_size + lane;
   using isa::SReg;
+  // 1-D blocks (the common case): valid lanes satisfy lin < bd.x, so the
+  // thread id is `lin` directly — no divisions on the hot path.
+  const bool block_1d = bd.y == 1 && bd.z == 1;
   switch (sreg) {
-    case SReg::kTidX: return lin % bd.x;
-    case SReg::kTidY: return (lin / bd.x) % bd.y;
-    case SReg::kTidZ: return lin / (bd.x * bd.y);
+    case SReg::kTidX: return block_1d ? lin : lin % bd.x;
+    case SReg::kTidY: return block_1d ? 0 : (lin / bd.x) % bd.y;
+    case SReg::kTidZ: return block_1d ? 0 : lin / (bd.x * bd.y);
     case SReg::kCtaIdX: return b.block_idx.x;
     case SReg::kCtaIdY: return b.block_idx.y;
     case SReg::kCtaIdZ: return b.block_idx.z;
@@ -269,8 +362,8 @@ void SmCore::execute(Warp& w, const Instruction& ins, u32 guard_mask, Cycle now)
       now + (uc == UnitClass::kSfu ? params_.sfu_latency : params_.sp_latency);
   if (uc == UnitClass::kSfu) sfu_free_ = now + params_.sfu_interval;
 
-  for (u32 lane = 0; lane < kWarpSize; ++lane) {
-    if (!((guard_mask >> lane) & 1)) continue;
+  for (u32 m = guard_mask; m != 0; m &= m - 1) {
+    const u32 lane = static_cast<u32>(std::countr_zero(m));
     switch (ins.op) {
       case Op::kS2r:
         w.reg_at(ins.dst, lane) = sreg_value(w, ins.sreg, lane);
@@ -330,7 +423,7 @@ void SmCore::exec_branch(Warp& w, const Instruction& ins, u32 guard_mask) {
     return;
   }
   // Divergence: IPDOM reconvergence.
-  stats_.add("divergent_branches");
+  divergent_branches_ += 1;
   const isa::Pc r = ins.reconv_pc;
   top.pc = r;
   const u32 not_taken = eff & ~taken;
@@ -341,23 +434,16 @@ void SmCore::exec_branch(Warp& w, const Instruction& ins, u32 guard_mask) {
 void SmCore::exec_global_mem(Warp& w, const Instruction& ins, u32 guard_mask,
                              Cycle now) {
   const u32 line_bytes = mem_->params().line_bytes;
-  addr_scratch_.clear();
-  for (u32 lane = 0; lane < kWarpSize; ++lane) {
-    if (!((guard_mask >> lane) & 1)) continue;
-    const u64 addr = static_cast<u64>(operand_value(w, ins.src[0], lane)) +
-                     static_cast<u64>(static_cast<i64>(ins.mem_offset));
-    addr_scratch_.push_back(addr);
-  }
-  if (addr_scratch_.empty()) return;  // fully predicated off
+  if (guard_mask == 0) return;  // fully predicated off
   mem_free_ = now + 1;
+  const u64 off = static_cast<u64>(static_cast<i64>(ins.mem_offset));
 
   Cycle done = now;
   if (ins.op == Op::kAtomAdd) {
     // Functional RMW in lane order; timing charged per lane at the L2.
-    u32 i = 0;
-    for (u32 lane = 0; lane < kWarpSize; ++lane) {
-      if (!((guard_mask >> lane) & 1)) continue;
-      const u64 addr = addr_scratch_[i++];
+    for (u32 m = guard_mask; m != 0; m &= m - 1) {
+      const u32 lane = static_cast<u32>(std::countr_zero(m));
+      const u64 addr = static_cast<u64>(operand_value(w, ins.src[0], lane)) + off;
       const u32 old = store_->read32(static_cast<memsys::DevPtr>(addr));
       const u32 add = operand_value(w, ins.src[1], lane);
       store_->write32(static_cast<memsys::DevPtr>(addr), old + add);
@@ -365,16 +451,19 @@ void SmCore::exec_global_mem(Warp& w, const Instruction& ins, u32 guard_mask,
       done = std::max(done, mem_->access_atomic(sm_id_, addr / line_bytes, now));
     }
     w.pending.push_back(Warp::Pending{ins.dst, false, done});
-    stats_.add("global_atomics");
+    global_atomics_ += 1;
     return;
   }
 
   const bool is_write = ins.op == Op::kStg;
-  // Functional access at issue keeps per-warp program order exact.
-  u32 i = 0;
-  for (u32 lane = 0; lane < kWarpSize; ++lane) {
-    if (!((guard_mask >> lane) & 1)) continue;
-    const u64 addr = addr_scratch_[i++];
+  // One pass: compute each lane's address, perform the functional access at
+  // issue (keeps per-warp program order exact), and collect the addresses
+  // for coalescing.
+  addr_scratch_.clear();
+  for (u32 m = guard_mask; m != 0; m &= m - 1) {
+    const u32 lane = static_cast<u32>(std::countr_zero(m));
+    const u64 addr = static_cast<u64>(operand_value(w, ins.src[0], lane)) + off;
+    addr_scratch_.push_back(addr);
     if (is_write) {
       store_->write32(static_cast<memsys::DevPtr>(addr),
                       operand_value(w, ins.src[1], lane));
@@ -384,10 +473,10 @@ void SmCore::exec_global_mem(Warp& w, const Instruction& ins, u32 guard_mask,
     }
   }
 
-  const std::vector<u64> lines = memsys::coalesce(addr_scratch_, line_bytes);
-  stats_.add(is_write ? "global_store_transactions" : "global_load_transactions",
-             lines.size());
-  for (u64 line : lines)
+  memsys::coalesce_into(addr_scratch_, line_bytes, line_scratch_);
+  (is_write ? global_store_transactions_ : global_load_transactions_) +=
+      line_scratch_.size();
+  for (u64 line : line_scratch_)
     done = std::max(done, mem_->access_line(sm_id_, line, is_write, now));
   if (!is_write) w.pending.push_back(Warp::Pending{ins.dst, false, done});
 }
@@ -395,27 +484,27 @@ void SmCore::exec_global_mem(Warp& w, const Instruction& ins, u32 guard_mask,
 void SmCore::exec_shared_mem(Warp& w, const Instruction& ins, u32 guard_mask,
                              Cycle now) {
   ResidentBlock& b = blocks_[w.block_slot];
+  if (guard_mask == 0) return;
   addr_scratch_.clear();
-  for (u32 lane = 0; lane < kWarpSize; ++lane) {
-    if (!((guard_mask >> lane) & 1)) continue;
+  for (u32 m = guard_mask; m != 0; m &= m - 1) {
+    const u32 lane = static_cast<u32>(std::countr_zero(m));
     const u64 addr = static_cast<u64>(operand_value(w, ins.src[0], lane)) +
                      static_cast<u64>(static_cast<i64>(ins.mem_offset));
     assert(addr + 4 <= b.shared.size() && "shared-memory access out of bounds");
     addr_scratch_.push_back(addr);
   }
-  if (addr_scratch_.empty()) return;
 
   const u32 conflicts =
       memsys::smem_conflict_degree(addr_scratch_, mem_->params().smem_banks);
   mem_free_ = now + conflicts;
   const Cycle done = now + mem_->params().smem_latency + (conflicts - 1);
-  stats_.add("smem_accesses");
-  if (conflicts > 1) stats_.add("smem_bank_conflicts", conflicts - 1);
+  smem_accesses_ += 1;
+  if (conflicts > 1) smem_bank_conflicts_ += conflicts - 1;
 
   const bool is_write = ins.op == Op::kSts;
   u32 i = 0;
-  for (u32 lane = 0; lane < kWarpSize; ++lane) {
-    if (!((guard_mask >> lane) & 1)) continue;
+  for (u32 m = guard_mask; m != 0; m &= m - 1) {
+    const u32 lane = static_cast<u32>(std::countr_zero(m));
     const u64 addr = addr_scratch_[i++];
     u32* word = reinterpret_cast<u32*>(b.shared.data() + addr);
     if (is_write)
@@ -433,7 +522,7 @@ void SmCore::exec_barrier(Warp& w) {
          "barrier executed in divergent control flow");
   w.at_barrier = true;
   b.barrier_count += 1;
-  stats_.add("barriers");
+  barriers_ += 1;
   if (b.barrier_count == b.warps_live) release_barrier(b);
 }
 
@@ -441,15 +530,22 @@ void SmCore::release_barrier(ResidentBlock& b) {
   for (Warp& w : warps_) {
     if (w.active && w.block_slot ==
             static_cast<u32>(&b - blocks_.data()) &&
-        w.at_barrier)
+        w.at_barrier) {
       w.at_barrier = false;
+      // The warp may issue again right away: drop its barrier stall record.
+      warp_stall_[static_cast<size_t>(&w - warps_.data())].wake = 0;
+    }
   }
   b.barrier_count = 0;
 }
 
 void SmCore::complete_warp(Warp& w, Cycle now) {
   if (!w.active) return;
+  progress_ = true;
   w.active = false;
+  const u32 slot = static_cast<u32>(&w - warps_.data());
+  std::vector<u32>& order = sched_order_[slot % params_.num_warp_schedulers];
+  order.erase(std::find(order.begin(), order.end(), slot));
   ResidentBlock& b = blocks_[w.block_slot];
   assert(b.warps_live > 0);
   b.warps_live -= 1;
@@ -476,7 +572,7 @@ void SmCore::complete_block(ResidentBlock& b, Cycle now) {
   shared_used_ -= b.shared_reserved;
   b.active = false;
   b.launch = nullptr;
-  stats_.add("blocks_completed");
+  blocks_completed_ += 1;
 
   if (on_block_done_) on_block_done_(rec);
 }

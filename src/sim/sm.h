@@ -57,7 +57,34 @@ class SmCore {
                     u32 intended_sm, Cycle now);
 
   /// Advance one cycle: each warp scheduler tries to issue one instruction.
+  /// Self-settles any quiescent gap since the last simulated cycle, so it is
+  /// safe to call at non-contiguous `now` values (event-driven engine).
   void cycle(Cycle now);
+
+  /// True if the most recent cycle() made forward progress: issued an
+  /// instruction, completed a warp, or completed a block. After a cycle with
+  /// no progress the SM is quiescent and can sleep until next_event_cycle().
+  bool progressed() const { return progress_; }
+
+  /// Earliest cycle at which a resident warp can become ready — scoreboard
+  /// release (including memory-response arrival, which is a pending-register
+  /// ready cycle), or execution-unit availability — recorded as a byproduct
+  /// of the failed issue attempts of the preceding cycle() call, so it is
+  /// only meaningful after a cycle with progressed() == false. Barrier waits
+  /// contribute no event: they are released by other warps' issues, which
+  /// are events themselves. Conservatively stops at stall-class boundaries
+  /// so skipped-cycle stall accounting stays bit-identical to the dense
+  /// loop. Returns kNeverCycle for an idle SM (or one whose warps can only
+  /// be unblocked externally).
+  Cycle next_event_cycle() const {
+    return blocks_used_ ? quiet_wake_ : kNeverCycle;
+  }
+
+  /// Account statistics for quiescent cycles (last settled, upto] exactly
+  /// as the dense loop would have counted them (active_cycles plus one
+  /// stall per active warp per cycle, classified). Called internally by
+  /// cycle()/accept_block(); the GPU calls it directly before a timeout.
+  void settle_to(Cycle upto);
 
   /// No resident blocks.
   bool idle() const { return blocks_used_ == 0; }
@@ -66,9 +93,12 @@ class SmCore {
   void set_fault_hook(IFaultHook* hook) { fault_ = hook; }
   void set_trace_sink(ITraceSink* sink) { trace_ = sink; }
   void set_warp_sched_policy(WarpSchedPolicy p) { warp_policy_ = p; }
-
-  const StatSet& stats() const { return stats_; }
-  StatSet& stats() { return stats_; }
+  /// Event-engine mode: the issue walk may skip a warp in O(1) while its
+  /// recorded stall is provably still blocking (see StallRec). Off in the
+  /// dense reference loop, which faithfully re-attempts every warp every
+  /// cycle — keeping the two engines independent implementations of the
+  /// same semantics for the equivalence test to cross-check.
+  void set_use_wake_records(bool on) { use_wake_records_ = on; }
 
   // Free-resource introspection (used by tests and occupancy analysis).
   u32 free_warp_slots() const { return params_.max_warps_per_sm - warps_used_; }
@@ -94,6 +124,27 @@ class SmCore {
   };
   IssueOutcome try_issue_classified(Warp& w, Cycle now);
   bool try_issue(Warp& w, Cycle now);
+  /// Record a failed issue attempt: remembers the warp's stall class and
+  /// wake time — the earliest cycle the blocking condition can clear — and
+  /// folds the latter into quiet_wake_. Until that cycle the warp is
+  /// provably still blocked with the same class, so the issue walk skips
+  /// the full hazard re-check (and the event engine can sleep through it).
+  /// Returns `o` so call sites stay oneliners.
+  IssueOutcome stall(const Warp& w, IssueOutcome o, Cycle cand) {
+    StallRec& rec = warp_stall_[static_cast<size_t>(&w - warps_.data())];
+    rec.cls = o;
+    rec.wake = cand;
+    if (cand < quiet_wake_) quiet_wake_ = cand;
+    return o;
+  }
+  /// Count one stall of class `cls`, exactly as a failed attempt would.
+  void count_stall(IssueOutcome cls) {
+    switch (cls) {
+      case IssueOutcome::kScoreboard: ++stall_scoreboard_; break;
+      case IssueOutcome::kBarrier: ++stall_barrier_; break;
+      default: ++stall_structural_; break;
+    }
+  }
   void execute(Warp& w, const isa::Instruction& ins, u32 guard_mask, Cycle now);
   void exec_branch(Warp& w, const isa::Instruction& ins, u32 guard_mask);
   void exec_global_mem(Warp& w, const isa::Instruction& ins, u32 guard_mask, Cycle now);
@@ -115,6 +166,7 @@ class SmCore {
   IFaultHook* fault_ = nullptr;
   ITraceSink* trace_ = nullptr;
   WarpSchedPolicy warp_policy_ = WarpSchedPolicy::kGto;
+  bool use_wake_records_ = false;
 
   std::vector<ResidentBlock> blocks_;  // max_blocks_per_sm slots
   std::vector<Warp> warps_;            // max_warps_per_sm slots
@@ -129,16 +181,49 @@ class SmCore {
   Cycle sfu_free_ = 0;
   Cycle mem_free_ = 0;
 
-  // Warp-scheduler bookkeeping.
+  // Warp-scheduler bookkeeping. sched_order_[s] holds scheduler s's active
+  // warp slots in age order (maintained incrementally: activation appends —
+  // ages are monotonic — completion erases, an LRR issue moves to the back),
+  // so the per-cycle selection needs no sorting or allocation.
   std::vector<i32> last_issued_;  // per scheduler: warp slot or -1
+  std::vector<std::vector<u32>> sched_order_;
   u64 age_counter_ = 0;
+
+  // Event-engine bookkeeping: last cycle whose statistics are accounted,
+  // whether the last simulated cycle made progress, the SM wake time and
+  // the per-warp stall class + wake recorded by failed issue attempts.
+  // A warp's record stays valid until the recorded wake cycle: pending
+  // ready times are fixed at issue, unit next-free counters only move
+  // later, and barriers are cleared explicitly (which resets the record).
+  struct StallRec {
+    Cycle wake = 0;  // 0 = must attempt; kNeverCycle = barrier (external)
+    IssueOutcome cls = IssueOutcome::kStructural;
+  };
+  Cycle last_settled_ = 0;
+  bool progress_ = false;
+  Cycle quiet_wake_ = kNeverCycle;
+  std::vector<StallRec> warp_stall_;  // parallel to warps_
 
   // Scratch buffers reused across cycles.
   std::vector<u64> addr_scratch_;
-  std::vector<std::pair<u64, u32>> order_scratch_;
+  std::vector<u64> line_scratch_;
 
   BlockDoneFn on_block_done_;
-  StatSet stats_;
+
+  // Statistics. Hot-path counters are plain integers (a map lookup per
+  // cycle/issue would dominate the simulation); snapshot_stats() exports
+  // them under their original StatSet names.
+  u64 blocks_accepted_ = 0;
+  u64 blocks_completed_ = 0;
+  u64 active_cycles_ = 0;
+  u64 instructions_ = 0;
+  u64 divergent_branches_ = 0;
+  u64 barriers_ = 0;
+  u64 smem_accesses_ = 0;
+  u64 smem_bank_conflicts_ = 0;
+  u64 global_atomics_ = 0;
+  u64 global_load_transactions_ = 0;
+  u64 global_store_transactions_ = 0;
 
   // Issue-attempt outcome counters (exported via snapshot_stats()).
   u64 stall_scoreboard_ = 0;

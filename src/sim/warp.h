@@ -86,6 +86,17 @@ struct Warp {
     return false;
   }
 
+  /// Cycle at which hazard(r, is_pred, ...) turns false: the latest `ready`
+  /// among outstanding writes to that register, or `t` if none is in flight
+  /// after `t`. Pure (no reaping) — used by the event-driven engine to turn
+  /// scoreboard releases into wake events.
+  Cycle release_cycle(u16 r, bool is_pred, Cycle t) const {
+    Cycle rel = t;
+    for (const Pending& p : pending)
+      if (p.reg == r && p.is_pred == is_pred && p.ready > rel) rel = p.ready;
+    return rel;
+  }
+
   /// True if any outstanding writeback is still in flight at `now`.
   bool any_pending(Cycle now) {
     for (size_t i = 0; i < pending.size();) {

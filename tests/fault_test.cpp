@@ -63,6 +63,11 @@ TEST(Injector, SchedulerFaultRotatesMapping) {
   fi.arm_scheduler_fault(0, 1);
   EXPECT_EQ(fi.corrupt_block_mapping(0, 6, 10), 1u);
   EXPECT_EQ(fi.corrupt_block_mapping(5, 6, 10), 0u);
+  // Mapping queries are pure: the dense and event engines query at
+  // different cadences. Diversions are counted once per placed block.
+  EXPECT_EQ(fi.diverted_blocks(), 0u);
+  fi.on_block_diverted(0, 1);
+  fi.on_block_diverted(5, 0);
   EXPECT_EQ(fi.diverted_blocks(), 2u);
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "isa/builder.h"
 #include "memsys/global_store.h"
@@ -379,6 +380,25 @@ TEST_F(ExecTest, TwoKernelsSameStreamSerialize) {
   gpu_.launch(std::move(b));
   gpu_.run_until_idle(10'000'000);
   EXPECT_EQ(store_.read32(buf), 42u);
+}
+
+TEST(EvalAlu, F2iSaturatesInsteadOfUb) {
+  auto f2i = [](float f) {
+    return eval_alu(Op::kF2i, f2bits(f), 0, 0);
+  };
+  // In-range values truncate toward zero.
+  EXPECT_EQ(f2i(0.0f), 0u);
+  EXPECT_EQ(f2i(1.9f), 1u);
+  EXPECT_EQ(f2i(-1.9f), static_cast<u32>(-1));
+  EXPECT_EQ(f2i(-2147483648.0f), 0x80000000u);  // exactly INT_MIN
+  // Out-of-range / non-finite values saturate (CUDA cvt.rzi.s32.f32):
+  // previously undefined behaviour.
+  EXPECT_EQ(f2i(2147483648.0f), 0x7FFFFFFFu);       // 2^31
+  EXPECT_EQ(f2i(3e9f), 0x7FFFFFFFu);
+  EXPECT_EQ(f2i(-3e9f), 0x80000000u);
+  EXPECT_EQ(f2i(std::numeric_limits<float>::infinity()), 0x7FFFFFFFu);
+  EXPECT_EQ(f2i(-std::numeric_limits<float>::infinity()), 0x80000000u);
+  EXPECT_EQ(f2i(std::numeric_limits<float>::quiet_NaN()), 0u);
 }
 
 }  // namespace
