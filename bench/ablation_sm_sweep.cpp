@@ -12,6 +12,7 @@
 #include "common/table.h"
 #include "core/diversity.h"
 #include "core/nmr.h"
+#include "exp/campaign.h"
 #include "tests/test_kernels.h"
 
 using namespace higpu;
@@ -42,20 +43,15 @@ void start_distance_sweep() {
   std::printf("(b) SRRS overhead vs start-SM distance (hotspot)\n\n");
   TextTable table({"start_b", "cycles", "spatially-diverse"});
   for (u32 start_b : {1u, 2u, 3u, 4u, 5u}) {
-    workloads::WorkloadPtr w = workloads::make("hotspot");
-    w->setup(workloads::Scale::kBench, 2019);
-    runtime::Device dev;
-    core::RedundantSession::Config cfg;
-    cfg.policy = sched::Policy::kSrrs;
-    cfg.srrs_start_a = 0;
-    cfg.srrs_start_b = start_b;
-    core::RedundantSession s(dev, cfg);
-    w->run(s);
-    const auto rep =
-        core::analyze_block_diversity(dev.gpu().block_records(), s.pairs());
-    table.add_row({std::to_string(start_b),
-                   std::to_string(s.kernel_cycles()),
-                   rep.spatially_diverse() ? "yes" : "NO"});
+    exp::ScenarioSpec spec;
+    spec.workload = "hotspot";
+    spec.scale = workloads::Scale::kBench;
+    spec.policy = sched::Policy::kSrrs;
+    spec.srrs_start_a = 0;
+    spec.srrs_start_b = start_b;
+    const exp::ScenarioResult r = exp::run_scenario(spec);
+    table.add_row({std::to_string(start_b), std::to_string(r.kernel_cycles),
+                   r.diversity.spatially_diverse() ? "yes" : "NO"});
   }
   std::printf("%s\n", table.render().c_str());
 }

@@ -1,14 +1,11 @@
-// Shared harness for the paper-reproduction benches: run one workload under
-// one policy/redundancy configuration and collect the metrics the figures
-// report.
+// Shared harness for the paper-reproduction benches, now a thin veneer over
+// the Scenario/Campaign API: describe the run as a ScenarioSpec, execute it
+// with exp::run_scenario, and surface the metrics the figures report.
 #pragma once
 
 #include <string>
 
-#include "core/diversity.h"
-#include "core/redundant.h"
-#include "sched/policies.h"
-#include "workloads/workload.h"
+#include "exp/campaign.h"
 
 namespace higpu::bench {
 
@@ -25,29 +22,28 @@ struct RunResult {
   core::DiversityReport diversity;
 };
 
+inline RunResult from_scenario(const exp::ScenarioResult& r) {
+  RunResult out;
+  out.kernel_cycles = r.kernel_cycles;
+  out.elapsed_ns = r.elapsed_ns;
+  out.verified = r.ok && r.verified;
+  out.outputs_matched = r.ok && r.dcls_match;
+  out.diversity = r.diversity;
+  return out;
+}
+
 inline RunResult run_workload(const std::string& name, workloads::Scale scale,
                               sched::Policy policy, bool redundant,
                               u64 seed = 2019,
                               const sim::GpuParams& gpu_params = {}) {
-  workloads::WorkloadPtr w = workloads::make(name);
-  w->setup(scale, seed);
-
-  runtime::Device dev(gpu_params);
-  core::RedundantSession::Config cfg;
-  cfg.policy = policy;
-  cfg.redundant = redundant;
-  core::RedundantSession session(dev, cfg);
-  w->run(session);
-
-  RunResult r;
-  r.kernel_cycles = session.kernel_cycles();
-  r.elapsed_ns = dev.elapsed_ns();
-  r.verified = w->verify();
-  r.outputs_matched = session.all_outputs_matched();
-  if (redundant)
-    r.diversity = core::analyze_block_diversity(dev.gpu().block_records(),
-                                                session.pairs());
-  return r;
+  exp::ScenarioSpec spec;
+  spec.workload = name;
+  spec.scale = scale;
+  spec.seed = seed;
+  spec.policy = policy;
+  spec.redundant = redundant;
+  spec.gpu = gpu_params;
+  return from_scenario(exp::run_scenario(spec));
 }
 
 inline double ms(NanoSec ns) { return static_cast<double>(ns) / 1e6; }

@@ -1,0 +1,147 @@
+// Campaign throughput: scenarios/sec of the parallel CampaignRunner vs
+// worker-thread count on the Fig. 4 workload subset swept across all three
+// scheduling policies. Emits BENCH_campaign.json so the scaling trajectory
+// is tracked from PR to PR. Determinism is asserted on the way: every
+// thread count must reproduce the 1-thread results bit-for-bit.
+//
+//   $ ./bench_campaign_throughput [--scale=test|bench] [--jobs=1,2,4]
+//                                 [--out=BENCH_campaign.json]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "exp/campaign.h"
+
+namespace {
+
+using namespace higpu;
+
+/// Parse "--jobs=1,2,4". Exits with a usage message on malformed or empty
+/// input rather than aborting through an uncaught std::stoul throw.
+std::vector<u32> parse_jobs_list(const std::string& csv) {
+  std::vector<u32> jobs;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    const size_t comma = std::min(csv.find(',', pos), csv.size());
+    const std::string tok = csv.substr(pos, comma - pos);
+    if (tok.empty() || tok.size() > 9 ||
+        tok.find_first_not_of("0123456789") != std::string::npos ||
+        std::stoul(tok) == 0) {
+      std::fprintf(stderr,
+                   "bad --jobs value '%s': expected a comma-separated list of "
+                   "positive integers, e.g. --jobs=1,2,4\n",
+                   csv.c_str());
+      std::exit(2);
+    }
+    jobs.push_back(static_cast<u32>(std::stoul(tok)));
+    pos = comma + 1;
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workloads::Scale scale = workloads::Scale::kTest;
+  std::vector<u32> jobs_list = {1, 2, 4};
+  std::string out_path = "BENCH_campaign.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      try {
+        scale = workloads::parse_scale(argv[i] + 8);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+      jobs_list = parse_jobs_list(argv[i] + 7);
+    else if (std::strncmp(argv[i], "--out=", 6) == 0)
+      out_path = argv[i] + 6;
+  }
+
+  // The Fig. 4 subset x {default, half, srrs}: 33 scenarios.
+  exp::ScenarioSpec proto;
+  proto.scale = scale;
+  const exp::ScenarioSet set =
+      exp::ScenarioSet::for_workloads(workloads::fig4_names(), proto)
+          .sweep_policies({sched::Policy::kDefault, sched::Policy::kHalf,
+                           sched::Policy::kSrrs});
+
+  std::printf("campaign: %zu scenarios (fig4 x 3 policies, %s scale)\n\n",
+              set.size(), workloads::scale_name(scale));
+
+  struct Sample {
+    u32 jobs = 1;
+    double wall_sec = 0;
+    double rate = 0;
+    bool deterministic = true;
+    bool all_passed = false;
+  };
+  std::vector<Sample> samples;
+  exp::CampaignResult reference;
+
+  bool ok = true;
+  for (u32 jobs : jobs_list) {
+    exp::CampaignRunner::Config cfg;
+    cfg.jobs = jobs;
+    const exp::CampaignResult campaign = exp::CampaignRunner(cfg).run(set);
+
+    Sample s;
+    s.jobs = jobs;
+    s.wall_sec = campaign.wall_sec;
+    s.rate = campaign.scenarios_per_sec();
+    s.all_passed = campaign.all_passed();
+    if (samples.empty()) {
+      reference = campaign;
+    } else {
+      for (size_t i = 0; i < set.size(); ++i)
+        s.deterministic =
+            s.deterministic && campaign.results[i].deterministic_fields_equal(
+                                   reference.results[i]);
+    }
+    ok = ok && s.all_passed && s.deterministic;
+    std::printf("jobs=%-3u %6.2f s  %7.2f scenarios/s  speedup %.2fx  "
+                "deterministic=%s  passed=%s\n",
+                jobs, s.wall_sec, s.rate,
+                samples.empty() ? 1.0 : s.rate / samples.front().rate,
+                s.deterministic ? "yes" : "NO",
+                s.all_passed ? "yes" : "NO");
+    samples.push_back(s);
+  }
+
+  JsonWriter jw;
+  jw.begin_object();
+  jw.field("bench", std::string("campaign_throughput"));
+  jw.field("metric", std::string("scenarios_per_sec"));
+  jw.field("scenarios", static_cast<u64>(set.size()));
+  jw.field("scale", std::string(workloads::scale_name(scale)));
+  jw.key("runs");
+  jw.begin_array();
+  for (const Sample& s : samples) {
+    jw.begin_object();
+    jw.field("jobs", s.jobs);
+    jw.field("wall_sec", s.wall_sec);
+    jw.field("scenarios_per_sec", s.rate);
+    jw.field("speedup_vs_1job",
+             samples.front().rate > 0 ? s.rate / samples.front().rate : 0.0);
+    jw.field("deterministic", s.deterministic);
+    jw.field("all_passed", s.all_passed);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.end_object();
+
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs((jw.str() + "\n").c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  return ok ? 0 : 1;
+}

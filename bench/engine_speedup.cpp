@@ -10,11 +10,9 @@
 #include <string>
 #include <vector>
 
-#include "core/redundant.h"
+#include "exp/campaign.h"
 #include "isa/builder.h"
 #include "memsys/global_store.h"
-#include "sched/policies.h"
-#include "workloads/workload.h"
 
 namespace {
 
@@ -39,27 +37,34 @@ struct EngineRun {
 
 EngineRun run_once(const std::string& name, workloads::Scale scale,
                    sim::SimEngine engine) {
-  workloads::WorkloadPtr w = workloads::make(name);
-  w->setup(scale, /*seed=*/2019);
-
-  sim::GpuParams params;
-  params.engine = engine;
-  runtime::Device dev(params);
-  core::RedundantSession::Config cfg;
-  cfg.policy = sched::Policy::kSrrs;
-  cfg.redundant = true;
-  core::RedundantSession session(dev, cfg);
-
-  const auto t0 = std::chrono::steady_clock::now();
-  w->run(session);
-  const auto t1 = std::chrono::steady_clock::now();
+  exp::ScenarioSpec spec;
+  spec.workload = name;
+  spec.scale = scale;
+  spec.seed = 2019;
+  spec.policy = sched::Policy::kSrrs;
+  spec.redundant = true;
+  spec.gpu.engine = engine;
 
   EngineRun r;
-  r.wall_sec = std::chrono::duration<double>(t1 - t0).count();
-  r.sim_sec = dev.sim_wall_seconds();
-  r.sim_cycles = dev.gpu().now();
-  r.ff_cycles = dev.gpu().fast_forwarded_cycles();
-  r.verified = w->verify();
+  // The pre/post hooks bracket exactly Workload::run — wall_sec keeps its
+  // historical meaning (the 5-step flow, excluding setup/verify, which are
+  // identical under both engines).
+  std::chrono::steady_clock::time_point t0;
+  const exp::ScenarioResult res = exp::run_scenario(
+      spec, 0,
+      [&](runtime::Device& dev, workloads::Workload&,
+          core::RedundantSession&) {
+        r.wall_sec =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        r.sim_cycles = dev.gpu().now();
+      },
+      [&](runtime::Device&, workloads::Workload&, core::RedundantSession&) {
+        t0 = std::chrono::steady_clock::now();
+      });
+  r.sim_sec = res.sim_wall_sec;
+  r.ff_cycles = res.ff_cycles;
+  r.verified = res.ok && res.verified;
   return r;
 }
 

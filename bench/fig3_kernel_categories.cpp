@@ -5,9 +5,9 @@
 
 #include <map>
 
-#include "bench/bench_util.h"
 #include "common/table.h"
 #include "core/categorize.h"
+#include "exp/campaign.h"
 
 int main() {
   using namespace higpu;
@@ -22,56 +22,61 @@ int main() {
   for (const std::string& name : workloads::all_names()) {
     // Baseline (non-redundant) run: every kernel executes in isolation
     // (single stream), so per-kernel cycle spans are isolated durations.
-    workloads::WorkloadPtr w = workloads::make(name);
-    w->setup(Scale::kBench, 2019);
-    runtime::Device dev;
-    core::RedundantSession::Config cfg;
-    cfg.policy = sched::Policy::kDefault;
-    cfg.redundant = false;
-    core::RedundantSession session(dev, cfg);
-    w->run(session);
-
-    // Aggregate per distinct kernel name; categorize the dominant one
-    // (the kernel contributing the most total cycles).
-    struct Agg {
-      Cycle total = 0;
-      Cycle longest = 0;
-      u32 launch_id = 0;
-      u32 launches = 0;
-    };
-    std::map<std::string, Agg> by_kernel;
-    sim::Gpu& gpu = dev.gpu();
-    for (sim::KernelState* ks : gpu.kernel_states()) {
-      const sim::KernelLaunch& l = gpu.launch_of(ks->launch_id);
-      const Cycle cycles = gpu.kernel_cycles(ks->launch_id);
-      Agg& a = by_kernel[l.program->name()];
-      a.total += cycles;
-      a.launches += 1;
-      if (cycles > a.longest) {
-        a.longest = cycles;
-        a.launch_id = ks->launch_id;
+    // The categorization needs the live device, so it runs as a probe.
+    exp::ScenarioSpec spec;
+    spec.workload = name;
+    spec.scale = Scale::kBench;
+    spec.policy = sched::Policy::kDefault;
+    spec.redundant = false;
+    const exp::ScenarioResult res = exp::run_scenario(
+        spec, 0, [&](runtime::Device& dev, workloads::Workload&,
+                     core::RedundantSession&) {
+      // Aggregate per distinct kernel name; categorize the dominant one
+      // (the kernel contributing the most total cycles).
+      struct Agg {
+        Cycle total = 0;
+        Cycle longest = 0;
+        u32 launch_id = 0;
+        u32 launches = 0;
+      };
+      std::map<std::string, Agg> by_kernel;
+      sim::Gpu& gpu = dev.gpu();
+      for (sim::KernelState* ks : gpu.kernel_states()) {
+        const sim::KernelLaunch& l = gpu.launch_of(ks->launch_id);
+        const Cycle cycles = gpu.kernel_cycles(ks->launch_id);
+        Agg& a = by_kernel[l.program->name()];
+        a.total += cycles;
+        a.launches += 1;
+        if (cycles > a.longest) {
+          a.longest = cycles;
+          a.launch_id = ks->launch_id;
+        }
       }
-    }
-    const Agg* dominant = nullptr;
-    std::string dominant_name;
-    u32 total_launches = 0;
-    for (const auto& [kname, agg] : by_kernel) {
-      total_launches += agg.launches;
-      if (dominant == nullptr || agg.total > dominant->total) {
-        dominant = &agg;
-        dominant_name = kname;
+      const Agg* dominant = nullptr;
+      std::string dominant_name;
+      u32 total_launches = 0;
+      for (const auto& [kname, agg] : by_kernel) {
+        total_launches += agg.launches;
+        if (dominant == nullptr || agg.total > dominant->total) {
+          dominant = &agg;
+          dominant_name = kname;
+        }
       }
-    }
 
-    const sim::KernelLaunch& launch = gpu.launch_of(dominant->launch_id);
-    const core::CategoryReport rep =
-        core::categorize_kernel(gpu.params(), launch, dominant->longest);
-    table.add_row({name, std::to_string(total_launches), dominant_name,
-                   std::to_string(rep.isolated_cycles),
-                   std::to_string(rep.max_blocks_per_sm),
-                   TextTable::fmt(rep.gpu_fill, 2),
-                   core::category_name(rep.category),
-                   sched::policy_name(core::recommend_policy(rep.category))});
+      const sim::KernelLaunch& launch = gpu.launch_of(dominant->launch_id);
+      const core::CategoryReport rep =
+          core::categorize_kernel(gpu.params(), launch, dominant->longest);
+      table.add_row({name, std::to_string(total_launches), dominant_name,
+                     std::to_string(rep.isolated_cycles),
+                     std::to_string(rep.max_blocks_per_sm),
+                     TextTable::fmt(rep.gpu_fill, 2),
+                     core::category_name(rep.category),
+                     sched::policy_name(core::recommend_policy(rep.category))});
+        });
+    if (!res.ok) {
+      std::fprintf(stderr, "%s failed: %s\n", name.c_str(), res.error.c_str());
+      return 1;
+    }
   }
 
   std::printf("%s\n", table.render().c_str());

@@ -1,66 +1,69 @@
 // Narrated fault-injection demo: shows, fault by fault, why the paper's
 // scheduling policies turn undetectable common-cause faults into detected
-// errors.
+// errors. Every experiment is a declarative ScenarioSpec — the workload,
+// policy and fault are data; exp::run_scenario owns all the wiring.
 //
 //   $ ./fault_campaign
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "core/diversity.h"
-#include "core/redundant.h"
-#include "fault/injector.h"
-#include "isa/builder.h"
+#include "exp/campaign.h"
 
 namespace {
 
 using namespace higpu;
 
-isa::ProgramPtr make_kernel() {
-  using namespace isa;
-  KernelBuilder kb("demo");
-  Reg out = kb.reg(), n = kb.reg();
-  kb.ldp(out, 0);
-  kb.ldp(n, 1);
-  Reg gid = kb.global_tid_x();
-  Label done = kb.label();
-  kb.guard_range(gid, n, done);
-  Reg acc = kb.reg(), f = kb.reg();
-  kb.i2f(f, gid);
-  kb.ffma(acc, f, fimm(0.01f), fimm(1.0f));
-  for (int i = 0; i < 100; ++i)
-    kb.ffma(acc, acc, fimm(1.000001f), fimm(0.5f));
-  Reg addr = kb.reg();
-  kb.imad(addr, gid, imm(4), out);
-  kb.stg(addr, acc);
-  kb.bind(done);
-  kb.exit();
-  return kb.build();
+/// Base experiment: the paper's "friendly" stencil workload as a redundant
+/// DCLS pair on the 6-SM GPU.
+exp::ScenarioSpec base_spec(sched::Policy policy) {
+  exp::ScenarioSpec spec;
+  spec.workload = "hotspot";
+  spec.scale = workloads::Scale::kTest;
+  spec.seed = 2019;
+  spec.policy = policy;
+  spec.gpu.launch_gap_cycles = 400;  // modest dispatch slack, as in §IV.C
+  return spec;
 }
 
-struct Result {
-  bool match;
-  u64 corruptions;
-};
-
-Result run(sched::Policy policy, fault::FaultInjector* fi, u32 gap = 400) {
-  sim::GpuParams p;
-  p.launch_gap_cycles = gap;
-  runtime::Device dev(p);
-  if (fi) dev.gpu().set_fault_hook(fi);
-  core::RedundantSession::Config cfg;
-  cfg.policy = policy;
-  core::RedundantSession s(dev, cfg);
-  const u32 n = 12 * 128;
-  core::DualPtr out = s.alloc(n * 4);
-  s.launch(make_kernel(), sim::Dim3{12, 1, 1}, sim::Dim3{128, 1, 1}, {out, n});
-  s.sync();
-  return {s.compare(out, n * 4), fi ? fi->corruptions() : 0};
+/// Abort loudly if a scenario run errored — a silently-zero result would
+/// turn into a wrong safety conclusion below.
+void require_ok(const exp::ScenarioResult& r) {
+  if (r.ok) return;
+  std::fprintf(stderr, "scenario %s failed: %s\n", r.label.c_str(),
+               r.error.c_str());
+  std::exit(1);
 }
 
-void report(const char* what, const Result& r) {
-  std::printf("  %-46s corrupted %4llu results -> %s\n", what,
+/// Cycle window [first dispatch, last completion] of the golden run — where
+/// a mid-execution droop must land to corrupt anything.
+std::pair<Cycle, Cycle> golden_span(sched::Policy policy) {
+  Cycle begin = kNeverCycle, end = 0;
+  require_ok(exp::run_scenario(base_spec(policy), 0,
+                               [&](runtime::Device& dev, workloads::Workload&,
+                                   core::RedundantSession&) {
+                                 for (const sim::BlockRecord& rec :
+                                      dev.gpu().block_records()) {
+                                   begin = std::min(begin, rec.dispatch_cycle);
+                                   end = std::max(end, rec.end_cycle);
+                                 }
+                               }));
+  return {begin, end};
+}
+
+void report(const exp::ScenarioResult& r) {
+  require_ok(r);  // an errored run must not read as "masked"
+  std::printf("  %-34s corrupted %4llu results -> %s\n", r.label.c_str(),
               static_cast<unsigned long long>(r.corruptions),
-              r.match ? "UNDETECTED (outputs identical)"
-                      : "DETECTED (outputs differ)");
+              r.outcome == fault::Outcome::kDetected
+                  ? "DETECTED (outputs differ)"
+                  : (r.outcome == fault::Outcome::kSdc
+                         ? "SDC (outputs identical but WRONG)"
+                         : "masked (no visible effect)"));
 }
 
 }  // namespace
@@ -69,59 +72,95 @@ int main() {
   std::printf("Fault-injection walkthrough (paper >>IV.C)\n");
   std::printf("==========================================\n\n");
 
+  const std::vector<sched::Policy> kAllPolicies = {
+      sched::Policy::kDefault, sched::Policy::kHalf, sched::Policy::kSrrs};
+
   std::printf("[1] 50-cycle chip-wide voltage droop mid-execution\n");
-  for (sched::Policy p : {sched::Policy::kDefault, sched::Policy::kHalf,
-                          sched::Policy::kSrrs}) {
-    fault::FaultInjector fi;
-    fi.arm_droop(3000, 50, 2);
-    Result r = run(p, &fi);
-    std::printf("  policy %-8s:", sched::policy_name(p));
-    report("", r);
+  for (sched::Policy p : kAllPolicies) {
+    // Quarter point of the golden span: early enough that the first copy is
+    // still executing even under the serializing SRRS policy.
+    const auto [begin, end] = golden_span(p);
+    exp::ScenarioSpec spec = base_spec(p);
+    spec.fault = exp::FaultPlan::droop(begin + (end - begin) / 4, 50, 2);
+    report(exp::run_scenario(spec));
+  }
+
+  std::printf("\n[1b] the undetectable CCF: a droop window *computed* to "
+              "corrupt both copies identically (zero dispatch gap)\n");
+  for (sched::Policy p : {sched::Policy::kDefault, sched::Policy::kSrrs}) {
+    exp::ScenarioSpec spec = base_spec(p);
+    spec.gpu.launch_gap_cycles = 0;  // adversarial: no dispatch slack
+
+    // Golden run with an instruction-trace sink: search for a window whose
+    // corrupted instruction sets are identical across the first redundant
+    // pair (the paper's single-point-failure scenario).
+    core::InstrTraceCollector tc;
+    std::optional<std::pair<Cycle, Cycle>> window;
+    require_ok(exp::run_scenario(
+        spec, 0,
+        [&](runtime::Device&, workloads::Workload&,
+            core::RedundantSession& s) {
+          const auto [ida, idb] = s.pairs()[0];
+          window = tc.find_identical_corruption_window(ida, idb, 64);
+        },
+        [&](runtime::Device& dev, workloads::Workload&,
+            core::RedundantSession&) { dev.gpu().set_trace_sink(&tc); }));
+
+    if (!window.has_value()) {
+      std::printf("  policy %-8s: no such window exists -- every droop hits "
+                  "the copies differently\n",
+                  sched::policy_name(p));
+      continue;
+    }
+    // Bit 20: a large numeric error, so the corruption cannot hide below
+    // the CPU-reference comparison tolerance.
+    spec.fault = exp::FaultPlan::droop(window->first,
+                                       window->second - window->first, 20);
+    report(exp::run_scenario(spec));
   }
 
   std::printf("\n[2] permanent defect in SM 2 (broken multiplier)\n");
-  for (sched::Policy p : {sched::Policy::kHalf, sched::Policy::kSrrs}) {
-    fault::FaultInjector fi;
-    fi.arm_permanent_sm(2, 0, 2);
-    Result r = run(p, &fi);
-    std::printf("  policy %-8s:", sched::policy_name(p));
-    report("", r);
+  {
+    const exp::ScenarioSet set =
+        exp::ScenarioSet::of(base_spec(sched::Policy::kHalf))
+            .sweep_policies({sched::Policy::kHalf, sched::Policy::kSrrs})
+            .sweep_faults({exp::FaultPlan::permanent_sm(2, 0, 2)});
+    for (const exp::ScenarioResult& r : exp::CampaignRunner().run(set).results)
+      report(r);
   }
 
   std::printf("\n[3] scheduler mapping fault (blocks silently diverted)\n");
   {
-    fault::FaultInjector fi;
-    fi.arm_scheduler_fault(0, 3);
-    Result r = run(sched::Policy::kSrrs, &fi);
-    std::printf("  outputs still %s (fault is functionally latent!)\n",
-                r.match ? "match" : "differ");
+    exp::ScenarioSpec spec = base_spec(sched::Policy::kSrrs);
+    spec.fault = exp::FaultPlan::scheduler(0, 3);
+    const exp::ScenarioResult r = exp::run_scenario(spec);
+    std::printf("  %llu blocks diverted; outputs still %s (fault is "
+                "functionally latent!)\n",
+                static_cast<unsigned long long>(r.diverted_blocks),
+                r.dcls_match && r.verified ? "correct" : "wrong");
     std::printf("  -> this is why the global kernel scheduler needs the "
                 "periodic BIST (see adas_pipeline example).\n");
   }
 
   std::printf("\n[4] temporal-diversity slack per policy (min cycles between "
               "corresponding instructions)\n");
-  for (sched::Policy p : {sched::Policy::kDefault, sched::Policy::kHalf,
-                          sched::Policy::kSrrs}) {
-    sim::GpuParams gp;
-    runtime::Device dev(gp);
+  for (sched::Policy p : kAllPolicies) {
     core::InstrTraceCollector tc;
-    dev.gpu().set_trace_sink(&tc);
-    core::RedundantSession::Config cfg;
-    cfg.policy = p;
-    core::RedundantSession s(dev, cfg);
-    const u32 n = 12 * 128;
-    core::DualPtr out = s.alloc(n * 4);
-    s.launch(make_kernel(), sim::Dim3{12, 1, 1}, sim::Dim3{128, 1, 1},
-             {out, n});
-    s.sync();
-    const auto [ida, idb] = s.pairs()[0];
-    const auto rep = tc.slack(ida, idb, 50);
+    core::InstrTraceCollector::SlackReport slack;
+    require_ok(exp::run_scenario(
+        base_spec(p), 0,
+        [&](runtime::Device&, workloads::Workload&,
+            core::RedundantSession& s) {
+          const auto [ida, idb] = s.pairs()[0];
+          slack = tc.slack(ida, idb, 50);
+        },
+        [&](runtime::Device& dev, workloads::Workload&,
+            core::RedundantSession&) { dev.gpu().set_trace_sink(&tc); }));
     std::printf("  policy %-8s: min slack %6llu cycles, %llu instruction "
                 "pairs within a 50-cycle droop\n",
                 sched::policy_name(p),
-                static_cast<unsigned long long>(rep.min_slack),
-                static_cast<unsigned long long>(rep.exposed));
+                static_cast<unsigned long long>(slack.min_slack),
+                static_cast<unsigned long long>(slack.exposed));
   }
 
   std::printf("\nconclusion: SRRS/HALF guarantee that no single transient or "

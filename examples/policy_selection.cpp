@@ -9,8 +9,7 @@
 #include <vector>
 
 #include "core/categorize.h"
-#include "core/redundant.h"
-#include "workloads/workload.h"
+#include "exp/campaign.h"
 
 int main(int argc, char** argv) {
   using namespace higpu;
@@ -24,35 +23,40 @@ int main(int argc, char** argv) {
   std::printf("=========================================================\n");
 
   for (const std::string& name : names) {
-    workloads::WorkloadPtr w = workloads::make(name);
-    w->setup(workloads::Scale::kBench, 2019);
-
-    // Profile run: baseline mode, each kernel executes in isolation.
-    runtime::Device dev;
-    core::RedundantSession::Config cfg;
-    cfg.redundant = false;
-    core::RedundantSession session(dev, cfg);
-    w->run(session);
+    // Profile run: baseline mode, each kernel executes in isolation. The
+    // categorization reads the live device, so it runs as a probe.
+    exp::ScenarioSpec spec;
+    spec.workload = name;
+    spec.scale = workloads::Scale::kBench;
+    spec.redundant = false;
 
     std::printf("\n%s:\n", name.c_str());
-    std::map<std::string, bool> seen;
-    sim::Gpu& gpu = dev.gpu();
-    for (sim::KernelState* ks : gpu.kernel_states()) {
-      const sim::KernelLaunch& launch = gpu.launch_of(ks->launch_id);
-      if (seen[launch.program->name()]) continue;  // report each kernel once
-      seen[launch.program->name()] = true;
+    const exp::ScenarioResult res = exp::run_scenario(
+        spec, 0, [](runtime::Device& dev, workloads::Workload&,
+                    core::RedundantSession&) {
+      std::map<std::string, bool> seen;
+      sim::Gpu& gpu = dev.gpu();
+      for (sim::KernelState* ks : gpu.kernel_states()) {
+        const sim::KernelLaunch& launch = gpu.launch_of(ks->launch_id);
+        if (seen[launch.program->name()]) continue;  // report each kernel once
+        seen[launch.program->name()] = true;
 
-      const core::CategoryReport rep = core::categorize_kernel(
-          gpu.params(), launch, gpu.kernel_cycles(ks->launch_id));
-      std::printf(
-          "  kernel %-22s grid %4u blocks x %4u thr  %8llu cycles  "
-          "occupancy %2u blk/SM  fill %5.2f  -> %-8s => use %s\n",
-          launch.program->name().c_str(), launch.total_blocks(),
-          launch.threads_per_block(),
-          static_cast<unsigned long long>(rep.isolated_cycles),
-          rep.max_blocks_per_sm, rep.gpu_fill,
-          core::category_name(rep.category),
-          sched::policy_name(core::recommend_policy(rep.category)));
+        const core::CategoryReport rep = core::categorize_kernel(
+            gpu.params(), launch, gpu.kernel_cycles(ks->launch_id));
+        std::printf(
+            "  kernel %-22s grid %4u blocks x %4u thr  %8llu cycles  "
+            "occupancy %2u blk/SM  fill %5.2f  -> %-8s => use %s\n",
+            launch.program->name().c_str(), launch.total_blocks(),
+            launch.threads_per_block(),
+            static_cast<unsigned long long>(rep.isolated_cycles),
+            rep.max_blocks_per_sm, rep.gpu_fill,
+            core::category_name(rep.category),
+            sched::policy_name(core::recommend_policy(rep.category)));
+      }
+        });
+    if (!res.ok) {
+      std::fprintf(stderr, "  profile run failed: %s\n", res.error.c_str());
+      return 1;
     }
   }
   std::printf("\nrule (paper >>IV.D): SRRS for short kernels (serialization "

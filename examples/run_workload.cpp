@@ -1,91 +1,204 @@
-// Command-line workload runner: execute any of the 19 Rodinia-style
-// workloads under any policy/redundancy configuration and print the metrics
-// the paper reports.
+// Command-line campaign runner: execute any of the 19 Rodinia-style
+// workloads — or a whole sweep of them — under any policy/redundancy
+// configuration and print the metrics the paper reports. Everything is a
+// ScenarioSpec underneath; multiple scenarios run as a parallel campaign.
 //
-//   $ ./run_workload hotspot srrs
-//   $ ./run_workload cfd half --baseline
+//   $ ./run_workload hotspot --policy=srrs
+//   $ ./run_workload cfd --policy=half --baseline --scale=test --seed=7
+//   $ ./run_workload --fig4 --sweep-policies --jobs=4 --json=campaign.json
 //   $ ./run_workload --list
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
-#include "core/diversity.h"
-#include "core/redundant.h"
-#include "workloads/workload.h"
+#include "common/table.h"
+#include "exp/campaign.h"
 
 namespace {
 
+using namespace higpu;
+
 int usage() {
-  std::printf("usage: run_workload <name> [default|half|srrs] [--baseline]\n");
-  std::printf("       run_workload --list\n");
+  std::printf(
+      "usage: run_workload <name...> [options]\n"
+      "       run_workload --all | --fig4 [options]\n"
+      "       run_workload --list\n"
+      "options:\n"
+      "  --policy=default|half|srrs   scheduling policy (default: srrs)\n"
+      "  --sweep-policies             run every policy (overrides --policy)\n"
+      "  --baseline                   single copy instead of a DCLS pair\n"
+      "  --scale=test|bench           problem size (default: bench)\n"
+      "  --seed=N                     input-generation seed (default: 2019)\n"
+      "  --jobs=N                     campaign worker threads (default: 1;\n"
+      "                               0 = all hardware threads)\n"
+      "  --json=PATH                  write the JSON campaign report\n"
+      "  --csv=PATH                   write the CSV campaign report\n");
   return 2;
+}
+
+u64 parse_number(const std::string& flag, const std::string& s) {
+  // Digits only: std::stoull alone would wrap "-5" to 2^64-5.
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+    throw std::invalid_argument("bad value '" + s + "' for " + flag +
+                                ": expected a non-negative integer");
+  try {
+    return std::stoull(s);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad value '" + s + "' for " + flag +
+                                ": out of range");
+  }
+}
+
+sched::Policy parse_policy(const std::string& s) {
+  if (s == "default") return sched::Policy::kDefault;
+  if (s == "half") return sched::Policy::kHalf;
+  if (s == "srrs") return sched::Policy::kSrrs;
+  throw std::invalid_argument("unknown policy '" + s +
+                              "'; valid policies: default half srrs");
+}
+
+/// Detailed single-scenario report (the classic run_workload output).
+void print_detailed(const exp::ScenarioResult& r) {
+  std::printf("scenario        : %s\n", r.label.c_str());
+  if (!r.ok) {
+    std::printf("error           : %s\n", r.error.c_str());
+    return;
+  }
+  std::printf("kernel cycles   : %llu\n",
+              static_cast<unsigned long long>(r.kernel_cycles));
+  std::printf("end-to-end time : %.3f ms\n",
+              static_cast<double>(r.elapsed_ns) / 1e6);
+  std::printf("verified vs CPU : %s\n", r.verified ? "yes" : "NO");
+  if (r.comparisons > 0) {
+    std::printf("DCLS comparisons: %u (%u mismatching)\n", r.comparisons,
+                r.mismatches);
+    std::printf("diversity       : %u block pairs, %u same-SM, %u time-overlap\n",
+                r.diversity.blocks_checked, r.diversity.same_sm,
+                r.diversity.time_overlap);
+  }
+  std::printf("instructions    : %llu (stalls: %llu scoreboard, %llu "
+              "structural, %llu barrier)\n",
+              static_cast<unsigned long long>(r.stats.get("instructions")),
+              static_cast<unsigned long long>(
+                  r.stats.get("issue_stall_scoreboard")),
+              static_cast<unsigned long long>(
+                  r.stats.get("issue_stall_structural")),
+              static_cast<unsigned long long>(r.stats.get("issue_stall_barrier")));
+  std::printf("L1 hit rate     : %.1f%%   L2 hit rate: %.1f%%\n",
+              r.stats.ratio("l1_hits", "l1_misses") * 100.0,
+              r.stats.ratio("l2_hits", "l2_misses") * 100.0);
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(content.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace higpu;
+  std::vector<std::string> names;
+  exp::ScenarioSpec proto;
+  proto.scale = workloads::Scale::kBench;
+  bool sweep_policies = false;
+  u32 jobs = 1;
+  std::string json_path, csv_path;
 
-  if (argc >= 2 && std::strcmp(argv[1], "--list") == 0) {
-    for (const std::string& n : workloads::all_names())
-      std::printf("%s\n", n.c_str());
-    return 0;
-  }
-  if (argc < 2) return usage();
-
-  const std::string name = argv[1];
-  sched::Policy policy = sched::Policy::kSrrs;
-  bool redundant = true;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "default") policy = sched::Policy::kDefault;
-    else if (arg == "half") policy = sched::Policy::kHalf;
-    else if (arg == "srrs") policy = sched::Policy::kSrrs;
-    else if (arg == "--baseline") redundant = false;
-    else return usage();
-  }
-
-  workloads::WorkloadPtr w;
   try {
-    w = workloads::make(name);
-  } catch (const std::out_of_range&) {
-    std::printf("unknown workload '%s' (try --list)\n", name.c_str());
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--list") {
+        for (const std::string& n : workloads::all_names())
+          std::printf("%s\n", n.c_str());
+        return 0;
+      } else if (arg == "--all") {
+        names = workloads::all_names();
+      } else if (arg == "--fig4") {
+        names = workloads::fig4_names();
+      } else if (arg == "--baseline") {
+        proto.redundant = false;
+      } else if (arg == "--sweep-policies") {
+        sweep_policies = true;
+      } else if (arg.rfind("--policy=", 0) == 0) {
+        proto.policy = parse_policy(arg.substr(9));
+      } else if (arg.rfind("--scale=", 0) == 0) {
+        proto.scale = workloads::parse_scale(arg.substr(8));
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        proto.seed = parse_number("--seed", arg.substr(7));
+      } else if (arg.rfind("--jobs=", 0) == 0) {
+        jobs = static_cast<u32>(parse_number("--jobs", arg.substr(7)));
+      } else if (arg.rfind("--json=", 0) == 0) {
+        json_path = arg.substr(7);
+      } else if (arg.rfind("--csv=", 0) == 0) {
+        csv_path = arg.substr(6);
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+        return usage();
+      } else if (arg == "default" || arg == "half" || arg == "srrs") {
+        proto.policy = parse_policy(arg);  // legacy positional policy
+      } else {
+        names.push_back(arg);
+      }
+    }
+    if (names.empty()) return usage();
+
+    exp::ScenarioSet set = exp::ScenarioSet::for_workloads(names, proto);
+    if (sweep_policies)
+      set = set.sweep_policies({sched::Policy::kDefault, sched::Policy::kHalf,
+                                sched::Policy::kSrrs});
+    // CampaignRunner::run() validates the whole set before executing.
+
+    exp::CampaignRunner::Config cfg;
+    cfg.jobs = jobs;
+    if (set.size() > 1)
+      cfg.on_result = [](const exp::ScenarioResult& r) {
+        std::printf("  [%3u] %-45s %s\n", r.index, r.label.c_str(),
+                    r.ok ? (r.passed() ? "ok" : "FAIL") : r.error.c_str());
+      };
+    const exp::CampaignResult campaign =
+        exp::CampaignRunner(cfg).run(set);
+
+    if (campaign.results.size() == 1) {
+      print_detailed(campaign.results[0]);
+    } else {
+      TextTable table({"scenario", "cycles", "time(ms)", "verified", "DCLS",
+                       "diverse"});
+      for (const exp::ScenarioResult& r : campaign.results) {
+        if (!r.ok) {
+          // An errored run never produced verdicts; don't render its zeroed
+          // fields as if the safety mechanism had flagged something.
+          table.add_row({r.label, "-", "-", "ERROR", r.error, "-"});
+          continue;
+        }
+        table.add_row(
+            {r.label, std::to_string(r.kernel_cycles),
+             TextTable::fmt(static_cast<double>(r.elapsed_ns) / 1e6, 3),
+             r.verified ? "yes" : "NO", r.dcls_match ? "match" : "MISMATCH",
+             r.diversity.spatially_diverse() ? "yes" : "no"});
+      }
+      std::printf("\n%s\n", table.render().c_str());
+      std::printf("%zu scenarios, %u failed, %.2f s wall (%u jobs, %.2f "
+                  "scenarios/s)\n",
+                  campaign.results.size(), campaign.failed(),
+                  campaign.wall_sec, campaign.jobs,
+                  campaign.scenarios_per_sec());
+    }
+
+    bool io_ok = true;
+    if (!json_path.empty()) io_ok &= write_file(json_path, campaign.to_json());
+    if (!csv_path.empty()) io_ok &= write_file(csv_path, campaign.to_csv());
+    return campaign.all_passed() && io_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
-  w->setup(workloads::Scale::kBench, 2019);
-
-  runtime::Device dev;
-  core::RedundantSession::Config cfg;
-  cfg.policy = policy;
-  cfg.redundant = redundant;
-  core::RedundantSession session(dev, cfg);
-  w->run(session);
-
-  std::printf("workload        : %s\n", name.c_str());
-  std::printf("policy          : %s%s\n", sched::policy_name(policy),
-              redundant ? " (redundant pair)" : " (baseline, single copy)");
-  std::printf("kernel cycles   : %llu\n",
-              static_cast<unsigned long long>(session.kernel_cycles()));
-  std::printf("end-to-end time : %.3f ms\n",
-              static_cast<double>(dev.elapsed_ns()) / 1e6);
-  std::printf("verified vs CPU : %s\n", w->verify() ? "yes" : "NO");
-  if (redundant) {
-    std::printf("DCLS comparisons: %u (%u mismatching)\n", session.comparisons(),
-                session.mismatches());
-    const core::DiversityReport rep = core::analyze_block_diversity(
-        dev.gpu().block_records(), session.pairs());
-    std::printf("diversity       : %u block pairs, %u same-SM, %u time-overlap\n",
-                rep.blocks_checked, rep.same_sm, rep.time_overlap);
-  }
-  const StatSet stats = dev.gpu().collect_stats();
-  std::printf("instructions    : %llu (stalls: %llu scoreboard, %llu "
-              "structural, %llu barrier)\n",
-              static_cast<unsigned long long>(stats.get("instructions")),
-              static_cast<unsigned long long>(stats.get("issue_stall_scoreboard")),
-              static_cast<unsigned long long>(stats.get("issue_stall_structural")),
-              static_cast<unsigned long long>(stats.get("issue_stall_barrier")));
-  std::printf("L1 hit rate     : %.1f%%   L2 hit rate: %.1f%%\n",
-              stats.ratio("l1_hits", "l1_misses") * 100.0,
-              stats.ratio("l2_hits", "l2_misses") * 100.0);
-  return w->verify() && session.all_outputs_matched() ? 0 : 1;
 }

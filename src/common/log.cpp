@@ -1,11 +1,14 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace higpu {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so campaign worker threads can log while the main thread adjusts
+// the level (and so the read stays TSan-clean).
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -18,11 +21,13 @@ const char* level_tag(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_msg(LogLevel level, const std::string& msg) {
-  if (level > g_level || level == LogLevel::kSilent) return;
+  if (level > log_level() || level == LogLevel::kSilent) return;
   std::fprintf(stderr, "[higpu:%s] %s\n", level_tag(level), msg.c_str());
 }
 

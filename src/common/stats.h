@@ -37,6 +37,9 @@ class StatSet {
   /// Sorted (name, value) pairs for reporting.
   std::vector<std::pair<std::string, u64>> entries() const;
 
+  /// Exact counter-for-counter equality (campaign determinism checks).
+  bool operator==(const StatSet& other) const = default;
+
  private:
   std::map<std::string, u64> counters_;
 };

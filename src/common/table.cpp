@@ -38,6 +38,20 @@ std::string TextTable::render() const {
   return out.str();
 }
 
+std::string TextTable::render_csv() const {
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << csv_escape(row[c]);
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
 std::string TextTable::fmt(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
@@ -45,5 +59,121 @@ std::string TextTable::fmt(double v, int precision) {
 }
 
 std::string TextTable::fmt_ratio(double v) { return fmt(v, 3); }
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::pre_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+    newline_indent();
+  }
+}
+
+void JsonWriter::newline_indent() {
+  out_ += '\n';
+  out_.append(2 * needs_comma_.size(), ' ');
+}
+
+void JsonWriter::begin_object() {
+  pre_value();
+  out_ += '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  const bool had_members = needs_comma_.back();
+  needs_comma_.pop_back();
+  if (had_members) newline_indent();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  pre_value();
+  out_ += '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  const bool had_members = needs_comma_.back();
+  needs_comma_.pop_back();
+  if (had_members) newline_indent();
+  out_ += ']';
+}
+
+void JsonWriter::key(const std::string& name) {
+  if (needs_comma_.back()) out_ += ',';
+  needs_comma_.back() = true;
+  newline_indent();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  pre_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::value(bool v) {
+  pre_value();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value(u64 v) {
+  pre_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(i64 v) {
+  pre_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(double v) {
+  pre_value();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+}
 
 }  // namespace higpu

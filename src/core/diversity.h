@@ -35,6 +35,8 @@ struct DiversityReport {
 
   bool spatially_diverse() const { return same_sm == 0; }
   bool temporally_disjoint() const { return time_overlap == 0; }
+
+  bool operator==(const DiversityReport& other) const = default;
 };
 
 /// Analyze one redundant pair from the GPU's block records.

@@ -1,0 +1,211 @@
+#include "exp/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/table.h"
+
+namespace higpu::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+bool ScenarioResult::deterministic_fields_equal(
+    const ScenarioResult& other) const {
+  return index == other.index && label == other.label &&
+         workload == other.workload && ok == other.ok &&
+         error == other.error && verified == other.verified &&
+         dcls_match == other.dcls_match && comparisons == other.comparisons &&
+         mismatches == other.mismatches &&
+         kernel_cycles == other.kernel_cycles &&
+         elapsed_ns == other.elapsed_ns && ff_cycles == other.ff_cycles &&
+         diversity == other.diversity && stats == other.stats &&
+         fault_active == other.fault_active &&
+         corruptions == other.corruptions &&
+         diverted_blocks == other.diverted_blocks && outcome == other.outcome;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, u32 index,
+                            const ScenarioProbe& probe,
+                            const ScenarioProbe& pre_run) {
+  ScenarioResult r;
+  r.index = index;
+  r.label = spec.label();
+  r.workload = spec.workload;
+  r.fault_active = spec.fault.active();
+
+  const auto t0 = Clock::now();
+  try {
+    spec.validate();
+
+    workloads::WorkloadPtr w = workloads::make(spec.workload);
+    w->setup(spec.scale, spec.seed);
+
+    runtime::Device dev(spec.gpu, spec.platform);
+    fault::FaultInjector injector;
+    if (spec.fault.active()) {
+      spec.fault.arm(injector);
+      dev.gpu().set_fault_hook(&injector);
+    }
+
+    core::RedundantSession session(dev, spec.session_config());
+    if (pre_run) pre_run(dev, *w, session);
+    workloads::RunContext ctx(session);
+    w->run(ctx);
+    // The probe fires directly after Workload::run, before the result
+    // harvest below, so pre_run/probe pairs bracket exactly the workload's
+    // device flow (engine benches time this interval).
+    if (probe) probe(dev, *w, session);
+
+    r.verified = w->verify();
+    r.dcls_match = session.all_outputs_matched();
+    r.comparisons = session.comparisons();
+    r.mismatches = session.mismatches();
+    r.kernel_cycles = session.kernel_cycles();
+    r.elapsed_ns = dev.elapsed_ns();
+    r.ff_cycles = dev.gpu().fast_forwarded_cycles();
+    r.sim_wall_sec = dev.sim_wall_seconds();
+    if (spec.redundant)
+      r.diversity = core::analyze_block_diversity(dev.gpu().block_records(),
+                                                  session.pairs());
+    r.stats = dev.gpu().collect_stats();
+    r.corruptions = injector.corruptions();
+    r.diverted_blocks = injector.diverted_blocks();
+    r.outcome = fault::classify(r.dcls_match, r.verified);
+    r.ok = true;
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  r.wall_sec = seconds_since(t0);
+  return r;
+}
+
+u32 CampaignResult::failed() const {
+  u32 n = 0;
+  for (const ScenarioResult& r : results)
+    if (!r.passed()) ++n;
+  return n;
+}
+
+bool CampaignResult::all_passed() const { return failed() == 0; }
+
+std::string CampaignResult::to_json() const {
+  JsonWriter jw;
+  jw.begin_object();
+  jw.field("schema", std::string("higpu.campaign/1"));
+  jw.field("scenarios", static_cast<u64>(results.size()));
+  jw.field("jobs", jobs);
+  jw.field("wall_sec", wall_sec);
+  jw.field("scenarios_per_sec", scenarios_per_sec());
+  jw.field("failed", failed());
+  jw.key("results");
+  jw.begin_array();
+  for (const ScenarioResult& r : results) {
+    jw.begin_object();
+    jw.field("index", r.index);
+    jw.field("label", r.label);
+    jw.field("workload", r.workload);
+    jw.field("ok", r.ok);
+    if (!r.ok) jw.field("error", r.error);
+    jw.field("passed", r.passed());
+    jw.field("verified", r.verified);
+    jw.field("dcls_match", r.dcls_match);
+    jw.field("comparisons", r.comparisons);
+    jw.field("mismatches", r.mismatches);
+    jw.field("kernel_cycles", r.kernel_cycles);
+    jw.field("elapsed_ns", r.elapsed_ns);
+    jw.field("fault_active", r.fault_active);
+    if (r.fault_active) {
+      jw.field("corruptions", r.corruptions);
+      jw.field("diverted_blocks", r.diverted_blocks);
+      jw.field("fault_outcome", std::string(fault::outcome_name(r.outcome)));
+    }
+    jw.key("diversity");
+    jw.begin_object();
+    jw.field("blocks_checked", r.diversity.blocks_checked);
+    jw.field("same_sm", r.diversity.same_sm);
+    jw.field("time_overlap", r.diversity.time_overlap);
+    jw.end_object();
+    jw.key("stats");
+    jw.begin_object();
+    for (const auto& [name, value] : r.stats.entries()) jw.field(name, value);
+    jw.end_object();
+    jw.field("wall_sec", r.wall_sec);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.end_object();
+  return jw.str() + "\n";
+}
+
+std::string CampaignResult::to_csv() const {
+  TextTable table({"index", "label", "workload", "ok", "passed", "verified",
+                   "dcls_match", "comparisons", "mismatches", "kernel_cycles",
+                   "elapsed_ns", "fault", "corruptions", "fault_outcome",
+                   "instructions", "error"});
+  for (const ScenarioResult& r : results) {
+    table.add_row({std::to_string(r.index), r.label, r.workload,
+                   r.ok ? "true" : "false", r.passed() ? "true" : "false",
+                   r.verified ? "true" : "false",
+                   r.dcls_match ? "true" : "false",
+                   std::to_string(r.comparisons), std::to_string(r.mismatches),
+                   std::to_string(r.kernel_cycles),
+                   std::to_string(r.elapsed_ns),
+                   r.fault_active ? "true" : "false",
+                   std::to_string(r.corruptions),
+                   r.fault_active ? fault::outcome_name(r.outcome) : "",
+                   std::to_string(r.stats.get("instructions")), r.error});
+  }
+  return table.render_csv();
+}
+
+CampaignResult CampaignRunner::run(const ScenarioSet& set) const {
+  set.validate_all();
+
+  CampaignResult out;
+  out.results.resize(set.size());
+  u32 jobs = cfg_.jobs != 0 ? cfg_.jobs : std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  jobs = std::min<u32>(jobs, set.empty() ? 1 : static_cast<u32>(set.size()));
+  out.jobs = jobs;
+
+  const auto t0 = Clock::now();
+  std::atomic<size_t> next{0};
+  std::mutex report_mutex;
+
+  auto worker = [&] {
+    for (size_t i = next.fetch_add(1); i < set.size();
+         i = next.fetch_add(1)) {
+      ScenarioResult r = run_scenario(set[i], static_cast<u32>(i));
+      if (cfg_.on_result) {
+        std::lock_guard<std::mutex> lock(report_mutex);
+        cfg_.on_result(r);
+      }
+      out.results[i] = std::move(r);
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (u32 t = 0; t < jobs; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+  out.wall_sec = seconds_since(t0);
+  return out;
+}
+
+}  // namespace higpu::exp

@@ -1,0 +1,131 @@
+// Parallel, deterministic campaign execution.
+//
+// A CampaignRunner executes a ScenarioSet across N host threads. Every
+// scenario constructs its own Device / RedundantSession / FaultInjector /
+// Workload from its spec — simulations share no mutable state — so the
+// per-scenario results are bit-identical regardless of thread count or
+// completion order (results are stored at the scenario's index, never
+// appended). The only non-deterministic fields are the host wall-clock
+// measurements, which exist for throughput reporting and are excluded from
+// ScenarioResult::deterministic_fields_equal().
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/diversity.h"
+#include "exp/scenario.h"
+
+namespace higpu::exp {
+
+/// Everything the paper reports about one scenario, plus bookkeeping.
+struct ScenarioResult {
+  // ---- Identity ----------------------------------------------------------
+  u32 index = 0;       // position in the ScenarioSet
+  std::string label;   // ScenarioSpec::label()
+  std::string workload;
+
+  // ---- Run status --------------------------------------------------------
+  /// False when the scenario threw (validation error, SimTimeout, ...);
+  /// `error` then holds the exception text and the metric fields are zero.
+  bool ok = false;
+  std::string error;
+
+  // ---- Verdicts (deterministic) ------------------------------------------
+  bool verified = false;    // outputs match the CPU reference
+  bool dcls_match = false;  // redundant copies compared equal (true in
+                            // baseline mode, where nothing is compared)
+  u32 comparisons = 0;
+  u32 mismatches = 0;
+
+  // ---- Metrics (deterministic) -------------------------------------------
+  Cycle kernel_cycles = 0;   // the Fig. 4 metric
+  NanoSec elapsed_ns = 0;    // modelled end-to-end time (the Fig. 5 metric)
+  Cycle ff_cycles = 0;       // cycles fast-forwarded by the event engine
+  core::DiversityReport diversity;  // across all redundant pairs
+  StatSet stats;             // full GPU counter set
+
+  // ---- Fault outcome (deterministic; meaningful when fault_active) -------
+  bool fault_active = false;
+  u64 corruptions = 0;       // datapath results actually corrupted
+  u64 diverted_blocks = 0;   // scheduler-fault block diversions
+  /// classify(dcls_match, verified): kDetected when the DCLS comparison
+  /// flags the fault, kSdc when outputs match but are wrong, kMasked when
+  /// the run is correct (e.g. the window hit an idle phase).
+  fault::Outcome outcome = fault::Outcome::kMasked;
+
+  // ---- Host timing (NON-deterministic, excluded from equality) -----------
+  double wall_sec = 0.0;      // full scenario wall time on this host
+  double sim_wall_sec = 0.0;  // wall time inside the simulation engine
+
+  /// True when the scenario is unconditionally good: ran, verified, and the
+  /// redundant copies matched unless a fault was (correctly) detected.
+  bool passed() const {
+    if (!ok) return false;
+    if (fault_active) return outcome != fault::Outcome::kSdc;
+    return verified && dcls_match;
+  }
+
+  /// Bit-exact equality of every deterministic field — the campaign
+  /// determinism guarantee checked by tests/campaign_test.cpp.
+  bool deterministic_fields_equal(const ScenarioResult& other) const;
+};
+
+/// Optional inspection hook: called with the live device, workload and
+/// session, for callers that need more than a ScenarioResult (kernel
+/// categorization, block records, instruction traces). Runs on the worker
+/// thread; must not touch shared state without its own synchronization.
+using ScenarioProbe = std::function<void(
+    runtime::Device&, workloads::Workload&, core::RedundantSession&)>;
+
+/// Execute one scenario start-to-finish on the calling thread. `pre_run`
+/// runs after the device/session are constructed but before the workload
+/// executes (e.g. to install a trace sink); `probe` runs directly after
+/// Workload::run returns, before verification/teardown — a pre_run/probe
+/// pair brackets exactly the workload's device flow.
+ScenarioResult run_scenario(const ScenarioSpec& spec, u32 index = 0,
+                            const ScenarioProbe& probe = nullptr,
+                            const ScenarioProbe& pre_run = nullptr);
+
+struct CampaignResult {
+  std::vector<ScenarioResult> results;  // in ScenarioSet order
+  u32 jobs = 1;          // worker threads actually used
+  double wall_sec = 0.0; // whole-campaign wall time
+
+  u32 failed() const;
+  bool all_passed() const;
+  double scenarios_per_sec() const {
+    return wall_sec > 0 ? static_cast<double>(results.size()) / wall_sec : 0.0;
+  }
+
+  /// JSON report (schema documented in README "Running campaigns").
+  std::string to_json() const;
+  /// One CSV row per scenario with the headline columns.
+  std::string to_csv() const;
+};
+
+class CampaignRunner {
+ public:
+  struct Config {
+    /// Worker threads; 0 = std::thread::hardware_concurrency().
+    u32 jobs = 0;
+    /// Called after each scenario completes, serialized under a mutex
+    /// (progress reporting). Completion order is scheduling-dependent.
+    std::function<void(const ScenarioResult&)> on_result;
+  };
+
+  CampaignRunner() = default;
+  explicit CampaignRunner(Config cfg) : cfg_(std::move(cfg)) {}
+
+  /// Validate and execute every scenario; never throws for per-scenario
+  /// failures (see ScenarioResult::ok). Throws std::invalid_argument if the
+  /// set itself is malformed.
+  CampaignResult run(const ScenarioSet& set) const;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace higpu::exp

@@ -1,0 +1,146 @@
+// Declarative experiment specifications (the campaign front door).
+//
+// Everything the paper reports (Figs. 4–5, §IV.C/§IV.D) is a *campaign*:
+// the same workload swept across scheduling policies, redundancy modes and
+// fault scenarios. A ScenarioSpec is one such experiment as a plain value —
+// workload + scale + seed, GPU and platform parameters, policy/redundancy
+// mode, and an optional fault plan — with validation and a stable label. A
+// ScenarioSet expands sweeps and cross-products of specs into the scenario
+// list a CampaignRunner executes (see exp/campaign.h).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/redundant.h"
+#include "fault/injector.h"
+#include "runtime/platform.h"
+#include "sched/policies.h"
+#include "sim/params.h"
+#include "workloads/workload.h"
+
+namespace higpu::exp {
+
+/// Declarative fault-injection config: which injector to arm and its
+/// window, as a value (the FaultInjector itself is per-run mutable state
+/// constructed by the runner).
+struct FaultPlan {
+  enum class Kind {
+    kNone,         // fault-free run
+    kDroop,        // chip-wide transient: [start, start+duration), bit
+    kTransientSm,  // same, restricted to `sm`
+    kPermanentSm,  // every result on `sm` corrupted from `start` on
+    kScheduler,    // block->SM mapping rotated by `sm_offset` from `start`
+  };
+
+  Kind kind = Kind::kNone;
+  u32 sm = 0;
+  Cycle start = 0;
+  Cycle duration = 0;
+  u32 bit = 0;
+  u32 sm_offset = 0;
+
+  static FaultPlan none() { return {}; }
+  static FaultPlan droop(Cycle start, Cycle duration, u32 bit);
+  static FaultPlan transient_sm(u32 sm, Cycle start, Cycle duration, u32 bit);
+  static FaultPlan permanent_sm(u32 sm, Cycle start, u32 bit);
+  static FaultPlan scheduler(Cycle start, u32 sm_offset);
+
+  bool active() const { return kind != Kind::kNone; }
+  /// Configure `fi` to inject this plan.
+  void arm(fault::FaultInjector& fi) const;
+  /// Stable compact label, e.g. "droop@2000w50b2" ("nofault" when inactive).
+  std::string label() const;
+  /// Throws std::invalid_argument on nonsensical parameters (zero-width
+  /// transient windows, bit >= 32, target SM outside the GPU).
+  void validate(const sim::GpuParams& gpu) const;
+
+  bool operator==(const FaultPlan& other) const = default;
+};
+
+/// One experiment as a value. Default-constructed fields reproduce the
+/// paper's standard setup (6-SM GPU, SRRS redundant pair, no faults).
+struct ScenarioSpec {
+  std::string workload;
+  workloads::Scale scale = workloads::Scale::kTest;
+  u64 seed = 2019;
+
+  sim::GpuParams gpu;
+  runtime::PlatformParams platform;
+
+  sched::Policy policy = sched::Policy::kSrrs;
+  bool redundant = true;
+  /// SRRS start SMs for the two copies (see RedundantSession::Config).
+  u32 srrs_start_a = 0;
+  u32 srrs_start_b = core::RedundantSession::Config::kAuto;
+
+  FaultPlan fault;
+
+  /// Session config corresponding to this spec.
+  core::RedundantSession::Config session_config() const;
+
+  /// Throws std::invalid_argument naming the offending field (and, for
+  /// unknown workloads, listing the valid names).
+  void validate() const;
+
+  /// Stable human/machine-friendly identity, e.g.
+  /// "hotspot:test:seed2019:srrs:red:droop@2000w50b2". Two specs that
+  /// differ only in GpuParams/PlatformParams share a label; campaigns that
+  /// sweep those axes should also sweep `seed` or distinguish rows by
+  /// index.
+  std::string label() const;
+};
+
+/// An ordered list of scenarios plus the sweep builders that grow it.
+/// Builders return a new set crossing every current scenario with every
+/// requested variant, so chained calls expand the full cross-product:
+///
+///   ScenarioSet::of(base)
+///       .sweep_policies({Policy::kDefault, Policy::kHalf, Policy::kSrrs})
+///       .sweep_faults({FaultPlan::none(), FaultPlan::droop(2000, 50, 2)})
+///
+/// yields 3 x 2 = 6 scenarios in deterministic (row-major) order.
+class ScenarioSet {
+ public:
+  /// Mutation applied to a copy of a spec — the generic sweep axis.
+  using Mutator = std::function<void(ScenarioSpec&)>;
+
+  ScenarioSet() = default;
+  static ScenarioSet of(ScenarioSpec base);
+  /// One scenario per name, each a copy of `proto` with the workload set.
+  static ScenarioSet for_workloads(const std::vector<std::string>& names,
+                                   const ScenarioSpec& proto);
+
+  ScenarioSet& add(ScenarioSpec spec);
+  /// Append another set's scenarios (union, preserving order).
+  ScenarioSet& append(const ScenarioSet& other);
+
+  /// Generic cross-product: every current scenario x every mutator. An
+  /// empty axis throws std::invalid_argument (it would silently produce an
+  /// empty, vacuously-passing campaign); so do the sweep_* shorthands.
+  ScenarioSet product(const std::vector<Mutator>& axis) const;
+
+  ScenarioSet sweep_policies(const std::vector<sched::Policy>& policies) const;
+  ScenarioSet sweep_faults(const std::vector<FaultPlan>& plans) const;
+  ScenarioSet sweep_seeds(const std::vector<u64>& seeds) const;
+  ScenarioSet sweep_workloads(const std::vector<std::string>& names) const;
+  /// {redundant, baseline} x current scenarios.
+  ScenarioSet sweep_redundancy() const;
+
+  /// Validate every scenario (throws std::invalid_argument on the first
+  /// offender, prefixed with its index and label).
+  void validate_all() const;
+
+  const std::vector<ScenarioSpec>& specs() const { return specs_; }
+  size_t size() const { return specs_.size(); }
+  bool empty() const { return specs_.empty(); }
+  const ScenarioSpec& operator[](size_t i) const { return specs_[i]; }
+  auto begin() const { return specs_.begin(); }
+  auto end() const { return specs_.end(); }
+
+ private:
+  std::vector<ScenarioSpec> specs_;
+};
+
+}  // namespace higpu::exp

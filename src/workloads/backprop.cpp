@@ -147,7 +147,8 @@ void Backprop::setup(Scale scale, u64 seed) {
   got_weights_.clear();
 }
 
-void Backprop::run(core::RedundantSession& session) {
+void Backprop::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   // Rodinia backprop synthesizes inputs and runs several CPU training
   // phases (output layer, hidden error) around the offloaded kernels.
   session.device().host_generate(input_bytes());

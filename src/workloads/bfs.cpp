@@ -154,7 +154,8 @@ void Bfs::setup(Scale scale, u64 seed) {
   result_cost_.clear();
 }
 
-void Bfs::run(core::RedundantSession& session) {
+void Bfs::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   // Rodinia bfs parses a text graph file (~10 bytes per binary byte).
   session.device().host_parse(input_bytes() * 10);
 

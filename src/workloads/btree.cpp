@@ -196,7 +196,8 @@ void BTree::setup(Scale scale, u64 seed) {
   result_range_.clear();
 }
 
-void BTree::run(core::RedundantSession& session) {
+void BTree::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   session.device().host_parse(input_bytes() * 6);  // command/database files
 
   const u64 keys_bytes = inner_keys_.size() * 4;

@@ -274,7 +274,8 @@ void Cfd::setup(Scale scale, u64 seed) {
   got_density_.clear();
 }
 
-void Cfd::run(core::RedundantSession& session) {
+void Cfd::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   session.device().host_parse(input_bytes());  // Rodinia parses the mesh file
 
   const u64 bytes = static_cast<u64>(n_) * 4;

@@ -156,7 +156,8 @@ void Dwt2d::setup(Scale scale, u64 seed) {
   result_.clear();
 }
 
-void Dwt2d::run(core::RedundantSession& session) {
+void Dwt2d::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   session.device().host_parse(input_bytes() * 3);  // BMP decode + component setup
 
   const u64 bytes = static_cast<u64>(dim_) * dim_ * 4;

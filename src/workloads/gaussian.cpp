@@ -133,7 +133,8 @@ void Gaussian::setup(Scale scale, u64 seed) {
   got_b_.clear();
 }
 
-void Gaussian::run(core::RedundantSession& session) {
+void Gaussian::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   // Rodinia gaussian parses a textual matrix file (long decimal literals).
   session.device().host_parse(input_bytes() * 30);
 

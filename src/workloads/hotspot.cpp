@@ -125,7 +125,8 @@ void Hotspot::setup(Scale scale, u64 seed) {
   result_.clear();
 }
 
-void Hotspot::run(core::RedundantSession& session) {
+void Hotspot::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   runtime::Device& dev = session.device();
   dev.host_parse(input_bytes() * 6);  // temp/power text files (one float per line)
 

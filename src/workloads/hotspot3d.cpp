@@ -173,7 +173,8 @@ void Hotspot3d::setup(Scale scale, u64 seed) {
   result_.clear();
 }
 
-void Hotspot3d::run(core::RedundantSession& session) {
+void Hotspot3d::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   session.device().host_parse(input_bytes() * 6);  // text input files
 
   const u32 n = dim_ * dim_ * layers_;

@@ -110,7 +110,8 @@ void Kmeans::setup(Scale scale, u64 seed) {
   result_.clear();
 }
 
-void Kmeans::run(core::RedundantSession& session) {
+void Kmeans::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   session.device().host_parse(input_bytes() * 8);  // feature text file
 
   const u64 pts_bytes = static_cast<u64>(n_) * kDims * 4;

@@ -152,7 +152,8 @@ void LavaMd::setup(Scale scale, u64 seed) {
   result_.clear();
 }
 
-void LavaMd::run(core::RedundantSession& session) {
+void LavaMd::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   session.device().host_generate(input_bytes() * 60);  // box/neighbour setup loops
 
   const u32 n = boxes_ * kParticles;

@@ -12,7 +12,7 @@ class LavaMd final : public Workload {
  public:
   std::string name() const override { return "lavaMD"; }
   void setup(Scale scale, u64 seed) override;
-  void run(core::RedundantSession& session) override;
+  void run(RunContext& ctx) override;
   bool verify() const override;
   u64 input_bytes() const override;
   u64 output_bytes() const override;

@@ -159,7 +159,8 @@ void Leukocyte::setup(Scale scale, u64 seed) {
   result_.clear();
 }
 
-void Leukocyte::run(core::RedundantSession& session) {
+void Leukocyte::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   // Rodinia leukocyte decodes video frames on the host first.
   session.device().host_parse(input_bytes() * 8);
 

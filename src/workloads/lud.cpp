@@ -339,7 +339,8 @@ void Lud::setup(Scale scale, u64 seed) {
   result_.clear();
 }
 
-void Lud::run(core::RedundantSession& session) {
+void Lud::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   session.device().host_parse(input_bytes() * 8);  // textual matrix file
 
   const u64 bytes = static_cast<u64>(n_) * n_ * 4;

@@ -87,7 +87,8 @@ void Myocyte::setup(Scale scale, u64 seed) {
   result_.clear();
 }
 
-void Myocyte::run(core::RedundantSession& session) {
+void Myocyte::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   // Rodinia myocyte spends substantial host time reading/writing state.
   session.device().host_parse(64 * 1024 * 8);
 

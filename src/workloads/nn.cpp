@@ -64,7 +64,8 @@ void Nn::setup(Scale scale, u64 seed) {
   result_.clear();
 }
 
-void Nn::run(core::RedundantSession& session) {
+void Nn::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   session.device().host_parse(input_bytes() * 8);  // hurricane record text database
 
   const u64 bytes = static_cast<u64>(n_) * 4;

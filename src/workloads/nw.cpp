@@ -150,7 +150,8 @@ void Nw::setup(Scale scale, u64 seed) {
   result_.clear();
 }
 
-void Nw::run(core::RedundantSession& session) {
+void Nw::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   session.device().host_parse(input_bytes() * 4);  // sequence generation + host traceback
 
   const u32 dim = n_ + 1;

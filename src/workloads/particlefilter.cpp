@@ -126,7 +126,8 @@ void ParticleFilter::setup(Scale scale, u64 seed) {
   result_.clear();
 }
 
-void ParticleFilter::run(core::RedundantSession& session) {
+void ParticleFilter::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   // Video decode on the host dominates the real benchmark's setup.
   session.device().host_parse(input_bytes() * 4);
 

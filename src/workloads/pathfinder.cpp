@@ -79,7 +79,8 @@ void Pathfinder::setup(Scale scale, u64 seed) {
   result_.clear();
 }
 
-void Pathfinder::run(core::RedundantSession& session) {
+void Pathfinder::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   session.device().host_generate(input_bytes() * 4);  // rand() loop synthesis
 
   const u64 row_bytes = static_cast<u64>(cols_) * 4;

@@ -11,7 +11,7 @@ class Pathfinder final : public Workload {
  public:
   std::string name() const override { return "pathfinder"; }
   void setup(Scale scale, u64 seed) override;
-  void run(core::RedundantSession& session) override;
+  void run(RunContext& ctx) override;
   bool verify() const override;
   u64 input_bytes() const override;
   u64 output_bytes() const override;

@@ -243,7 +243,8 @@ void Srad::setup(Scale scale, u64 seed) {
   result_.clear();
 }
 
-void Srad::run(core::RedundantSession& session) {
+void Srad::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   session.device().host_parse(input_bytes() * 6);  // image extraction/compression
 
   const u32 n = dim_ * dim_;

@@ -79,7 +79,8 @@ void Streamcluster::setup(Scale scale, u64 seed) {
   result_.clear();
 }
 
-void Streamcluster::run(core::RedundantSession& session) {
+void Streamcluster::run(RunContext& ctx) {
+  core::RedundantSession& session = ctx.session();
   session.device().host_generate(input_bytes());  // points synthesized in memory
 
   const u64 pts_bytes = static_cast<u64>(n_) * kDims * 4;

@@ -70,8 +70,32 @@ std::vector<std::string> fig4_names() {
           "leukocyte", "lud",      "myocyte", "nn",      "nw"};
 }
 
+bool is_known(const std::string& name) {
+  return registry().count(name) != 0;
+}
+
+std::string unknown_workload_message(const std::string& name) {
+  std::string msg = "unknown workload '" + name + "'; valid names:";
+  for (const auto& [known, factory] : registry()) msg += " " + known;
+  return msg;
+}
+
 WorkloadPtr make(const std::string& name) {
-  return registry().at(name)();
+  const auto it = registry().find(name);
+  if (it == registry().end())
+    throw std::invalid_argument(unknown_workload_message(name));
+  return it->second();
+}
+
+const char* scale_name(Scale s) {
+  return s == Scale::kTest ? "test" : "bench";
+}
+
+Scale parse_scale(const std::string& s) {
+  if (s == "test") return Scale::kTest;
+  if (s == "bench") return Scale::kBench;
+  throw std::invalid_argument("unknown scale '" + s +
+                              "'; valid scales: test bench");
 }
 
 bool approx_equal(float a, float b, float tol) {

@@ -20,6 +20,30 @@ namespace higpu::workloads {
 /// kernel-shape balance of the original Rodinia inputs.
 enum class Scale { kTest = 0, kBench = 1 };
 
+const char* scale_name(Scale s);
+/// Parse "test" / "bench"; throws std::invalid_argument otherwise.
+Scale parse_scale(const std::string& s);
+
+/// Execution context handed to Workload::run. It bundles the (possibly
+/// redundant) session with the device it drives, so a workload body is
+/// written once and runs unchanged in baseline, redundant and
+/// fault-injection configurations — the variant wiring (policy, redundancy
+/// mode, fault hooks, trace sinks) is owned by exp::run_scenario, never by
+/// the workload or its call sites.
+class RunContext {
+ public:
+  explicit RunContext(core::RedundantSession& session) : session_(session) {}
+
+  core::RedundantSession& session() { return session_; }
+  runtime::Device& device() { return session_.device(); }
+  const core::RedundantSession::Config& config() const {
+    return session_.config();
+  }
+
+ private:
+  core::RedundantSession& session_;
+};
+
 class Workload {
  public:
   virtual ~Workload() = default;
@@ -32,7 +56,7 @@ class Workload {
 
   /// Execute on the device: allocate, upload, launch kernel(s), read back,
   /// compare (the full 5-step flow of paper §IV.A).
-  virtual void run(core::RedundantSession& session) = 0;
+  virtual void run(RunContext& ctx) = 0;
 
   /// Check outputs fetched by run() against the CPU reference.
   virtual bool verify() const = 0;
@@ -49,7 +73,13 @@ using WorkloadPtr = std::unique_ptr<Workload>;
 std::vector<std::string> all_names();
 /// The 11-benchmark subset evaluated on the simulator in Fig. 4.
 std::vector<std::string> fig4_names();
-/// Instantiate by name; throws std::out_of_range for unknown names.
+/// True if `name` names an implemented workload.
+bool is_known(const std::string& name);
+/// The error message thrown for an unknown workload name: names the bad
+/// input and lists every valid name (shared with ScenarioSpec validation).
+std::string unknown_workload_message(const std::string& name);
+/// Instantiate by name; throws std::invalid_argument listing the valid
+/// names when `name` is unknown.
 WorkloadPtr make(const std::string& name);
 
 /// Approximate float comparison used by verifiers (relative + absolute).

@@ -5,6 +5,7 @@
 
 #include "core/diversity.h"
 #include "core/redundant.h"
+#include "exp/campaign.h"
 #include "fault/injector.h"
 #include "tests/test_kernels.h"
 
@@ -80,14 +81,17 @@ TEST(Injector, DisarmStopsEverything) {
 }
 
 /// Run a redundant spin-kernel pair under `policy` with a droop armed in
-/// [start, start+width). Returns (outputs_match, corruptions).
+/// [start, start+width). The fault is declared as an exp::FaultPlan — the
+/// same value type campaign specs carry. Returns (outputs_match,
+/// corruptions).
 std::pair<bool, u64> run_with_droop(sched::Policy policy, Cycle start,
                                     Cycle width, u32 launch_gap = 400) {
   sim::GpuParams p;
   p.launch_gap_cycles = launch_gap;
   runtime::Device dev(p);
   FaultInjector fi;
-  fi.arm_droop(start, width, 20);  // bit 20: large numeric error
+  // bit 20: large numeric error
+  exp::FaultPlan::droop(start, width, 20).arm(fi);
   dev.gpu().set_fault_hook(&fi);
 
   RedundantSession::Config cfg;
@@ -235,7 +239,7 @@ TEST(PermanentFault, SrrsDetectsBrokenSm) {
   sim::GpuParams p;
   runtime::Device dev(p);
   FaultInjector fi;
-  fi.arm_permanent_sm(2, 0, 20);
+  exp::FaultPlan::permanent_sm(2, 0, 20).arm(fi);
   dev.gpu().set_fault_hook(&fi);
 
   RedundantSession::Config cfg;
@@ -255,7 +259,7 @@ TEST(PermanentFault, HalfDetectsBrokenSm) {
   sim::GpuParams p;
   runtime::Device dev(p);
   FaultInjector fi;
-  fi.arm_permanent_sm(4, 0, 20);
+  exp::FaultPlan::permanent_sm(4, 0, 20).arm(fi);
   dev.gpu().set_fault_hook(&fi);
 
   RedundantSession::Config cfg;
@@ -268,6 +272,64 @@ TEST(PermanentFault, HalfDetectsBrokenSm) {
   s.sync();
   // SM 4 belongs to copy B's partition only: copies differ.
   EXPECT_FALSE(s.compare(out, n * 4));
+}
+
+// ---- Scenario-level fault campaigns (the §IV.C sweep as a declarative
+// ScenarioSet: spec construction + one run() call) ---------------------------
+
+exp::ScenarioSpec campaign_base() {
+  exp::ScenarioSpec spec;
+  spec.workload = "hotspot";
+  spec.scale = workloads::Scale::kTest;
+  spec.seed = 2019;
+  spec.gpu.launch_gap_cycles = 400;
+  return spec;
+}
+
+TEST(FaultScenario, PermanentSmSweepDetectedUnderDiversePolicies) {
+  const exp::ScenarioSet set =
+      exp::ScenarioSet::of(campaign_base())
+          .sweep_policies({sched::Policy::kHalf, sched::Policy::kSrrs})
+          .sweep_faults({exp::FaultPlan::permanent_sm(0, 0, 20),
+                         exp::FaultPlan::permanent_sm(3, 0, 20)});
+  ASSERT_EQ(set.size(), 4u);
+  const exp::CampaignResult campaign = exp::CampaignRunner().run(set);
+  for (const exp::ScenarioResult& r : campaign.results) {
+    ASSERT_TRUE(r.ok) << r.label << ": " << r.error;
+    EXPECT_GT(r.corruptions, 0u) << r.label;
+    // Spatial diversity turns the broken SM into a detected mismatch, never
+    // an SDC.
+    EXPECT_EQ(r.outcome, Outcome::kDetected) << r.label;
+  }
+}
+
+TEST(FaultScenario, SchedulerFaultIsFunctionallyLatent) {
+  exp::ScenarioSpec spec = campaign_base();
+  spec.policy = sched::Policy::kSrrs;
+  spec.fault = exp::FaultPlan::scheduler(0, 3);
+  const exp::ScenarioResult r = exp::run_scenario(spec);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.diverted_blocks, 0u);
+  // The mapping fault diverts blocks but corrupts no data: outputs stay
+  // correct and matching (why the scheduler needs the periodic BIST).
+  EXPECT_TRUE(r.verified) << r.label;
+  EXPECT_TRUE(r.dcls_match) << r.label;
+  EXPECT_EQ(r.outcome, Outcome::kMasked) << r.label;
+}
+
+TEST(FaultScenario, FaultFreeCampaignPassesAllPolicies) {
+  const exp::ScenarioSet set =
+      exp::ScenarioSet::of(campaign_base())
+          .sweep_policies({sched::Policy::kDefault, sched::Policy::kHalf,
+                           sched::Policy::kSrrs})
+          .sweep_redundancy();
+  ASSERT_EQ(set.size(), 6u);
+  const exp::CampaignResult campaign = exp::CampaignRunner().run(set);
+  EXPECT_TRUE(campaign.all_passed());
+  for (const exp::ScenarioResult& r : campaign.results) {
+    EXPECT_TRUE(r.verified) << r.label;
+    EXPECT_EQ(r.corruptions, 0u) << r.label;
+  }
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "sched/policies.h"
 #include "sim/gpu.h"
 #include "tests/test_kernels.h"
+#include "exp/campaign.h"
 #include "workloads/workload.h"
 
 namespace higpu {
@@ -300,24 +301,25 @@ struct WorkloadArtifacts {
 
 WorkloadArtifacts run_workload_with(const std::string& name, sim::SimEngine engine,
                                     sched::Policy policy, bool redundant) {
-  WorkloadPtr w = make(name);
-  w->setup(Scale::kTest, /*seed=*/2019);
-  sim::GpuParams params;
-  params.engine = engine;
-  runtime::Device dev(params);
-  core::RedundantSession::Config cfg;
-  cfg.policy = policy;
-  cfg.redundant = redundant;
-  core::RedundantSession session(dev, cfg);
-  w->run(session);
+  exp::ScenarioSpec spec;
+  spec.workload = name;
+  spec.scale = Scale::kTest;
+  spec.seed = 2019;
+  spec.gpu.engine = engine;
+  spec.policy = policy;
+  spec.redundant = redundant;
 
   WorkloadArtifacts a;
-  a.kernel_cycles = session.kernel_cycles();
-  a.elapsed_ns = dev.elapsed_ns();
-  a.verified = w->verify();
-  a.matched = session.all_outputs_matched();
-  a.stats = dev.gpu().collect_stats();
-  a.records = dev.gpu().block_records();
+  const exp::ScenarioResult r = exp::run_scenario(
+      spec, 0, [&](runtime::Device& dev, Workload&, core::RedundantSession&) {
+        a.records = dev.gpu().block_records();
+      });
+  EXPECT_TRUE(r.ok) << r.error;
+  a.kernel_cycles = r.kernel_cycles;
+  a.elapsed_ns = r.elapsed_ns;
+  a.verified = r.verified;
+  a.matched = r.dcls_match;
+  a.stats = r.stats;
   return a;
 }
 

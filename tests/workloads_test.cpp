@@ -6,50 +6,49 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exp/campaign.h"
 #include "workloads/workload.h"
 
 namespace higpu::workloads {
 namespace {
 
+exp::ScenarioSpec spec_for(const std::string& name, sched::Policy policy,
+                           bool redundant, u64 seed) {
+  exp::ScenarioSpec spec;
+  spec.workload = name;
+  spec.scale = Scale::kTest;
+  spec.seed = seed;
+  spec.policy = policy;
+  spec.redundant = redundant;
+  return spec;
+}
+
 class WorkloadCorrectness
     : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(WorkloadCorrectness, BaselineMatchesCpuReference) {
-  WorkloadPtr w = make(GetParam());
-  w->setup(Scale::kTest, /*seed=*/1234);
-  runtime::Device dev;
-  core::RedundantSession::Config cfg;
-  cfg.policy = sched::Policy::kDefault;
-  cfg.redundant = false;
-  core::RedundantSession session(dev, cfg);
-  w->run(session);
-  EXPECT_TRUE(w->verify()) << GetParam() << " baseline output wrong";
+  const exp::ScenarioResult r = exp::run_scenario(
+      spec_for(GetParam(), sched::Policy::kDefault, false, /*seed=*/1234));
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.verified) << GetParam() << " baseline output wrong";
 }
 
 TEST_P(WorkloadCorrectness, SrrsRedundantPairMatches) {
-  WorkloadPtr w = make(GetParam());
-  w->setup(Scale::kTest, /*seed=*/99);
-  runtime::Device dev;
-  core::RedundantSession::Config cfg;
-  cfg.policy = sched::Policy::kSrrs;
-  core::RedundantSession session(dev, cfg);
-  w->run(session);
-  EXPECT_TRUE(w->verify()) << GetParam() << " output wrong under SRRS";
-  EXPECT_TRUE(session.all_outputs_matched())
+  const exp::ScenarioResult r = exp::run_scenario(
+      spec_for(GetParam(), sched::Policy::kSrrs, true, /*seed=*/99));
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.verified) << GetParam() << " output wrong under SRRS";
+  EXPECT_TRUE(r.dcls_match)
       << GetParam() << " redundant copies diverged under SRRS";
-  EXPECT_GT(session.comparisons(), 0u);
+  EXPECT_GT(r.comparisons, 0u);
 }
 
 TEST_P(WorkloadCorrectness, HalfRedundantPairMatches) {
-  WorkloadPtr w = make(GetParam());
-  w->setup(Scale::kTest, /*seed=*/7);
-  runtime::Device dev;
-  core::RedundantSession::Config cfg;
-  cfg.policy = sched::Policy::kHalf;
-  core::RedundantSession session(dev, cfg);
-  w->run(session);
-  EXPECT_TRUE(w->verify()) << GetParam() << " output wrong under HALF";
-  EXPECT_TRUE(session.all_outputs_matched())
+  const exp::ScenarioResult r = exp::run_scenario(
+      spec_for(GetParam(), sched::Policy::kHalf, true, /*seed=*/7));
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.verified) << GetParam() << " output wrong under HALF";
+  EXPECT_TRUE(r.dcls_match)
       << GetParam() << " redundant copies diverged under HALF";
 }
 
@@ -79,8 +78,26 @@ TEST(WorkloadRegistry, FullSuiteIncludesCotsOnlyBenchmarks) {
     EXPECT_NE(std::find(names.begin(), names.end(), extra), names.end());
 }
 
-TEST(WorkloadRegistry, UnknownNameThrows) {
-  EXPECT_THROW(make("no_such_workload"), std::out_of_range);
+TEST(WorkloadRegistry, UnknownNameThrowsListingValidNames) {
+  try {
+    make("no_such_workload");
+    FAIL() << "make() must throw for unknown names";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no_such_workload"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("hotspot"), std::string::npos)
+        << "message must list the valid names: " << msg;
+  }
+  EXPECT_TRUE(is_known("hotspot"));
+  EXPECT_FALSE(is_known("no_such_workload"));
+}
+
+TEST(WorkloadRegistry, ScaleNamesRoundTrip) {
+  EXPECT_EQ(parse_scale("test"), Scale::kTest);
+  EXPECT_EQ(parse_scale("bench"), Scale::kBench);
+  EXPECT_STREQ(scale_name(Scale::kTest), "test");
+  EXPECT_STREQ(scale_name(Scale::kBench), "bench");
+  EXPECT_THROW(parse_scale("huge"), std::invalid_argument);
 }
 
 TEST(WorkloadHelpers, ApproxEqual) {
@@ -99,14 +116,9 @@ TEST(WorkloadHelpers, BitCastRoundTrip) {
 
 TEST(WorkloadDeterminism, SameSeedSameResults) {
   auto run_once = [] {
-    WorkloadPtr w = make("hotspot");
-    w->setup(Scale::kTest, 42);
-    runtime::Device dev;
-    core::RedundantSession::Config cfg;
-    cfg.redundant = false;
-    core::RedundantSession session(dev, cfg);
-    w->run(session);
-    return std::make_pair(dev.elapsed_ns(), session.kernel_cycles());
+    const exp::ScenarioResult r = exp::run_scenario(
+        spec_for("hotspot", sched::Policy::kSrrs, false, /*seed=*/42));
+    return std::make_pair(r.elapsed_ns, r.kernel_cycles);
   };
   EXPECT_EQ(run_once(), run_once());
 }
