@@ -51,7 +51,8 @@ void BM_HierarchyAccess(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         mem.access_line(static_cast<u32>(rng.next_below(6)),
-                        rng.next_below(1 << 16), false, now));
+                        rng.next_below(1 << 16), false, now)
+            .done);
     ++now;
   }
 }

@@ -34,7 +34,14 @@ int usage() {
       "  --jobs=N                     campaign worker threads (default: 1;\n"
       "                               0 = all hardware threads)\n"
       "  --json=PATH                  write the JSON campaign report\n"
-      "  --csv=PATH                   write the CSV campaign report\n");
+      "  --csv=PATH                   write the CSV campaign report\n"
+      "memory-system options (reflected in scenario labels):\n"
+      "  --mem-write=wb|wt            L1 write policy (default: wb)\n"
+      "  --mem-alloc=wa|nwa           L1 write-miss allocation (default: wa)\n"
+      "  --mem-mshr=N                 MSHR entries per SM (default: 32)\n"
+      "  --mem-dram-banks=N           DRAM banks per channel (default: 4)\n"
+      "  --mem-row-bytes=N            DRAM row-buffer size (default: 2048)\n"
+      "  --sweep-mem-policies         run all four write-policy combos\n");
   return 2;
 }
 
@@ -57,6 +64,20 @@ sched::Policy parse_policy(const std::string& s) {
   if (s == "srrs") return sched::Policy::kSrrs;
   throw std::invalid_argument("unknown policy '" + s +
                               "'; valid policies: default half srrs");
+}
+
+memsys::WritePolicy parse_write_policy(const std::string& s) {
+  if (s == "wb") return memsys::WritePolicy::kWriteBack;
+  if (s == "wt") return memsys::WritePolicy::kWriteThrough;
+  throw std::invalid_argument("bad value '" + s +
+                              "' for --mem-write: expected wb or wt");
+}
+
+memsys::WriteAlloc parse_write_alloc(const std::string& s) {
+  if (s == "wa") return memsys::WriteAlloc::kAllocate;
+  if (s == "nwa") return memsys::WriteAlloc::kNoAllocate;
+  throw std::invalid_argument("bad value '" + s +
+                              "' for --mem-alloc: expected wa or nwa");
 }
 
 /// Detailed single-scenario report (the classic run_workload output).
@@ -110,6 +131,7 @@ int main(int argc, char** argv) {
   exp::ScenarioSpec proto;
   proto.scale = workloads::Scale::kBench;
   bool sweep_policies = false;
+  bool sweep_mem_policies = false;
   u32 jobs = 1;
   std::string json_path, csv_path;
 
@@ -134,6 +156,21 @@ int main(int argc, char** argv) {
         proto.scale = workloads::parse_scale(arg.substr(8));
       } else if (arg.rfind("--seed=", 0) == 0) {
         proto.seed = parse_number("--seed", arg.substr(7));
+      } else if (arg.rfind("--mem-write=", 0) == 0) {
+        proto.gpu.mem.l1_write_policy = parse_write_policy(arg.substr(12));
+      } else if (arg.rfind("--mem-alloc=", 0) == 0) {
+        proto.gpu.mem.l1_write_alloc = parse_write_alloc(arg.substr(12));
+      } else if (arg.rfind("--mem-mshr=", 0) == 0) {
+        proto.gpu.mem.l1_mshr_entries =
+            static_cast<u32>(parse_number("--mem-mshr", arg.substr(11)));
+      } else if (arg.rfind("--mem-dram-banks=", 0) == 0) {
+        proto.gpu.mem.dram_banks_per_channel =
+            static_cast<u32>(parse_number("--mem-dram-banks", arg.substr(17)));
+      } else if (arg.rfind("--mem-row-bytes=", 0) == 0) {
+        proto.gpu.mem.dram_row_bytes =
+            static_cast<u32>(parse_number("--mem-row-bytes", arg.substr(16)));
+      } else if (arg == "--sweep-mem-policies") {
+        sweep_mem_policies = true;
       } else if (arg.rfind("--jobs=", 0) == 0) {
         jobs = static_cast<u32>(parse_number("--jobs", arg.substr(7)));
       } else if (arg.rfind("--json=", 0) == 0) {
@@ -155,6 +192,7 @@ int main(int argc, char** argv) {
     if (sweep_policies)
       set = set.sweep_policies({sched::Policy::kDefault, sched::Policy::kHalf,
                                 sched::Policy::kSrrs});
+    if (sweep_mem_policies) set = set.sweep_write_policies();
     // CampaignRunner::run() validates the whole set before executing.
 
     exp::CampaignRunner::Config cfg;

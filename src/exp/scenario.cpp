@@ -116,6 +116,11 @@ void ScenarioSpec::validate() const {
   if (gpu.num_warp_schedulers == 0)
     throw std::invalid_argument(
         "ScenarioSpec: num_warp_schedulers must be > 0");
+  try {
+    memsys::validate(gpu.mem);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string("ScenarioSpec: ") + e.what());
+  }
   if (redundant && policy == sched::Policy::kHalf && gpu.num_sms < 2)
     throw std::invalid_argument(
         "ScenarioSpec: HALF needs at least 2 SMs to partition");
@@ -150,6 +155,11 @@ std::string ScenarioSpec::label() const {
   l += redundant ? ":red" : ":base";
   l += ':';
   l += fault.label();
+  const std::string mem = memsys::mem_label(gpu.mem);
+  if (!mem.empty()) {
+    l += ':';
+    l += mem;
+  }
   return l;
 }
 
@@ -234,6 +244,29 @@ ScenarioSet ScenarioSet::sweep_workloads(
 ScenarioSet ScenarioSet::sweep_redundancy() const {
   return product({[](ScenarioSpec& s) { s.redundant = true; },
                   [](ScenarioSpec& s) { s.redundant = false; }});
+}
+
+ScenarioSet ScenarioSet::sweep_mem(
+    const std::vector<memsys::MemParams>& mems) const {
+  std::vector<Mutator> axis;
+  for (const memsys::MemParams& mem : mems)
+    axis.push_back([mem](ScenarioSpec& s) { s.gpu.mem = mem; });
+  return product(axis);
+}
+
+ScenarioSet ScenarioSet::sweep_write_policies() const {
+  std::vector<Mutator> axis;
+  for (memsys::WritePolicy wp :
+       {memsys::WritePolicy::kWriteBack, memsys::WritePolicy::kWriteThrough}) {
+    for (memsys::WriteAlloc wa :
+         {memsys::WriteAlloc::kAllocate, memsys::WriteAlloc::kNoAllocate}) {
+      axis.push_back([wp, wa](ScenarioSpec& s) {
+        s.gpu.mem.l1_write_policy = wp;
+        s.gpu.mem.l1_write_alloc = wa;
+      });
+    }
+  }
+  return product(axis);
 }
 
 void ScenarioSet::validate_all() const {

@@ -85,9 +85,11 @@ struct ScenarioSpec {
   void validate() const;
 
   /// Stable human/machine-friendly identity, e.g.
-  /// "hotspot:test:seed2019:srrs:red:droop@2000w50b2". Two specs that
-  /// differ only in GpuParams/PlatformParams share a label; campaigns that
-  /// sweep those axes should also sweep `seed` or distinguish rows by
+  /// "hotspot:test:seed2019:srrs:red:droop@2000w50b2". A non-default memory
+  /// configuration appends its memsys::mem_label() (e.g. ":wt-nwa-mshr4"),
+  /// so --mem-* sweeps yield distinct labels. Two specs that differ only in
+  /// the remaining GpuParams/PlatformParams fields share a label; campaigns
+  /// that sweep those axes should also sweep `seed` or distinguish rows by
   /// index.
   std::string label() const;
 };
@@ -127,6 +129,15 @@ class ScenarioSet {
   ScenarioSet sweep_workloads(const std::vector<std::string>& names) const;
   /// {redundant, baseline} x current scenarios.
   ScenarioSet sweep_redundancy() const;
+  /// Memory-configuration axis: every current scenario x every MemParams
+  /// (the rest of GpuParams is preserved). Labels stay distinct when the
+  /// swept fields are ones memsys::mem_label() encodes (write policy,
+  /// MSHR capacity, DRAM geometry/latencies); sweeps over other fields
+  /// should distinguish rows by index, as with GpuParams sweeps.
+  ScenarioSet sweep_mem(const std::vector<memsys::MemParams>& mems) const;
+  /// The four L1 write-policy combinations ({wb, wt} x {alloc, no-alloc})
+  /// applied to each scenario's current memory configuration.
+  ScenarioSet sweep_write_policies() const;
 
   /// Validate every scenario (throws std::invalid_argument on the first
   /// offender, prefixed with its index and label).

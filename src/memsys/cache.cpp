@@ -50,6 +50,21 @@ CacheAccessResult SetAssocCache::access(u64 line_addr, bool is_write) {
   return res;
 }
 
+bool SetAssocCache::touch(u64 line_addr, bool mark_dirty) {
+  const u32 set = set_of(line_addr);
+  const u64 tag = tag_of(line_addr);
+  Way* base = &ways_[static_cast<size_t>(set) * assoc_];
+  for (u32 w = 0; w < assoc_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = ++use_counter_;
+      if (mark_dirty) way.dirty = true;
+      return true;
+    }
+  }
+  return false;
+}
+
 bool SetAssocCache::probe(u64 line_addr) const {
   const u32 set = set_of(line_addr);
   const u64 tag = tag_of(line_addr);

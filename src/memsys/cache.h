@@ -26,6 +26,11 @@ class SetAssocCache {
   /// Probe + fill on miss. `is_write` marks the line dirty.
   CacheAccessResult access(u64 line_addr, bool is_write);
 
+  /// Hit-path-only access: if the line is present, refresh its LRU state
+  /// (and mark it dirty when requested) and return true; a miss changes
+  /// nothing. Lets MemHierarchy defer fills to MSHR completion.
+  bool touch(u64 line_addr, bool mark_dirty);
+
   /// Probe without state change.
   bool probe(u64 line_addr) const;
 

@@ -12,24 +12,24 @@ std::vector<u64> coalesce(const std::vector<u64>& byte_addrs, u32 line_bytes) {
 
 void coalesce_into(const std::vector<u64>& byte_addrs, u32 line_bytes,
                    std::vector<u64>& lines) {
+  // Sort + unique instead of a per-element linear scan: inputs are
+  // warp-sized (<= 32) but this runs once per memory instruction, and the
+  // O(n^2) std::find dedup showed up in memory-bound profiles.
   lines.clear();
-  for (u64 a : byte_addrs) {
-    const u64 line = a / line_bytes;
-    if (std::find(lines.begin(), lines.end(), line) == lines.end())
-      lines.push_back(line);
-  }
+  for (u64 a : byte_addrs) lines.push_back(a / line_bytes);
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
 }
 
 u32 smem_conflict_degree(const std::vector<u64>& byte_addrs, u32 num_banks) {
   if (byte_addrs.empty()) return 1;
-  // Count distinct words per bank.
+  // Distinct words via sort + unique (broadcast of one word is free).
   std::vector<u64> words;
   words.reserve(byte_addrs.size());
-  for (u64 a : byte_addrs) {
-    const u64 w = a / 4;
-    if (std::find(words.begin(), words.end(), w) == words.end())
-      words.push_back(w);
-  }
+  for (u64 a : byte_addrs) words.push_back(a / 4);
+  std::sort(words.begin(), words.end());
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+
   std::vector<u32> per_bank(num_banks, 0);
   u32 worst = 1;
   for (u64 w : words) {

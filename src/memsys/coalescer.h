@@ -9,11 +9,11 @@
 namespace higpu::memsys {
 
 /// Distinct line addresses (addr / line_bytes) touched by the given byte
-/// addresses, in first-appearance order (deterministic).
+/// addresses, in ascending line order (deterministic; dedup is sort+unique).
 std::vector<u64> coalesce(const std::vector<u64>& byte_addrs, u32 line_bytes);
 
 /// Allocation-free variant for the per-instruction hot path: `lines` is
-/// cleared and filled with the distinct line addresses in first-touch order.
+/// cleared and filled with the distinct line addresses in ascending order.
 void coalesce_into(const std::vector<u64>& byte_addrs, u32 line_bytes,
                    std::vector<u64>& lines);
 

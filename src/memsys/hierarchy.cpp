@@ -5,11 +5,17 @@
 namespace higpu::memsys {
 
 MemHierarchy::MemHierarchy(u32 num_sms, const MemParams& params)
-    : params_(params),
+    // Reject nonsensical geometry before any member computes with it
+    // (lines_per_row_ divides by line_bytes; the DRAM model subtracts the
+    // row latencies): validate() throws std::invalid_argument.
+    : params_((validate(params), params)),
+      lines_per_row_(params.dram_row_bytes / params.line_bytes),
       l2_(params.l2_size, params.l2_assoc, params.line_bytes),
       l1_port_free_(num_sms, 0),
       l2_bank_free_(params.l2_banks, 0),
       dram_channel_free_(params.dram_channels, 0),
+      dram_banks_(static_cast<size_t>(params.dram_channels) *
+                  params.dram_banks_per_channel),
       mshr_(num_sms) {
   l1_.reserve(num_sms);
   for (u32 i = 0; i < num_sms; ++i)
@@ -22,12 +28,16 @@ void MemHierarchy::reset() {
   std::fill(l1_port_free_.begin(), l1_port_free_.end(), 0);
   std::fill(l2_bank_free_.begin(), l2_bank_free_.end(), 0);
   std::fill(dram_channel_free_.begin(), dram_channel_free_.end(), 0);
+  std::fill(dram_banks_.begin(), dram_banks_.end(), DramBank{});
   for (auto& m : mshr_) m.clear();
   l1_hits_ = l1_misses_ = 0;
   l1_write_hits_ = l1_write_misses_ = 0;
   l1_mshr_merges_ = l1_writebacks_ = 0;
+  l1_mshr_stalls_ = l1_mshr_stall_cycles_ = 0;
+  l1_write_through_ = 0;
   l2_hits_ = l2_misses_ = 0;
   dram_reads_ = dram_writebacks_ = 0;
+  dram_row_hits_ = dram_row_misses_ = 0;
   atomics_ = 0;
 }
 
@@ -43,13 +53,59 @@ StatSet MemHierarchy::stats() const {
   put("l1_write_hits", l1_write_hits_);
   put("l1_write_misses", l1_write_misses_);
   put("l1_mshr_merges", l1_mshr_merges_);
+  put("l1_mshr_stalls", l1_mshr_stalls_);
+  put("l1_mshr_stall_cycles", l1_mshr_stall_cycles_);
+  put("l1_write_through", l1_write_through_);
   put("l1_writebacks", l1_writebacks_);
   put("l2_hits", l2_hits_);
   put("l2_misses", l2_misses_);
   put("dram_reads", dram_reads_);
   put("dram_writebacks", dram_writebacks_);
+  put("dram_row_hits", dram_row_hits_);
+  put("dram_row_misses", dram_row_misses_);
   put("atomics", atomics_);
   return s;
+}
+
+Cycle MemHierarchy::dram_access(u64 line_addr, Cycle when, bool is_write) {
+  const u32 ch = static_cast<u32>(line_addr % params_.dram_channels);
+  // Lines stripe across channels; within a channel, `lines_per_row_`
+  // consecutive lines share a row. The row index is hashed into the bank
+  // index (a bank-permutation scheme, as real controllers use) so streams
+  // at power-of-two offsets spread across banks instead of thrashing one —
+  // row-locality for streaming, bank-level parallelism across streams.
+  const u64 row = (line_addr / params_.dram_channels) / lines_per_row_;
+  DramBank& bank =
+      dram_banks_[static_cast<size_t>(ch) * params_.dram_banks_per_channel +
+                  (row * 0x9E3779B97F4A7C15ull >> 32) %
+                      params_.dram_banks_per_channel];
+  const Cycle start =
+      std::max({when, dram_channel_free_[ch], bank.busy_until});
+  const bool row_hit = bank.open_row == row;
+  (row_hit ? dram_row_hits_ : dram_row_misses_) += 1;
+  bank.open_row = row;
+  const Cycle done = start + (row_hit ? params_.dram_row_hit_latency
+                                      : params_.dram_row_miss_latency);
+  dram_channel_free_[ch] = start + params_.dram_service;  // data-bus slot
+  // Bank occupancy: one service slot, plus the precharge/activate overhead
+  // on a row switch. Row hits stream at bus rate; row thrash serializes.
+  bank.busy_until =
+      start + params_.dram_service +
+      (row_hit ? 0 : params_.dram_row_miss_latency - params_.dram_row_hit_latency);
+  (is_write ? dram_writebacks_ : dram_reads_) += 1;
+  return done;
+}
+
+void MemHierarchy::writeback_to_l2(u64 line_addr, Cycle when) {
+  // Consumes L2 bank bandwidth only (off the evicting access's critical
+  // path). Installing the victim may in turn evict a dirty L2 line, which
+  // cascades to a DRAM writeback.
+  const u32 bank = static_cast<u32>(line_addr % params_.l2_banks);
+  l2_bank_free_[bank] =
+      std::max(l2_bank_free_[bank], when) + params_.l2_service;
+  const CacheAccessResult res = l2_.access(line_addr, /*is_write=*/true);
+  if (res.writeback_line) dram_access(*res.writeback_line, when, true);
+  l1_writebacks_ += 1;
 }
 
 Cycle MemHierarchy::access_l2(u64 line_addr, bool is_write, Cycle now,
@@ -63,75 +119,154 @@ Cycle MemHierarchy::access_l2(u64 line_addr, bool is_write, Cycle now,
   const CacheAccessResult res = l2_.access(line_addr, is_write || is_atomic);
   if (res.writeback_line) {
     // Dirty eviction: consumes DRAM bandwidth but is off the critical path.
-    const u32 ch = static_cast<u32>(*res.writeback_line % params_.dram_channels);
-    dram_channel_free_[ch] =
-        std::max(dram_channel_free_[ch], start) + params_.dram_service;
-    dram_writebacks_ += 1;
+    dram_access(*res.writeback_line, start, true);
   }
   if (res.hit) {
     l2_hits_ += 1;
     return start + params_.l2_latency;
   }
   l2_misses_ += 1;
-  const u32 ch = static_cast<u32>(line_addr % params_.dram_channels);
-  const Cycle dram_start = std::max(start, dram_channel_free_[ch]);
-  dram_channel_free_[ch] = dram_start + params_.dram_service;
-  dram_reads_ += 1;
-  return dram_start + params_.dram_latency;
+  return dram_access(line_addr, start, false);
 }
 
-Cycle MemHierarchy::access_line(u32 sm, u64 line_addr, bool is_write, Cycle now) {
-  // The cycle returned here is final (the event-driven contract in the
+void MemHierarchy::remove_entry(u32 sm, size_t idx) {
+  auto& mshr = mshr_[sm];
+  mshr[idx] = mshr.back();
+  mshr.pop_back();
+}
+
+void MemHierarchy::fill_and_remove(u32 sm, size_t idx) {
+  const MshrEntry e = mshr_[sm][idx];
+  remove_entry(sm, idx);
+  // The fill installs the line at its completion cycle; a dirty victim's
+  // writeback is charged at that same cycle (it leaves with the fill).
+  const CacheAccessResult res = l1_[sm].access(e.line, e.fill_dirty);
+  if (res.writeback_line) writeback_to_l2(*res.writeback_line, e.ready);
+}
+
+size_t MemHierarchy::earliest_entry(const std::vector<MshrEntry>& mshr) {
+  size_t best = 0;
+  for (size_t i = 1; i < mshr.size(); ++i) {
+    if (mshr[i].ready < mshr[best].ready ||
+        (mshr[i].ready == mshr[best].ready && mshr[i].line < mshr[best].line))
+      best = i;
+  }
+  return best;
+}
+
+void MemHierarchy::reap_expired(u32 sm, Cycle now) {
+  auto& mshr = mshr_[sm];
+  // Fill in completion order so the L1's LRU state reflects arrival times.
+  while (!mshr.empty()) {
+    const size_t best = earliest_entry(mshr);
+    if (mshr[best].ready > now) return;
+    fill_and_remove(sm, best);
+  }
+}
+
+MemResponse MemHierarchy::access_line(u32 sm, u64 line_addr, bool is_write,
+                                      Cycle now) {
+  // The cycles returned here are final (the event-driven contract in the
   // header): all contention is resolved now, against the bandwidth counters
-  // as of `now`, so the caller can sleep until it without re-checking.
+  // as of `now`, so the caller can sleep until them without re-checking.
   // L1 port: one line transaction per cycle per SM.
   const Cycle t = std::max(now, l1_port_free_[sm]);
-  l1_port_free_[sm] = t + 1;
+  const bool write_through =
+      params_.l1_write_policy == WritePolicy::kWriteThrough;
 
-  // Reap completed in-flight fills lazily.
   auto& mshr = mshr_[sm];
-  for (size_t i = 0; i < mshr.size(); ++i) {
-    if (mshr[i].line != line_addr) continue;
-    if (mshr[i].ready > t) {
-      // Merge into the in-flight fill (MSHR hit): no new traffic.
-      l1_mshr_merges_ += 1;
-      const Cycle done = mshr[i].ready;
-      if (is_write) l1_[sm].access(line_addr, true);
-      return done;
+  reap_expired(sm, t);
+
+  // Merge into an in-flight fill (MSHR hit): no new fetch traffic.
+  for (MshrEntry& e : mshr) {
+    if (e.line != line_addr) continue;  // reap left only entries ready > t
+    l1_mshr_merges_ += 1;
+    Cycle done = e.ready;
+    if (is_write) {
+      if (write_through) {
+        // The store still goes through to the L2; the fill stays clean.
+        done = access_l2(line_addr, true, t + params_.l1_latency, false);
+        l1_write_through_ += 1;
+      } else {
+        // Retire the store into the arriving line: the fill installs it
+        // dirty. The tag array is not touched until the fill completes.
+        e.fill_dirty = true;
+      }
     }
-    mshr[i] = mshr.back();
-    mshr.pop_back();
-    break;
+    l1_port_free_[sm] = t + 1;
+    return {done, t + 1};
   }
 
-  const CacheAccessResult res = l1_[sm].access(line_addr, is_write);
-  if (res.writeback_line) {
-    // Write dirty victim back to L2 (consumes bank bandwidth only).
-    const u32 bank = static_cast<u32>(*res.writeback_line % params_.l2_banks);
-    l2_bank_free_[bank] = std::max(l2_bank_free_[bank], t) + params_.l2_service;
-    l2_.access(*res.writeback_line, /*is_write=*/true);
-    l1_writebacks_ += 1;
-  }
-  if (res.hit) {
+  // L1 tag lookup. Hits refresh LRU (and dirtiness under write-back);
+  // misses never fill here — lines enter the L1 only via MSHR completion.
+  if (l1_[sm].touch(line_addr, is_write && !write_through)) {
     (is_write ? l1_write_hits_ : l1_hits_) += 1;
-    return t + params_.l1_latency;
+    Cycle done = t + params_.l1_latency;
+    if (is_write && write_through) {
+      done = access_l2(line_addr, true, t + params_.l1_latency, false);
+      l1_write_through_ += 1;
+    }
+    l1_port_free_[sm] = t + 1;
+    return {done, t + 1};
   }
   (is_write ? l1_write_misses_ : l1_misses_) += 1;
 
-  const Cycle ready = access_l2(line_addr, is_write, t + params_.l1_latency,
-                                /*is_atomic=*/false);
-  if (mshr.size() < params_.l1_mshr_entries)
-    mshr.push_back(MshrEntry{line_addr, ready});
-  return ready;
+  // Reads always allocate; writes allocate per the L1 policy.
+  const bool allocate =
+      !is_write || params_.l1_write_alloc == WriteAlloc::kAllocate;
+
+  Cycle issue = t;
+  if (allocate && mshr.size() >= params_.l1_mshr_entries) {
+    // MSHR full: the access occupies the L1 port until the earliest
+    // in-flight fill frees its entry, then proceeds as a tracked miss.
+    const size_t idx = earliest_entry(mshr);
+    issue = mshr[idx].ready;  // > t, otherwise reap would have taken it
+    l1_mshr_stalls_ += 1;
+    l1_mshr_stall_cycles_ += issue - t;
+    fill_and_remove(sm, idx);
+  }
+  l1_port_free_[sm] = issue + 1;
+
+  if (is_write && (write_through || !allocate)) {
+    // The store itself resolves at the L2.
+    const Cycle done =
+        access_l2(line_addr, true, issue + params_.l1_latency, false);
+    l1_write_through_ += 1;
+    if (allocate)  // WT + write-allocate: the same transaction fills the L1
+      mshr.push_back(MshrEntry{line_addr, done, false});
+    return {done, issue + 1};
+  }
+
+  // Read miss, or write-back/write-allocate store miss: fetch the line.
+  // The fetch is a read at the L2 (the dirty data lives in the L1 until
+  // eviction); the store retires when the line arrives.
+  const Cycle ready =
+      access_l2(line_addr, false, issue + params_.l1_latency, false);
+  mshr.push_back(MshrEntry{line_addr, ready, is_write});
+  return {ready, issue + 1};
 }
 
-Cycle MemHierarchy::access_atomic(u32 sm, u64 line_addr, Cycle now) {
-  // Atomics bypass the L1; invalidate a stale local copy if present.
+MemResponse MemHierarchy::access_atomic(u32 sm, u64 line_addr, Cycle now) {
+  // Atomics bypass the L1; a stale local copy is invalidated (flushing it
+  // to the L2 first when dirty, so the write is not silently dropped).
   const Cycle t = std::max(now, l1_port_free_[sm]);
   l1_port_free_[sm] = t + 1;
-  l1_[sm].invalidate_line(line_addr);
+  reap_expired(sm, t);
+  // Cancel an in-flight fill of this line: the atomic supersedes it, and a
+  // later reap must not reinstall a copy the invalidation just removed.
+  // (Loads merged on the entry keep their completion cycles — fixed at
+  // issue; a merged store's data is functionally visible already.)
+  auto& mshr = mshr_[sm];
+  for (size_t i = 0; i < mshr.size(); ++i) {
+    if (mshr[i].line == line_addr) {
+      remove_entry(sm, i);
+      break;
+    }
+  }
+  if (l1_[sm].invalidate_line(line_addr)) writeback_to_l2(line_addr, t);
   atomics_ += 1;
-  return access_l2(line_addr, /*is_write=*/true, t, /*is_atomic=*/true);
+  return {access_l2(line_addr, /*is_write=*/true, t, /*is_atomic=*/true),
+          t + 1};
 }
 
 }  // namespace higpu::memsys

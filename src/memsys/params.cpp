@@ -1,0 +1,61 @@
+#include "memsys/params.h"
+
+#include <stdexcept>
+
+namespace higpu::memsys {
+
+const char* write_policy_name(WritePolicy p) {
+  return p == WritePolicy::kWriteBack ? "write-back" : "write-through";
+}
+
+const char* write_alloc_name(WriteAlloc a) {
+  return a == WriteAlloc::kAllocate ? "write-allocate" : "no-write-allocate";
+}
+
+void validate(const MemParams& p) {
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string("MemParams: ") + what);
+  };
+  require(p.line_bytes > 0, "line_bytes must be > 0");
+  require(p.l1_size >= p.line_bytes * p.l1_assoc && p.l1_assoc > 0,
+          "L1 geometry must hold at least one set");
+  require(p.l2_size >= p.line_bytes * p.l2_assoc && p.l2_assoc > 0,
+          "L2 geometry must hold at least one set");
+  require(p.l1_mshr_entries > 0, "l1_mshr_entries must be > 0");
+  require(p.l2_banks > 0, "l2_banks must be > 0");
+  require(p.dram_channels > 0, "dram_channels must be > 0");
+  require(p.dram_banks_per_channel > 0, "dram_banks_per_channel must be > 0");
+  require(p.dram_row_bytes >= p.line_bytes,
+          "dram_row_bytes must hold at least one line");
+  require(p.dram_row_bytes % p.line_bytes == 0,
+          "dram_row_bytes must be a multiple of line_bytes");
+  require(p.dram_row_hit_latency <= p.dram_row_miss_latency,
+          "a row hit must not be slower than a row miss");
+  require(p.smem_banks > 0, "smem_banks must be > 0");
+}
+
+std::string mem_label(const MemParams& p) {
+  const MemParams def;
+  std::string l;
+  auto part = [&l](const std::string& s) {
+    if (!l.empty()) l += '-';
+    l += s;
+  };
+  if (p.l1_write_policy != def.l1_write_policy) part("wt");
+  if (p.l1_write_alloc != def.l1_write_alloc) part("nwa");
+  if (p.l1_mshr_entries != def.l1_mshr_entries)
+    part("mshr" + std::to_string(p.l1_mshr_entries));
+  if (p.dram_channels != def.dram_channels)
+    part("ch" + std::to_string(p.dram_channels));
+  if (p.dram_banks_per_channel != def.dram_banks_per_channel)
+    part("dbk" + std::to_string(p.dram_banks_per_channel));
+  if (p.dram_row_bytes != def.dram_row_bytes)
+    part("row" + std::to_string(p.dram_row_bytes));
+  if (p.dram_row_hit_latency != def.dram_row_hit_latency ||
+      p.dram_row_miss_latency != def.dram_row_miss_latency)
+    part("rlat" + std::to_string(p.dram_row_hit_latency) + "x" +
+         std::to_string(p.dram_row_miss_latency));
+  return l;
+}
+
+}  // namespace higpu::memsys

@@ -448,7 +448,10 @@ void SmCore::exec_global_mem(Warp& w, const Instruction& ins, u32 guard_mask,
       const u32 add = operand_value(w, ins.src[1], lane);
       store_->write32(static_cast<memsys::DevPtr>(addr), old + add);
       w.reg_at(ins.dst, lane) = old;
-      done = std::max(done, mem_->access_atomic(sm_id_, addr / line_bytes, now));
+      const memsys::MemResponse r =
+          mem_->access_atomic(sm_id_, addr / line_bytes, now);
+      done = std::max(done, r.done);
+      if (r.issue_free > mem_free_) mem_free_ = r.issue_free;
     }
     w.pending.push_back(Warp::Pending{ins.dst, false, done});
     global_atomics_ += 1;
@@ -476,8 +479,14 @@ void SmCore::exec_global_mem(Warp& w, const Instruction& ins, u32 guard_mask,
   memsys::coalesce_into(addr_scratch_, line_bytes, line_scratch_);
   (is_write ? global_store_transactions_ : global_load_transactions_) +=
       line_scratch_.size();
-  for (u64 line : line_scratch_)
-    done = std::max(done, mem_->access_line(sm_id_, line, is_write, now));
+  for (u64 line : line_scratch_) {
+    const memsys::MemResponse r = mem_->access_line(sm_id_, line, is_write, now);
+    done = std::max(done, r.done);
+    // MSHR-full backpressure: the LSU stays blocked until the hierarchy can
+    // track another miss, so the structural-stall wake (and the event
+    // engine's sleep) extends to the cycle an MSHR entry frees.
+    if (r.issue_free > mem_free_) mem_free_ = r.issue_free;
+  }
   if (!is_write) w.pending.push_back(Warp::Pending{ins.dst, false, done});
 }
 

@@ -112,6 +112,37 @@ TEST(ScenarioSet, SweepsExpandCrossProductsRowMajor) {
   EXPECT_EQ(labels.size(), set.size()) << "labels must be unique per axis";
 }
 
+TEST(ScenarioSet, MemorySweepsGetDistinctStableLabels) {
+  // The four write-policy combos: the default combo keeps the classic
+  // label; every other combo appends its mem_label().
+  const ScenarioSet set = ScenarioSet::of(base_spec()).sweep_write_policies();
+  ASSERT_EQ(set.size(), 4u);
+  EXPECT_EQ(set[0].label(), "hotspot:test:seed2019:srrs:red:nofault");
+  EXPECT_EQ(set[1].label(), "hotspot:test:seed2019:srrs:red:nofault:nwa");
+  EXPECT_EQ(set[2].label(), "hotspot:test:seed2019:srrs:red:nofault:wt");
+  EXPECT_EQ(set[3].label(), "hotspot:test:seed2019:srrs:red:nofault:wt-nwa");
+
+  // Generic MemParams axis (e.g. a DRAM-geometry sweep from --mem-* flags).
+  memsys::MemParams one_bank;
+  one_bank.dram_banks_per_channel = 1;
+  memsys::MemParams small_mshr;
+  small_mshr.l1_mshr_entries = 4;
+  const ScenarioSet mems =
+      ScenarioSet::of(base_spec()).sweep_mem({one_bank, small_mshr});
+  ASSERT_EQ(mems.size(), 2u);
+  EXPECT_EQ(mems[0].label(), "hotspot:test:seed2019:srrs:red:nofault:dbk1");
+  EXPECT_EQ(mems[1].label(), "hotspot:test:seed2019:srrs:red:nofault:mshr4");
+  mems.validate_all();
+
+  // Nonsensical memory geometry is rejected like any other spec error.
+  ScenarioSpec bad = base_spec();
+  bad.gpu.mem.l1_mshr_entries = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = base_spec();
+  bad.gpu.mem.dram_row_bytes = 96;  // not a multiple of line_bytes
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
 TEST(ScenarioSet, ForWorkloadsAndGenericProduct) {
   const ScenarioSet set =
       ScenarioSet::for_workloads({"hotspot", "bfs", "nn"}, base_spec())

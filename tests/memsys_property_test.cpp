@@ -130,8 +130,26 @@ TEST_P(CoalescerProperty, InvariantsHoldForRandomPatterns) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CoalescerProperty, ::testing::Range<u64>(1, 9));
 
-TEST(HierarchyProperty, CompletionNeverBeforeIssue) {
-  MemParams mp;
+/// The four L1 write-policy combinations, the axis the property suite
+/// sweeps: every invariant must hold under every policy.
+std::vector<MemParams> policy_matrix() {
+  std::vector<MemParams> out;
+  for (WritePolicy wp : {WritePolicy::kWriteBack, WritePolicy::kWriteThrough}) {
+    for (WriteAlloc wa : {WriteAlloc::kAllocate, WriteAlloc::kNoAllocate}) {
+      MemParams mp;
+      mp.l1_write_policy = wp;
+      mp.l1_write_alloc = wa;
+      out.push_back(mp);
+    }
+  }
+  return out;
+}
+
+class HierarchyPolicyProperty : public ::testing::TestWithParam<MemParams> {};
+
+TEST_P(HierarchyPolicyProperty, CompletionNeverBeforeIssue) {
+  MemParams mp = GetParam();
+  mp.l1_mshr_entries = 8;  // small enough that MSHR-full stalls exercise
   MemHierarchy mem(4, mp);
   Rng rng(77);
   Cycle now = 0;
@@ -139,28 +157,18 @@ TEST(HierarchyProperty, CompletionNeverBeforeIssue) {
     now += rng.next_below(3);
     const u32 sm = static_cast<u32>(rng.next_below(4));
     const u64 line = rng.next_below(1 << 14);
-    const Cycle done = rng.next_bool(0.1f)
-                           ? mem.access_atomic(sm, line, now)
-                           : mem.access_line(sm, line, rng.next_bool(0.4f), now);
-    ASSERT_GT(done, now);
-    ASSERT_LT(done - now, 100'000u) << "latency blew up";
+    const MemResponse r =
+        rng.next_bool(0.1f)
+            ? mem.access_atomic(sm, line, now)
+            : mem.access_line(sm, line, rng.next_bool(0.4f), now);
+    ASSERT_GT(r.done, now);
+    ASSERT_GT(r.issue_free, now);
+    ASSERT_LT(r.done - now, 100'000u) << "latency blew up";
   }
 }
 
-TEST(HierarchyProperty, HitLatencyIsBoundedByMissLatency) {
-  MemParams mp;
-  MemHierarchy mem(1, mp);
-  // Cold miss then repeated hits: hits must be uniformly cheaper.
-  const Cycle miss = mem.access_line(0, 42, false, 1000) - 1000;
-  for (u32 i = 0; i < 10; ++i) {
-    const Cycle t = 100'000 + i * 1000;
-    const Cycle hit = mem.access_line(0, 42, false, t) - t;
-    ASSERT_LT(hit, miss);
-  }
-}
-
-TEST(HierarchyProperty, StatsBalance) {
-  MemParams mp;
+TEST_P(HierarchyPolicyProperty, StatsBalance) {
+  const MemParams mp = GetParam();
   MemHierarchy mem(2, mp);
   Rng rng(5);
   u64 accesses = 0;
@@ -171,13 +179,50 @@ TEST(HierarchyProperty, StatsBalance) {
     ++accesses;
   }
   const StatSet& s = mem.stats();
+  // Every access is classified exactly once.
   const u64 classified = s.get("l1_hits") + s.get("l1_misses") +
                          s.get("l1_write_hits") + s.get("l1_write_misses") +
                          s.get("l1_mshr_merges");
   EXPECT_EQ(classified, accesses);
-  // Every L2 access originates from an L1 miss or writeback.
+  // Every L2 access originates from an L1 miss, writeback or forwarded store.
   EXPECT_LE(s.get("l2_misses"), s.get("l1_misses") + s.get("l1_write_misses") +
-                                    s.get("l1_writebacks"));
+                                    s.get("l1_writebacks") +
+                                    s.get("l1_write_through"));
+  // Write-through keeps the L1 clean: no L1 writebacks, and every store
+  // (hit, miss or merge) was forwarded to the L2.
+  if (mp.l1_write_policy == WritePolicy::kWriteThrough) {
+    EXPECT_EQ(s.get("l1_writebacks"), 0u);
+    EXPECT_GE(s.get("l1_write_through"),
+              s.get("l1_write_hits") + s.get("l1_write_misses"));
+  }
+  // A counted MSHR stall always pins at least one stall cycle and vice
+  // versa (the stall target is strictly in the future).
+  EXPECT_EQ(s.get("l1_mshr_stalls") == 0, s.get("l1_mshr_stall_cycles") == 0);
+  // Row-buffer accounting covers every DRAM transaction.
+  EXPECT_EQ(s.get("dram_row_hits") + s.get("dram_row_misses"),
+            s.get("dram_reads") + s.get("dram_writebacks"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WritePolicies, HierarchyPolicyProperty,
+    ::testing::ValuesIn(policy_matrix()), [](const auto& info) {
+      const std::string l = mem_label(info.param);
+      std::string name = l.empty() ? "wb_wa" : l;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(HierarchyProperty, HitLatencyIsBoundedByMissLatency) {
+  MemParams mp;
+  MemHierarchy mem(1, mp);
+  // Cold miss then repeated hits: hits must be uniformly cheaper.
+  const Cycle miss = mem.access_line(0, 42, false, 1000).done - 1000;
+  for (u32 i = 0; i < 10; ++i) {
+    const Cycle t = 100'000 + i * 1000;
+    const Cycle hit = mem.access_line(0, 42, false, t).done - t;
+    ASSERT_LT(hit, miss);
+  }
 }
 
 }  // namespace
