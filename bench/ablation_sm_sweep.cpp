@@ -11,7 +11,7 @@
 #include "bench/bench_util.h"
 #include "common/table.h"
 #include "core/diversity.h"
-#include "core/nmr.h"
+#include "core/exec.h"
 #include "exp/campaign.h"
 #include "tests/test_kernels.h"
 
@@ -47,8 +47,7 @@ void start_distance_sweep() {
     spec.workload = "hotspot";
     spec.scale = workloads::Scale::kBench;
     spec.policy = sched::Policy::kSrrs;
-    spec.srrs_start_a = 0;
-    spec.srrs_start_b = start_b;
+    spec.redundancy.srrs_starts = {0, start_b};
     const exp::ScenarioResult r = exp::run_scenario(spec);
     table.add_row({std::to_string(start_b), std::to_string(r.kernel_cycles),
                    r.diversity.spatially_diverse() ? "yes" : "NO"});
@@ -70,11 +69,11 @@ void gap_sweep() {
       runtime::Device dev(p);
       core::InstrTraceCollector tc;
       dev.gpu().set_trace_sink(&tc);
-      core::RedundantSession::Config cfg;
+      core::ExecSession::Config cfg;
       cfg.policy = policy;
-      core::RedundantSession s(dev, cfg);
+      core::ExecSession s(dev, cfg);
       const u32 n = 12 * 128;
-      const core::DualPtr out = s.alloc(n * 4);
+      const core::ReplicaPtr out = s.alloc(n * 4);
       s.launch(higpu::testing::make_spin_kernel(150), sim::Dim3{12, 1, 1},
                sim::Dim3{128, 1, 1}, {out, n});
       s.sync();
@@ -96,15 +95,17 @@ void tmr_sweep() {
   Cycle dmr_cycles = 0;
   for (u32 copies : {2u, 3u, 4u}) {
     runtime::Device dev;
-    core::NmrSession s(dev, {sched::Policy::kSrrs, copies});
+    core::RedundancySpec red = copies >= 3 ? core::RedundancySpec::nmr(copies)
+                                           : core::RedundancySpec::dcls();
+    core::ExecSession s(dev, {sched::Policy::kSrrs, red});
     const u32 n = 12 * 128;
-    core::NPtr out = s.alloc(n * 4);
+    core::ReplicaPtr out = s.alloc(n * 4);
     std::vector<u32> zeros(n, 0);
     s.h2d(out, zeros.data(), n * 4);
     s.launch(higpu::testing::make_spin_kernel(150), sim::Dim3{12, 1, 1},
              sim::Dim3{128, 1, 1}, {out, n});
     s.sync();
-    const core::VoteResult v = s.vote(out, n * 4);
+    const core::CompareVerdict v = s.compare(out, n * 4);
     if (copies == 2) dmr_cycles = s.kernel_cycles();
     table.add_row({std::to_string(copies), std::to_string(s.kernel_cycles()),
                    TextTable::fmt_ratio(static_cast<double>(s.kernel_cycles()) /

@@ -33,7 +33,8 @@ inline RunResult from_scenario(const exp::ScenarioResult& r) {
 }
 
 inline RunResult run_workload(const std::string& name, workloads::Scale scale,
-                              sched::Policy policy, bool redundant,
+                              sched::Policy policy,
+                              const core::RedundancySpec& redundancy,
                               u64 seed = 2019,
                               const sim::GpuParams& gpu_params = {}) {
   exp::ScenarioSpec spec;
@@ -41,9 +42,20 @@ inline RunResult run_workload(const std::string& name, workloads::Scale scale,
   spec.scale = scale;
   spec.seed = seed;
   spec.policy = policy;
-  spec.redundant = redundant;
+  spec.redundancy = redundancy;
   spec.gpu = gpu_params;
   return from_scenario(exp::run_scenario(spec));
+}
+
+/// Classic baseline/DCLS shorthand used by the Fig. 4/5 benches.
+inline RunResult run_workload(const std::string& name, workloads::Scale scale,
+                              sched::Policy policy, bool redundant,
+                              u64 seed = 2019,
+                              const sim::GpuParams& gpu_params = {}) {
+  return run_workload(name, scale, policy,
+                      redundant ? core::RedundancySpec::dcls()
+                                : core::RedundancySpec::baseline(),
+                      seed, gpu_params);
 }
 
 inline double ms(NanoSec ns) { return static_cast<double>(ns) / 1e6; }

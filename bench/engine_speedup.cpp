@@ -42,7 +42,7 @@ EngineRun run_once(const std::string& name, workloads::Scale scale,
   spec.scale = scale;
   spec.seed = 2019;
   spec.policy = sched::Policy::kSrrs;
-  spec.redundant = true;
+  spec.redundancy = core::RedundancySpec::dcls();
   spec.gpu.engine = engine;
 
   EngineRun r;
@@ -53,13 +53,13 @@ EngineRun run_once(const std::string& name, workloads::Scale scale,
   const exp::ScenarioResult res = exp::run_scenario(
       spec, 0,
       [&](runtime::Device& dev, workloads::Workload&,
-          core::RedundantSession&) {
+          core::ExecSession&) {
         r.wall_sec =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                 .count();
         r.sim_cycles = dev.gpu().now();
       },
-      [&](runtime::Device&, workloads::Workload&, core::RedundantSession&) {
+      [&](runtime::Device&, workloads::Workload&, core::ExecSession&) {
         t0 = std::chrono::steady_clock::now();
       });
   r.sim_sec = res.sim_wall_sec;

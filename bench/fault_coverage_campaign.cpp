@@ -12,7 +12,7 @@
 
 #include "common/table.h"
 #include "core/diversity.h"
-#include "core/redundant.h"
+#include "core/exec.h"
 #include "fault/injector.h"
 #include "isa/builder.h"
 #include "safety/asil.h"
@@ -58,18 +58,18 @@ constexpr u32 kThreads = kBlocks * 128;
 RunOutput run_campaign(sched::Policy policy, fault::FaultInjector* fi) {
   runtime::Device dev;
   if (fi != nullptr) dev.gpu().set_fault_hook(fi);
-  core::RedundantSession::Config cfg;
+  core::ExecSession::Config cfg;
   cfg.policy = policy;
-  core::RedundantSession s(dev, cfg);
-  const core::DualPtr out = s.alloc(kThreads * 4);
+  core::ExecSession s(dev, cfg);
+  const core::ReplicaPtr out = s.alloc(kThreads * 4);
   s.launch(make_campaign_kernel(), sim::Dim3{kBlocks, 1, 1},
            sim::Dim3{128, 1, 1}, {out, kThreads});
   s.sync();
 
   RunOutput r;
-  r.copies_match = s.compare(out, kThreads * 4);
+  r.copies_match = s.compare(out, kThreads * 4).unanimous;
   r.bits_a.resize(kThreads * 4);
-  dev.gpu().store().read_block(r.bits_a.data(), out.a, kThreads * 4);
+  dev.gpu().store().read_block(r.bits_a.data(), out.primary(), kThreads * 4);
   r.span_begin = ~Cycle{0};
   for (const sim::BlockRecord& rec : dev.gpu().block_records()) {
     r.span_begin = std::min(r.span_begin, rec.dispatch_cycle);
@@ -118,10 +118,10 @@ core::InstrTraceCollector::SlackReport slack_for(sched::Policy policy,
   runtime::Device dev;
   core::InstrTraceCollector tc;
   dev.gpu().set_trace_sink(&tc);
-  core::RedundantSession::Config cfg;
+  core::ExecSession::Config cfg;
   cfg.policy = policy;
-  core::RedundantSession s(dev, cfg);
-  const core::DualPtr out = s.alloc(kThreads * 4);
+  core::ExecSession s(dev, cfg);
+  const core::ReplicaPtr out = s.alloc(kThreads * 4);
   s.launch(make_campaign_kernel(), sim::Dim3{kBlocks, 1, 1},
            sim::Dim3{128, 1, 1}, {out, kThreads});
   s.sync();

@@ -27,10 +27,10 @@ int main() {
     spec.workload = name;
     spec.scale = Scale::kBench;
     spec.policy = sched::Policy::kDefault;
-    spec.redundant = false;
+    spec.redundancy = core::RedundancySpec::baseline();
     const exp::ScenarioResult res = exp::run_scenario(
         spec, 0, [&](runtime::Device& dev, workloads::Workload&,
-                     core::RedundantSession&) {
+                     core::ExecSession&) {
       // Aggregate per distinct kernel name; categorize the dominant one
       // (the kernel contributing the most total cycles).
       struct Agg {

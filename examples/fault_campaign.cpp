@@ -45,7 +45,7 @@ std::pair<Cycle, Cycle> golden_span(sched::Policy policy) {
   Cycle begin = kNeverCycle, end = 0;
   require_ok(exp::run_scenario(base_spec(policy), 0,
                                [&](runtime::Device& dev, workloads::Workload&,
-                                   core::RedundantSession&) {
+                                   core::ExecSession&) {
                                  for (const sim::BlockRecord& rec :
                                       dev.gpu().block_records()) {
                                    begin = std::min(begin, rec.dispatch_cycle);
@@ -99,12 +99,12 @@ int main() {
     require_ok(exp::run_scenario(
         spec, 0,
         [&](runtime::Device&, workloads::Workload&,
-            core::RedundantSession& s) {
+            core::ExecSession& s) {
           const auto [ida, idb] = s.pairs()[0];
           window = tc.find_identical_corruption_window(ida, idb, 64);
         },
         [&](runtime::Device& dev, workloads::Workload&,
-            core::RedundantSession&) { dev.gpu().set_trace_sink(&tc); }));
+            core::ExecSession&) { dev.gpu().set_trace_sink(&tc); }));
 
     if (!window.has_value()) {
       std::printf("  policy %-8s: no such window exists -- every droop hits "
@@ -150,12 +150,12 @@ int main() {
     require_ok(exp::run_scenario(
         base_spec(p), 0,
         [&](runtime::Device&, workloads::Workload&,
-            core::RedundantSession& s) {
+            core::ExecSession& s) {
           const auto [ida, idb] = s.pairs()[0];
           slack = tc.slack(ida, idb, 50);
         },
         [&](runtime::Device& dev, workloads::Workload&,
-            core::RedundantSession&) { dev.gpu().set_trace_sink(&tc); }));
+            core::ExecSession&) { dev.gpu().set_trace_sink(&tc); }));
     std::printf("  policy %-8s: min slack %6llu cycles, %llu instruction "
                 "pairs within a 50-cycle droop\n",
                 sched::policy_name(p),

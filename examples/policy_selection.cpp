@@ -28,12 +28,12 @@ int main(int argc, char** argv) {
     exp::ScenarioSpec spec;
     spec.workload = name;
     spec.scale = workloads::Scale::kBench;
-    spec.redundant = false;
+    spec.redundancy = core::RedundancySpec::baseline();
 
     std::printf("\n%s:\n", name.c_str());
     const exp::ScenarioResult res = exp::run_scenario(
         spec, 0, [](runtime::Device& dev, workloads::Workload&,
-                    core::RedundantSession&) {
+                    core::ExecSession&) {
       std::map<std::string, bool> seen;
       sim::Gpu& gpu = dev.gpu();
       for (sim::KernelState* ks : gpu.kernel_states()) {

@@ -1,13 +1,16 @@
 // Quickstart: build a kernel with the KernelBuilder, execute it redundantly
-// with the SRRS policy, compare the outputs on the (DCLS) host, and check
-// the diversity guarantee — the full paper §IV.A flow in ~80 lines.
+// through the unified ExecSession with the SRRS policy, compare the outputs
+// on the (DCLS) host, and check the diversity guarantee — the full paper
+// §IV.A flow in ~80 lines. The same session API scales from baseline to
+// DCLS to TMR by changing one RedundancySpec value (footnote 1), which the
+// last section demonstrates.
 //
 //   $ ./quickstart
 #include <cstdio>
 #include <vector>
 
 #include "core/diversity.h"
-#include "core/redundant.h"
+#include "core/exec.h"
 #include "isa/builder.h"
 
 int main() {
@@ -36,10 +39,12 @@ int main() {
   std::printf("built kernel:\n%s\n", prog->disassemble().c_str());
 
   // 2. Open a redundant session with the SRRS policy on a 6-SM GPU.
+  //    RedundancySpec::dcls() = 2 copies, bitwise host comparison.
   runtime::Device dev;
-  core::RedundantSession::Config cfg;
+  core::ExecSession::Config cfg;
   cfg.policy = sched::Policy::kSrrs;  // copies start on SM 0 and SM 3
-  core::RedundantSession session(dev, cfg);
+  cfg.redundancy = core::RedundancySpec::dcls();
+  core::ExecSession session(dev, cfg);
 
   // 3. Allocate + upload (both copies get their own buffers).
   const u32 count = 4096;
@@ -48,8 +53,8 @@ int main() {
     hx[i] = 0.5f * static_cast<float>(i);
     hy[i] = 1.0f;
   }
-  core::DualPtr dx = session.alloc(count * 4);
-  core::DualPtr dy = session.alloc(count * 4);
+  core::ReplicaPtr dx = session.alloc(count * 4);
+  core::ReplicaPtr dy = session.alloc(count * 4);
   session.h2d(dx, hx.data(), count * 4);
   session.h2d(dy, hy.data(), count * 4);
 
@@ -61,7 +66,7 @@ int main() {
   // 5. Read back and compare on the DCLS host.
   std::vector<float> result(count);
   session.d2h(result.data(), dy, count * 4);
-  const bool match = session.compare(dy, count * 4);
+  const bool match = session.compare(dy, count * 4, result.data()).unanimous;
 
   std::printf("kernel pair executed in %llu GPU cycles\n",
               static_cast<unsigned long long>(cycles));
@@ -78,5 +83,26 @@ int main() {
               rep.temporally_disjoint() ? "yes" : "no");
   std::printf("end-to-end platform time: %.3f ms\n",
               static_cast<double>(dev.elapsed_ns()) / 1e6);
-  return match ? 0 : 1;
+
+  // Bonus: the SAME flow at triple modular redundancy — swap the spec, keep
+  // the code. Three copies, majority vote, fail-operational without retry.
+  runtime::Device tmr_dev;
+  core::ExecSession tmr(tmr_dev,
+                        {sched::Policy::kSrrs, core::RedundancySpec::tmr()});
+  core::ReplicaPtr tx = tmr.alloc(count * 4);
+  core::ReplicaPtr ty = tmr.alloc(count * 4);
+  tmr.h2d(tx, hx.data(), count * 4);
+  tmr.h2d(ty, hy.data(), count * 4);
+  tmr.launch(prog, sim::Dim3{ceil_div(count, 256), 1, 1},
+             sim::Dim3{256, 1, 1}, {tx, ty, count, 2.0f});
+  tmr.sync();
+  std::vector<float> tmr_result(count);
+  tmr.d2h(tmr_result.data(), ty, count * 4);
+  const core::CompareVerdict vote =
+      tmr.compare(ty, count * 4, tmr_result.data());
+  std::printf("TMR (3 copies, majority vote): %s, achieved %s\n",
+              vote.unanimous ? "unanimous" : "voted",
+              safety::asil_name(
+                  tmr.redundancy().achieved_asil(sched::Policy::kSrrs)));
+  return match && vote.majority ? 0 : 1;
 }

@@ -29,6 +29,14 @@ int usage() {
       "  --policy=default|half|srrs   scheduling policy (default: srrs)\n"
       "  --sweep-policies             run every policy (overrides --policy)\n"
       "  --baseline                   single copy instead of a DCLS pair\n"
+      "redundancy options (one ExecSession serves every mode):\n"
+      "  --redundancy=N               copies: 1=baseline, 2=DCLS, >=3 NMR\n"
+      "  --compare=bitwise|vote|tol:E comparison semantics (vote needs N>=3;\n"
+      "                               tol:E = float tolerance E, e.g. tol:1e-4)\n"
+      "  --recovery=retry:N|degrade   detect-and-retry (N re-executions)\n"
+      "                               or degraded-mode transition\n"
+      "  --sweep-redundancy           run base, DCLS, DCLS+retry, TMR-vote,\n"
+      "                               TMR-vote+retry (overrides the above)\n"
       "  --scale=test|bench           problem size (default: bench)\n"
       "  --seed=N                     input-generation seed (default: 2019)\n"
       "  --jobs=N                     campaign worker threads (default: 1;\n"
@@ -56,6 +64,41 @@ u64 parse_number(const std::string& flag, const std::string& s) {
     throw std::invalid_argument("bad value '" + s + "' for " + flag +
                                 ": out of range");
   }
+}
+
+core::RedundancySpec::Compare parse_compare(const std::string& s,
+                                            float* tolerance) {
+  if (s == "bitwise") return core::RedundancySpec::Compare::kBitwise;
+  if (s == "vote") return core::RedundancySpec::Compare::kMajorityVote;
+  if (s.rfind("tol:", 0) == 0) {
+    try {
+      *tolerance = std::stof(s.substr(4));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad tolerance in --compare=" + s);
+    }
+    return core::RedundancySpec::Compare::kTolerance;
+  }
+  throw std::invalid_argument("unknown compare mode '" + s +
+                              "'; valid: bitwise vote tol:EPS");
+}
+
+void parse_recovery(const std::string& s, core::RedundancySpec* red) {
+  if (s.rfind("retry:", 0) == 0) {
+    red->recovery = core::RedundancySpec::Recovery::kRetry;
+    red->max_retries =
+        static_cast<u32>(parse_number("--recovery", s.substr(6)));
+    return;
+  }
+  if (s == "retry") {
+    red->recovery = core::RedundancySpec::Recovery::kRetry;
+    return;
+  }
+  if (s == "degrade") {
+    red->recovery = core::RedundancySpec::Recovery::kDegrade;
+    return;
+  }
+  throw std::invalid_argument("unknown recovery '" + s +
+                              "'; valid: retry:N degrade");
 }
 
 sched::Policy parse_policy(const std::string& s) {
@@ -92,9 +135,15 @@ void print_detailed(const exp::ScenarioResult& r) {
   std::printf("end-to-end time : %.3f ms\n",
               static_cast<double>(r.elapsed_ns) / 1e6);
   std::printf("verified vs CPU : %s\n", r.verified ? "yes" : "NO");
+  std::printf("redundancy      : %u cop%s, %u attempt%s, %s (FTTI %s)\n",
+              r.n_copies, r.n_copies == 1 ? "y" : "ies", r.attempts,
+              r.attempts == 1 ? "" : "s",
+              higpu::safety::asil_name(r.achieved_asil),
+              r.ftti_met ? "met" : "VIOLATED");
   if (r.comparisons > 0) {
-    std::printf("DCLS comparisons: %u (%u mismatching)\n", r.comparisons,
-                r.mismatches);
+    std::printf("comparisons     : %u (%u mismatching%s)\n", r.comparisons,
+                r.mismatches,
+                r.majority_ok && r.mismatches > 0 ? ", out-voted" : "");
     std::printf("diversity       : %u block pairs, %u same-SM, %u time-overlap\n",
                 r.diversity.blocks_checked, r.diversity.same_sm,
                 r.diversity.time_overlap);
@@ -131,7 +180,9 @@ int main(int argc, char** argv) {
   exp::ScenarioSpec proto;
   proto.scale = workloads::Scale::kBench;
   bool sweep_policies = false;
+  bool sweep_redundancy = false;
   bool sweep_mem_policies = false;
+  bool compare_explicit = false;
   u32 jobs = 1;
   std::string json_path, csv_path;
 
@@ -147,7 +198,21 @@ int main(int argc, char** argv) {
       } else if (arg == "--fig4") {
         names = workloads::fig4_names();
       } else if (arg == "--baseline") {
-        proto.redundant = false;
+        // Only the copy count: an explicit --compare/--recovery elsewhere
+        // on the command line must survive (or fail validation loudly),
+        // never be silently discarded by flag order.
+        proto.redundancy.n_copies = 1;
+      } else if (arg.rfind("--redundancy=", 0) == 0) {
+        proto.redundancy.n_copies =
+            static_cast<u32>(parse_number("--redundancy", arg.substr(13)));
+      } else if (arg.rfind("--compare=", 0) == 0) {
+        proto.redundancy.compare =
+            parse_compare(arg.substr(10), &proto.redundancy.tolerance);
+        compare_explicit = true;
+      } else if (arg.rfind("--recovery=", 0) == 0) {
+        parse_recovery(arg.substr(11), &proto.redundancy);
+      } else if (arg == "--sweep-redundancy") {
+        sweep_redundancy = true;
       } else if (arg == "--sweep-policies") {
         sweep_policies = true;
       } else if (arg.rfind("--policy=", 0) == 0) {
@@ -188,10 +253,16 @@ int main(int argc, char** argv) {
     }
     if (names.empty()) return usage();
 
+    // Voting is the natural default once a majority exists — but never
+    // override an explicit --compare choice, whatever the flag order.
+    if (!compare_explicit && proto.redundancy.n_copies >= 3)
+      proto.redundancy.compare = core::RedundancySpec::Compare::kMajorityVote;
+
     exp::ScenarioSet set = exp::ScenarioSet::for_workloads(names, proto);
     if (sweep_policies)
       set = set.sweep_policies({sched::Policy::kDefault, sched::Policy::kHalf,
                                 sched::Policy::kSrrs});
+    if (sweep_redundancy) set = set.sweep_redundancy();
     if (sweep_mem_policies) set = set.sweep_write_policies();
     // CampaignRunner::run() validates the whole set before executing.
 

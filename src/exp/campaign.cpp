@@ -25,8 +25,15 @@ bool ScenarioResult::deterministic_fields_equal(
   return index == other.index && label == other.label &&
          workload == other.workload && ok == other.ok &&
          error == other.error && verified == other.verified &&
-         dcls_match == other.dcls_match && comparisons == other.comparisons &&
+         dcls_match == other.dcls_match &&
+         majority_ok == other.majority_ok &&
+         comparisons == other.comparisons &&
          mismatches == other.mismatches &&
+         faulty_copy == other.faulty_copy && n_copies == other.n_copies &&
+         attempts == other.attempts && recovered == other.recovered &&
+         degraded == other.degraded && ftti_met == other.ftti_met &&
+         response_ns == other.response_ns &&
+         achieved_asil == other.achieved_asil &&
          kernel_cycles == other.kernel_cycles &&
          elapsed_ns == other.elapsed_ns && ff_cycles == other.ff_cycles &&
          diversity == other.diversity && stats == other.stats &&
@@ -58,30 +65,46 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, u32 index,
       dev.gpu().set_fault_hook(&injector);
     }
 
-    core::RedundantSession session(dev, spec.session_config());
+    core::ExecSession session(dev, spec.session_config());
     if (pre_run) pre_run(dev, *w, session);
     workloads::RunContext ctx(session);
-    w->run(ctx);
-    // The probe fires directly after Workload::run, before the result
-    // harvest below, so pre_run/probe pairs bracket exactly the workload's
-    // device flow (engine benches time this interval).
+    // The session owns the recovery loop: detect -> re-execute -> FTTI
+    // accounting, for every workload (not just ad-hoc bodies).
+    const core::ExecSession::Report srep =
+        session.run([&](core::ExecSession&) { w->run(ctx); });
+    // The probe fires directly after the workload's (possibly retried)
+    // run, before the result harvest below, so pre_run/probe pairs bracket
+    // exactly the workload's device flow (engine benches time this
+    // interval).
     if (probe) probe(dev, *w, session);
 
     r.verified = w->verify();
-    r.dcls_match = session.all_outputs_matched();
+    r.dcls_match = session.all_unanimous();
+    r.majority_ok = session.all_safe();
     r.comparisons = session.comparisons();
     r.mismatches = session.mismatches();
+    r.faulty_copy = session.faulty_copy();
+    r.n_copies = session.copies();
+    r.attempts = srep.attempts;
+    r.recovered = srep.attempts > 1 && srep.success;
+    r.degraded = srep.degraded;
+    r.ftti_met = srep.budget.met();
+    r.response_ns = srep.total_ns;
+    r.achieved_asil = srep.asil;
     r.kernel_cycles = session.kernel_cycles();
     r.elapsed_ns = dev.elapsed_ns();
     r.ff_cycles = dev.gpu().fast_forwarded_cycles();
     r.sim_wall_sec = dev.sim_wall_seconds();
-    if (spec.redundant)
+    if (spec.redundancy.redundant())
       r.diversity = core::analyze_block_diversity(dev.gpu().block_records(),
-                                                  session.pairs());
+                                                  session.all_copy_pairs());
     r.stats = dev.gpu().collect_stats();
     r.corruptions = injector.corruptions();
     r.diverted_blocks = injector.diverted_blocks();
-    r.outcome = fault::classify(r.dcls_match, r.verified);
+    // A retry that came back clean still *detected* the fault on an
+    // earlier attempt — that must classify as kDetected, never kMasked.
+    const bool detected = !session.all_unanimous() || r.attempts > 1;
+    r.outcome = fault::classify(!detected, r.verified);
     r.ok = true;
   } catch (const std::exception& e) {
     r.ok = false;
@@ -121,8 +144,17 @@ std::string CampaignResult::to_json() const {
     jw.field("passed", r.passed());
     jw.field("verified", r.verified);
     jw.field("dcls_match", r.dcls_match);
+    jw.field("majority_ok", r.majority_ok);
     jw.field("comparisons", r.comparisons);
     jw.field("mismatches", r.mismatches);
+    jw.field("n_copies", r.n_copies);
+    jw.field("attempts", r.attempts);
+    jw.field("recovered", r.recovered);
+    jw.field("degraded", r.degraded);
+    jw.field("ftti_met", r.ftti_met);
+    jw.field("response_ns", r.response_ns);
+    jw.field("achieved_asil", std::string(safety::asil_name(r.achieved_asil)));
+    if (r.faulty_copy >= 0) jw.field("faulty_copy", r.faulty_copy);
     jw.field("kernel_cycles", r.kernel_cycles);
     jw.field("elapsed_ns", r.elapsed_ns);
     jw.field("fault_active", r.fault_active);
@@ -151,7 +183,8 @@ std::string CampaignResult::to_json() const {
 
 std::string CampaignResult::to_csv() const {
   TextTable table({"index", "label", "workload", "ok", "passed", "verified",
-                   "dcls_match", "comparisons", "mismatches", "kernel_cycles",
+                   "dcls_match", "comparisons", "mismatches", "n_copies",
+                   "attempts", "asil", "ftti_met", "kernel_cycles",
                    "elapsed_ns", "fault", "corruptions", "fault_outcome",
                    "instructions", "error"});
   for (const ScenarioResult& r : results) {
@@ -160,6 +193,9 @@ std::string CampaignResult::to_csv() const {
                    r.verified ? "true" : "false",
                    r.dcls_match ? "true" : "false",
                    std::to_string(r.comparisons), std::to_string(r.mismatches),
+                   std::to_string(r.n_copies), std::to_string(r.attempts),
+                   safety::asil_name(r.achieved_asil),
+                   r.ftti_met ? "true" : "false",
                    std::to_string(r.kernel_cycles),
                    std::to_string(r.elapsed_ns),
                    r.fault_active ? "true" : "false",

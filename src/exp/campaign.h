@@ -1,7 +1,7 @@
 // Parallel, deterministic campaign execution.
 //
 // A CampaignRunner executes a ScenarioSet across N host threads. Every
-// scenario constructs its own Device / RedundantSession / FaultInjector /
+// scenario constructs its own Device / ExecSession / FaultInjector /
 // Workload from its spec — simulations share no mutable state — so the
 // per-scenario results are bit-identical regardless of thread count or
 // completion order (results are stored at the scenario's index, never
@@ -35,10 +35,24 @@ struct ScenarioResult {
 
   // ---- Verdicts (deterministic) ------------------------------------------
   bool verified = false;    // outputs match the CPU reference
-  bool dcls_match = false;  // redundant copies compared equal (true in
+  bool dcls_match = false;  // every comparison was unanimous (true in
                             // baseline mode, where nothing is compared)
+  /// Every comparison of the final attempt produced a safe output —
+  /// unanimous, or corrected by majority vote (fail-operational NMR).
+  bool majority_ok = false;
   u32 comparisons = 0;
   u32 mismatches = 0;
+  /// First faulty copy identified by a vote across all comparisons, or -1.
+  i32 faulty_copy = -1;
+
+  // ---- Redundancy / recovery (deterministic) -----------------------------
+  u32 n_copies = 1;
+  u32 attempts = 0;          // executions performed (> 1 => retries fired)
+  bool recovered = false;    // a retry turned a detection into a clean run
+  bool degraded = false;     // Recovery::kDegrade engaged
+  bool ftti_met = false;     // the whole response fit the item's FTTI
+  NanoSec response_ns = 0;   // modelled detect + re-execute sequence time
+  safety::Asil achieved_asil = safety::Asil::kQM;  // per composed_asil
 
   // ---- Metrics (deterministic) -------------------------------------------
   Cycle kernel_cycles = 0;   // the Fig. 4 metric
@@ -78,7 +92,7 @@ struct ScenarioResult {
 /// categorization, block records, instruction traces). Runs on the worker
 /// thread; must not touch shared state without its own synchronization.
 using ScenarioProbe = std::function<void(
-    runtime::Device&, workloads::Workload&, core::RedundantSession&)>;
+    runtime::Device&, workloads::Workload&, core::ExecSession&)>;
 
 /// Execute one scenario start-to-finish on the calling thread. `pre_run`
 /// runs after the device/session are constructed but before the workload

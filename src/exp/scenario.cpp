@@ -95,12 +95,10 @@ void FaultPlan::validate(const sim::GpuParams& gpu) const {
 
 // ---- ScenarioSpec ----------------------------------------------------------
 
-core::RedundantSession::Config ScenarioSpec::session_config() const {
-  core::RedundantSession::Config cfg;
+core::ExecSession::Config ScenarioSpec::session_config() const {
+  core::ExecSession::Config cfg;
   cfg.policy = policy;
-  cfg.redundant = redundant;
-  cfg.srrs_start_a = srrs_start_a;
-  cfg.srrs_start_b = srrs_start_b;
+  cfg.redundancy = redundancy;
   return cfg;
 }
 
@@ -121,26 +119,10 @@ void ScenarioSpec::validate() const {
   } catch (const std::invalid_argument& e) {
     throw std::invalid_argument(std::string("ScenarioSpec: ") + e.what());
   }
-  if (redundant && policy == sched::Policy::kHalf && gpu.num_sms < 2)
-    throw std::invalid_argument(
-        "ScenarioSpec: HALF needs at least 2 SMs to partition");
-  if (redundant && policy == sched::Policy::kSrrs) {
-    if (srrs_start_a >= gpu.num_sms)
-      throw std::invalid_argument("ScenarioSpec: srrs_start_a " +
-                                  std::to_string(srrs_start_a) +
-                                  " outside the GPU");
-    // kAuto resolves to num_sms/2, mirroring RedundantSession's constructor.
-    const u32 start_b = srrs_start_b == core::RedundantSession::Config::kAuto
-                            ? gpu.num_sms / 2
-                            : srrs_start_b;
-    if (start_b >= gpu.num_sms)
-      throw std::invalid_argument("ScenarioSpec: srrs_start_b " +
-                                  std::to_string(srrs_start_b) +
-                                  " outside the GPU");
-    if (start_b == srrs_start_a)
-      throw std::invalid_argument(
-          "ScenarioSpec: SRRS start SMs must differ between the copies "
-          "(spatial diversity)");
+  try {
+    redundancy.validate(gpu, policy);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string("ScenarioSpec: ") + e.what());
   }
   fault.validate(gpu);
 }
@@ -152,7 +134,8 @@ std::string ScenarioSpec::label() const {
   l += ":seed" + std::to_string(seed);
   l += ':';
   l += sched::policy_name(policy);
-  l += redundant ? ":red" : ":base";
+  l += ':';
+  l += redundancy.label();
   l += ':';
   l += fault.label();
   const std::string mem = memsys::mem_label(gpu.mem);
@@ -241,9 +224,23 @@ ScenarioSet ScenarioSet::sweep_workloads(
   return product(axis);
 }
 
+ScenarioSet ScenarioSet::sweep_redundancy(
+    const std::vector<core::RedundancySpec>& specs) const {
+  std::vector<Mutator> axis;
+  for (const core::RedundancySpec& r : specs)
+    axis.push_back([r](ScenarioSpec& s) { s.redundancy = r; });
+  return product(axis);
+}
+
 ScenarioSet ScenarioSet::sweep_redundancy() const {
-  return product({[](ScenarioSpec& s) { s.redundant = true; },
-                  [](ScenarioSpec& s) { s.redundant = false; }});
+  return sweep_redundancy({core::RedundancySpec::baseline(),
+                           core::RedundancySpec::dcls(),
+                           core::RedundancySpec::dcls_retry(),
+                           core::RedundancySpec::tmr(), [] {
+                             core::RedundancySpec r = core::RedundancySpec::tmr();
+                             r.recovery = core::RedundancySpec::Recovery::kRetry;
+                             return r;
+                           }()});
 }
 
 ScenarioSet ScenarioSet::sweep_mem(

@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "core/redundant.h"
+#include "core/exec.h"
 #include "fault/injector.h"
 #include "runtime/platform.h"
 #include "sched/policies.h"
@@ -70,22 +70,24 @@ struct ScenarioSpec {
   runtime::PlatformParams platform;
 
   sched::Policy policy = sched::Policy::kSrrs;
-  bool redundant = true;
-  /// SRRS start SMs for the two copies (see RedundantSession::Config).
-  u32 srrs_start_a = 0;
-  u32 srrs_start_b = core::RedundantSession::Config::kAuto;
+  /// The full redundancy configuration: copy count (1 = baseline, 2 = DCLS,
+  /// >= 3 = NMR), comparison semantics, per-copy SRRS diversity starts, and
+  /// recovery strategy. Defaults to the paper's DCLS pair.
+  core::RedundancySpec redundancy;
 
   FaultPlan fault;
 
   /// Session config corresponding to this spec.
-  core::RedundantSession::Config session_config() const;
+  core::ExecSession::Config session_config() const;
 
   /// Throws std::invalid_argument naming the offending field (and, for
   /// unknown workloads, listing the valid names).
   void validate() const;
 
   /// Stable human/machine-friendly identity, e.g.
-  /// "hotspot:test:seed2019:srrs:red:droop@2000w50b2". A non-default memory
+  /// "hotspot:test:seed2019:srrs:red:droop@2000w50b2" or
+  /// "cfd:bench:seed2019:srrs:tmr-vote:nofault" (redundancy fragment per
+  /// core::RedundancySpec::label()). A non-default memory
   /// configuration appends its memsys::mem_label() (e.g. ":wt-nwa-mshr4"),
   /// so --mem-* sweeps yield distinct labels. Two specs that differ only in
   /// the remaining GpuParams/PlatformParams fields share a label; campaigns
@@ -127,7 +129,13 @@ class ScenarioSet {
   ScenarioSet sweep_faults(const std::vector<FaultPlan>& plans) const;
   ScenarioSet sweep_seeds(const std::vector<u64>& seeds) const;
   ScenarioSet sweep_workloads(const std::vector<std::string>& names) const;
-  /// {redundant, baseline} x current scenarios.
+  /// Redundancy axis: every current scenario x every RedundancySpec.
+  ScenarioSet sweep_redundancy(
+      const std::vector<core::RedundancySpec>& specs) const;
+  /// The canonical N ∈ {1, 2, 3} x compare x recovery expansion: baseline,
+  /// DCLS (bitwise), DCLS + retry, TMR (majority vote), TMR + retry — the
+  /// meaningful combinations (vote needs >= 3 copies; N = 1 compares
+  /// nothing), so one sweep answers "what does TMR cost vs DCLS+retry".
   ScenarioSet sweep_redundancy() const;
   /// Memory-configuration axis: every current scenario x every MemParams
   /// (the rest of GpuParams is preserved). Labels stay distinct when the

@@ -26,10 +26,10 @@ isa::ProgramPtr build_canary() {
 BistResult run_scheduler_bist(runtime::Device& dev, sched::Policy policy) {
   BistResult res;
 
-  core::RedundantSession::Config cfg;
+  core::ExecSession::Config cfg;
   cfg.policy = policy;
-  cfg.redundant = true;
-  core::RedundantSession session(dev, cfg);
+  cfg.redundancy = core::RedundancySpec::dcls();
+  core::ExecSession session(dev, cfg);
 
   const u32 num_sms = dev.gpu().num_sms();
   const u32 blocks = 2 * num_sms;  // wraps around the SM ring at least twice
@@ -37,11 +37,11 @@ BistResult run_scheduler_bist(runtime::Device& dev, sched::Policy policy) {
   const u64 bytes = static_cast<u64>(blocks) * threads * 4;
 
   isa::ProgramPtr canary = build_canary();
-  core::DualPtr out = session.alloc(bytes);
+  core::ReplicaPtr out = session.alloc(bytes);
   session.launch(canary, sim::Dim3{blocks, 1, 1}, sim::Dim3{threads, 1, 1},
-                 {core::DualParam(out)}, "bist");
+                 {core::ReplicaParam(out)}, "bist");
   session.sync();
-  res.output_mismatch = !session.compare(out, bytes);
+  res.output_mismatch = !session.compare(out, bytes).unanimous;
 
   const auto [id_a, id_b] = session.pairs().back();
   std::map<u32, u32> sm_of_a, sm_of_b;  // block -> actual SM

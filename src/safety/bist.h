@@ -5,7 +5,7 @@
 // deterministic expectation.
 #pragma once
 
-#include "core/redundant.h"
+#include "core/exec.h"
 #include "runtime/device.h"
 #include "sched/policies.h"
 

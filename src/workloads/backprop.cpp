@@ -148,7 +148,7 @@ void Backprop::setup(Scale scale, u64 seed) {
 }
 
 void Backprop::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   // Rodinia backprop synthesizes inputs and runs several CPU training
   // phases (output layer, hidden error) around the offloaded kernels.
   session.device().host_generate(input_bytes());
@@ -159,10 +159,10 @@ void Backprop::run(RunContext& ctx) {
   const u64 w_bytes = static_cast<u64>(n_in_) * kHidden * 4;
   const u64 partial_bytes = static_cast<u64>(chunks) * kHidden * 4;
 
-  core::DualPtr d_in = session.alloc(in_bytes);
-  core::DualPtr d_w = session.alloc(w_bytes);
-  core::DualPtr d_delta = session.alloc(kHidden * 4);
-  core::DualPtr d_partial = session.alloc(partial_bytes);
+  core::ReplicaPtr d_in = session.alloc(in_bytes);
+  core::ReplicaPtr d_w = session.alloc(w_bytes);
+  core::ReplicaPtr d_delta = session.alloc(kHidden * 4);
+  core::ReplicaPtr d_partial = session.alloc(partial_bytes);
   session.h2d(d_in, input_.data(), in_bytes);
   session.h2d(d_w, weights_.data(), w_bytes);
   session.h2d(d_delta, delta_.data(), kHidden * 4);

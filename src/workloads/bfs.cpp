@@ -155,7 +155,7 @@ void Bfs::setup(Scale scale, u64 seed) {
 }
 
 void Bfs::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   // Rodinia bfs parses a text graph file (~10 bytes per binary byte).
   session.device().host_parse(input_bytes() * 10);
 
@@ -163,13 +163,13 @@ void Bfs::run(RunContext& ctx) {
   const u64 node_bytes = static_cast<u64>(n) * 4;
   const u64 edge_bytes = static_cast<u64>(edges_.size()) * 4;
 
-  core::DualPtr d_off = session.alloc(node_bytes + 4);
-  core::DualPtr d_edges = session.alloc(edge_bytes);
-  core::DualPtr d_mask = session.alloc(node_bytes);
-  core::DualPtr d_upd = session.alloc(node_bytes);
-  core::DualPtr d_vis = session.alloc(node_bytes);
-  core::DualPtr d_cost = session.alloc(node_bytes);
-  core::DualPtr d_over = session.alloc(4);
+  core::ReplicaPtr d_off = session.alloc(node_bytes + 4);
+  core::ReplicaPtr d_edges = session.alloc(edge_bytes);
+  core::ReplicaPtr d_mask = session.alloc(node_bytes);
+  core::ReplicaPtr d_upd = session.alloc(node_bytes);
+  core::ReplicaPtr d_vis = session.alloc(node_bytes);
+  core::ReplicaPtr d_cost = session.alloc(node_bytes);
+  core::ReplicaPtr d_over = session.alloc(4);
 
   session.h2d(d_off, offsets_.data(), node_bytes + 4);
   session.h2d(d_edges, edges_.data(), edge_bytes);

@@ -197,18 +197,18 @@ void BTree::setup(Scale scale, u64 seed) {
 }
 
 void BTree::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   session.device().host_parse(input_bytes() * 6);  // command/database files
 
   const u64 keys_bytes = inner_keys_.size() * 4;
   const u64 leaf_bytes = static_cast<u64>(num_leaves_) * 4;
   const u64 q_bytes = static_cast<u64>(num_queries_) * 4;
-  core::DualPtr d_keys = session.alloc(keys_bytes);
-  core::DualPtr d_leaves = session.alloc(leaf_bytes);
-  core::DualPtr d_q = session.alloc(q_bytes);
-  core::DualPtr d_hi = session.alloc(q_bytes);
-  core::DualPtr d_point = session.alloc(q_bytes);
-  core::DualPtr d_range = session.alloc(q_bytes);
+  core::ReplicaPtr d_keys = session.alloc(keys_bytes);
+  core::ReplicaPtr d_leaves = session.alloc(leaf_bytes);
+  core::ReplicaPtr d_q = session.alloc(q_bytes);
+  core::ReplicaPtr d_hi = session.alloc(q_bytes);
+  core::ReplicaPtr d_point = session.alloc(q_bytes);
+  core::ReplicaPtr d_range = session.alloc(q_bytes);
   session.h2d(d_keys, inner_keys_.data(), keys_bytes);
   session.h2d(d_leaves, leaf_values_.data(), leaf_bytes);
   session.h2d(d_q, queries_.data(), q_bytes);

@@ -275,19 +275,19 @@ void Cfd::setup(Scale scale, u64 seed) {
 }
 
 void Cfd::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   session.device().host_parse(input_bytes());  // Rodinia parses the mesh file
 
   const u64 bytes = static_cast<u64>(n_) * 4;
   const u64 nb_bytes = static_cast<u64>(n_) * kNeighbors * 4;
-  core::DualPtr d_den = session.alloc(bytes);
-  core::DualPtr d_mom = session.alloc(bytes);
-  core::DualPtr d_ene = session.alloc(bytes);
-  core::DualPtr d_nbr = session.alloc(nb_bytes);
-  core::DualPtr d_sf = session.alloc(bytes);
-  core::DualPtr d_fd = session.alloc(bytes);
-  core::DualPtr d_fm = session.alloc(bytes);
-  core::DualPtr d_fe = session.alloc(bytes);
+  core::ReplicaPtr d_den = session.alloc(bytes);
+  core::ReplicaPtr d_mom = session.alloc(bytes);
+  core::ReplicaPtr d_ene = session.alloc(bytes);
+  core::ReplicaPtr d_nbr = session.alloc(nb_bytes);
+  core::ReplicaPtr d_sf = session.alloc(bytes);
+  core::ReplicaPtr d_fd = session.alloc(bytes);
+  core::ReplicaPtr d_fm = session.alloc(bytes);
+  core::ReplicaPtr d_fe = session.alloc(bytes);
   session.h2d(d_den, density_.data(), bytes);
   session.h2d(d_mom, momentum_.data(), bytes);
   session.h2d(d_ene, energy_.data(), bytes);
@@ -310,7 +310,12 @@ void Cfd::run(RunContext& ctx) {
   got_density_.resize(n_);
   session.d2h(got_density_.data(), d_den, bytes);
   session.compare(d_den, bytes, got_density_.data());
-  session.compare(d_ene, bytes);
+  // Fetch the energy output too: the comparison needs a host buffer to
+  // repair into, or a majority-vote session would claim a safe outcome
+  // while the corrected value exists nowhere.
+  got_energy_.resize(n_);
+  session.d2h(got_energy_.data(), d_ene, bytes);
+  session.compare(d_ene, bytes, got_energy_.data());
 }
 
 bool Cfd::verify() const {

@@ -28,6 +28,7 @@ class Cfd final : public Workload {
   std::vector<float> energy_;
   std::vector<float> ref_density_;
   std::vector<float> got_density_;
+  std::vector<float> got_energy_;
 };
 
 }  // namespace higpu::workloads

@@ -157,12 +157,12 @@ void Dwt2d::setup(Scale scale, u64 seed) {
 }
 
 void Dwt2d::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   session.device().host_parse(input_bytes() * 3);  // BMP decode + component setup
 
   const u64 bytes = static_cast<u64>(dim_) * dim_ * 4;
-  core::DualPtr d_img = session.alloc(bytes);
-  core::DualPtr d_tmp = session.alloc(bytes);
+  core::ReplicaPtr d_img = session.alloc(bytes);
+  core::ReplicaPtr d_tmp = session.alloc(bytes);
   session.h2d(d_img, image_.data(), bytes);
   // Seed d_tmp with the image too so the ping-pong keeps the inactive
   // quadrants intact across levels.
@@ -171,7 +171,7 @@ void Dwt2d::run(RunContext& ctx) {
   isa::ProgramPtr rows = build_dwt_rows();
   isa::ProgramPtr cols = build_dwt_cols();
   u32 w = dim_, h = dim_;
-  core::DualPtr src = d_img, dst = d_tmp;
+  core::ReplicaPtr src = d_img, dst = d_tmp;
   for (u32 level = 0; level < levels_; ++level) {
     session.launch(rows,
                    sim::Dim3{ceil_div(w / 2, 16), ceil_div(h, 16), 1},

@@ -134,15 +134,15 @@ void Gaussian::setup(Scale scale, u64 seed) {
 }
 
 void Gaussian::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   // Rodinia gaussian parses a textual matrix file (long decimal literals).
   session.device().host_parse(input_bytes() * 30);
 
   const u64 a_bytes = static_cast<u64>(n_) * n_ * 4;
   const u64 b_bytes = static_cast<u64>(n_) * 4;
-  core::DualPtr d_a = session.alloc(a_bytes);
-  core::DualPtr d_b = session.alloc(b_bytes);
-  core::DualPtr d_m = session.alloc(a_bytes);
+  core::ReplicaPtr d_a = session.alloc(a_bytes);
+  core::ReplicaPtr d_b = session.alloc(b_bytes);
+  core::ReplicaPtr d_m = session.alloc(a_bytes);
   session.h2d(d_a, a_.data(), a_bytes);
   session.h2d(d_b, b_.data(), b_bytes);
 

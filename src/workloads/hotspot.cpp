@@ -126,21 +126,21 @@ void Hotspot::setup(Scale scale, u64 seed) {
 }
 
 void Hotspot::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   runtime::Device& dev = session.device();
   dev.host_parse(input_bytes() * 6);  // temp/power text files (one float per line)
 
   const u32 n = dim_ * dim_;
   const u64 bytes = static_cast<u64>(n) * 4;
-  core::DualPtr buf_a = session.alloc(bytes);
-  core::DualPtr buf_b = session.alloc(bytes);
-  core::DualPtr pw = session.alloc(bytes);
+  core::ReplicaPtr buf_a = session.alloc(bytes);
+  core::ReplicaPtr buf_b = session.alloc(bytes);
+  core::ReplicaPtr pw = session.alloc(bytes);
   session.h2d(buf_a, temp_.data(), bytes);
   session.h2d(pw, power_.data(), bytes);
 
   isa::ProgramPtr prog = build_hotspot_kernel();
   const u32 tiles = ceil_div(dim_, 16);
-  core::DualPtr in = buf_a, out = buf_b;
+  core::ReplicaPtr in = buf_a, out = buf_b;
   for (u32 s = 0; s < steps_; ++s) {
     session.launch(prog, sim::Dim3{tiles, tiles, 1}, sim::Dim3{16, 16, 1},
                    {in, out, pw, dim_});

@@ -174,20 +174,20 @@ void Hotspot3d::setup(Scale scale, u64 seed) {
 }
 
 void Hotspot3d::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   session.device().host_parse(input_bytes() * 6);  // text input files
 
   const u32 n = dim_ * dim_ * layers_;
   const u64 bytes = static_cast<u64>(n) * 4;
-  core::DualPtr buf_a = session.alloc(bytes);
-  core::DualPtr buf_b = session.alloc(bytes);
-  core::DualPtr pw = session.alloc(bytes);
+  core::ReplicaPtr buf_a = session.alloc(bytes);
+  core::ReplicaPtr buf_b = session.alloc(bytes);
+  core::ReplicaPtr pw = session.alloc(bytes);
   session.h2d(buf_a, temp_.data(), bytes);
   session.h2d(pw, power_.data(), bytes);
 
   isa::ProgramPtr prog = build_hotspot3d_kernel();
   const u32 blocks = ceil_div(n, 256);
-  core::DualPtr in = buf_a, out = buf_b;
+  core::ReplicaPtr in = buf_a, out = buf_b;
   for (u32 s = 0; s < steps_; ++s) {
     session.launch(prog, sim::Dim3{blocks, 1, 1}, sim::Dim3{256, 1, 1},
                    {in, out, pw, dim_, layers_, log2u(dim_), log2u(dim_ * dim_)});

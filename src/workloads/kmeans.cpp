@@ -111,15 +111,15 @@ void Kmeans::setup(Scale scale, u64 seed) {
 }
 
 void Kmeans::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   session.device().host_parse(input_bytes() * 8);  // feature text file
 
   const u64 pts_bytes = static_cast<u64>(n_) * kDims * 4;
   const u64 cent_bytes = static_cast<u64>(kClusters) * kDims * 4;
   const u64 mem_bytes = static_cast<u64>(n_) * 4;
-  core::DualPtr d_pts = session.alloc(pts_bytes);
-  core::DualPtr d_cent = session.alloc(cent_bytes);
-  core::DualPtr d_mem = session.alloc(mem_bytes);
+  core::ReplicaPtr d_pts = session.alloc(pts_bytes);
+  core::ReplicaPtr d_cent = session.alloc(cent_bytes);
+  core::ReplicaPtr d_mem = session.alloc(mem_bytes);
   session.h2d(d_pts, points_.data(), pts_bytes);
 
   isa::ProgramPtr prog = build_kmeans_assign(kDims, kClusters);

@@ -153,18 +153,18 @@ void LavaMd::setup(Scale scale, u64 seed) {
 }
 
 void LavaMd::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   session.device().host_generate(input_bytes() * 60);  // box/neighbour setup loops
 
   const u32 n = boxes_ * kParticles;
   const u64 bytes = static_cast<u64>(n) * 4;
   const u64 nb_bytes = static_cast<u64>(boxes_) * kNeighbors * 4;
-  core::DualPtr d_px = session.alloc(bytes);
-  core::DualPtr d_py = session.alloc(bytes);
-  core::DualPtr d_pz = session.alloc(bytes);
-  core::DualPtr d_q = session.alloc(bytes);
-  core::DualPtr d_nb = session.alloc(nb_bytes);
-  core::DualPtr d_pot = session.alloc(bytes);
+  core::ReplicaPtr d_px = session.alloc(bytes);
+  core::ReplicaPtr d_py = session.alloc(bytes);
+  core::ReplicaPtr d_pz = session.alloc(bytes);
+  core::ReplicaPtr d_q = session.alloc(bytes);
+  core::ReplicaPtr d_nb = session.alloc(nb_bytes);
+  core::ReplicaPtr d_pot = session.alloc(bytes);
   session.h2d(d_px, px_.data(), bytes);
   session.h2d(d_py, py_.data(), bytes);
   session.h2d(d_pz, pz_.data(), bytes);

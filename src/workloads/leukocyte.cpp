@@ -160,14 +160,14 @@ void Leukocyte::setup(Scale scale, u64 seed) {
 }
 
 void Leukocyte::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   // Rodinia leukocyte decodes video frames on the host first.
   session.device().host_parse(input_bytes() * 8);
 
   const u64 bytes = static_cast<u64>(dim_) * dim_ * 4;
-  core::DualPtr d_img = session.alloc(bytes);
-  core::DualPtr d_score = session.alloc(bytes);
-  core::DualPtr d_out = session.alloc(bytes);
+  core::ReplicaPtr d_img = session.alloc(bytes);
+  core::ReplicaPtr d_score = session.alloc(bytes);
+  core::ReplicaPtr d_out = session.alloc(bytes);
   session.h2d(d_img, image_.data(), bytes);
 
   const u32 tiles = ceil_div(dim_, 16);

@@ -340,11 +340,11 @@ void Lud::setup(Scale scale, u64 seed) {
 }
 
 void Lud::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   session.device().host_parse(input_bytes() * 8);  // textual matrix file
 
   const u64 bytes = static_cast<u64>(n_) * n_ * 4;
-  core::DualPtr d_mat = session.alloc(bytes);
+  core::ReplicaPtr d_mat = session.alloc(bytes);
   session.h2d(d_mat, matrix_.data(), bytes);
 
   isa::ProgramPtr diag = build_lud_diagonal();

@@ -88,13 +88,13 @@ void Myocyte::setup(Scale scale, u64 seed) {
 }
 
 void Myocyte::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   // Rodinia myocyte spends substantial host time reading/writing state.
   session.device().host_parse(64 * 1024 * 8);
 
   const u64 bytes = static_cast<u64>(cells_) * 4;
-  core::DualPtr d_y0 = session.alloc(bytes);
-  core::DualPtr d_out = session.alloc(bytes);
+  core::ReplicaPtr d_y0 = session.alloc(bytes);
+  core::ReplicaPtr d_out = session.alloc(bytes);
   session.h2d(d_y0, y0_.data(), bytes);
 
   session.launch(build_myocyte_kernel(), sim::Dim3{1, 1, 1},

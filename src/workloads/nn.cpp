@@ -65,13 +65,13 @@ void Nn::setup(Scale scale, u64 seed) {
 }
 
 void Nn::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   session.device().host_parse(input_bytes() * 8);  // hurricane record text database
 
   const u64 bytes = static_cast<u64>(n_) * 4;
-  core::DualPtr d_lat = session.alloc(bytes);
-  core::DualPtr d_lng = session.alloc(bytes);
-  core::DualPtr d_dist = session.alloc(bytes);
+  core::ReplicaPtr d_lat = session.alloc(bytes);
+  core::ReplicaPtr d_lng = session.alloc(bytes);
+  core::ReplicaPtr d_dist = session.alloc(bytes);
   session.h2d(d_lat, lat_.data(), bytes);
   session.h2d(d_lng, lng_.data(), bytes);
 

@@ -151,13 +151,13 @@ void Nw::setup(Scale scale, u64 seed) {
 }
 
 void Nw::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   session.device().host_parse(input_bytes() * 4);  // sequence generation + host traceback
 
   const u32 dim = n_ + 1;
   const u64 bytes = static_cast<u64>(dim) * dim * 4;
-  core::DualPtr d_mat = session.alloc(bytes);
-  core::DualPtr d_ref = session.alloc(bytes);
+  core::ReplicaPtr d_mat = session.alloc(bytes);
+  core::ReplicaPtr d_ref = session.alloc(bytes);
 
   std::vector<i32> init(static_cast<size_t>(dim) * dim, 0);
   for (u32 c = 0; c <= n_; ++c) init[c] = static_cast<i32>(c) * kPenalty;

@@ -127,17 +127,17 @@ void ParticleFilter::setup(Scale scale, u64 seed) {
 }
 
 void ParticleFilter::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   // Video decode on the host dominates the real benchmark's setup.
   session.device().host_parse(input_bytes() * 4);
 
   const u64 frame_bytes = static_cast<u64>(frame_dim_) * frame_dim_ * 4;
   const u64 p_bytes = static_cast<u64>(particles_) * 4;
-  core::DualPtr d_img = session.alloc(frame_bytes);
-  core::DualPtr d_px = session.alloc(p_bytes);
-  core::DualPtr d_py = session.alloc(p_bytes);
-  core::DualPtr d_off = session.alloc(2 * kSamples * 4);
-  core::DualPtr d_lik = session.alloc(p_bytes);
+  core::ReplicaPtr d_img = session.alloc(frame_bytes);
+  core::ReplicaPtr d_px = session.alloc(p_bytes);
+  core::ReplicaPtr d_py = session.alloc(p_bytes);
+  core::ReplicaPtr d_off = session.alloc(2 * kSamples * 4);
+  core::ReplicaPtr d_lik = session.alloc(p_bytes);
   session.h2d(d_off, offsets_.data(), 2 * kSamples * 4);
 
   isa::ProgramPtr prog = build_likelihood_kernel(kSamples);

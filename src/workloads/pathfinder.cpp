@@ -80,19 +80,19 @@ void Pathfinder::setup(Scale scale, u64 seed) {
 }
 
 void Pathfinder::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   session.device().host_generate(input_bytes() * 4);  // rand() loop synthesis
 
   const u64 row_bytes = static_cast<u64>(cols_) * 4;
   const u64 data_bytes = static_cast<u64>(rows_) * cols_ * 4;
-  core::DualPtr d_data = session.alloc(data_bytes);
-  core::DualPtr d_a = session.alloc(row_bytes);
-  core::DualPtr d_b = session.alloc(row_bytes);
+  core::ReplicaPtr d_data = session.alloc(data_bytes);
+  core::ReplicaPtr d_a = session.alloc(row_bytes);
+  core::ReplicaPtr d_b = session.alloc(row_bytes);
   session.h2d(d_data, data_.data(), data_bytes);
   session.h2d(d_a, data_.data(), row_bytes);  // row 0 seeds the DP
 
   isa::ProgramPtr prog = build_pathfinder_kernel();
-  core::DualPtr src = d_a, dst = d_b;
+  core::ReplicaPtr src = d_a, dst = d_b;
   for (u32 r = 1; r < rows_; ++r) {
     session.launch(prog, sim::Dim3{ceil_div(cols_, 256), 1, 1},
                    sim::Dim3{256, 1, 1}, {src, dst, d_data, cols_, r});

@@ -244,17 +244,17 @@ void Srad::setup(Scale scale, u64 seed) {
 }
 
 void Srad::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   session.device().host_parse(input_bytes() * 6);  // image extraction/compression
 
   const u32 n = dim_ * dim_;
   const u64 bytes = static_cast<u64>(n) * 4;
-  core::DualPtr d_img = session.alloc(bytes);
-  core::DualPtr d_dn = session.alloc(bytes);
-  core::DualPtr d_ds = session.alloc(bytes);
-  core::DualPtr d_dw = session.alloc(bytes);
-  core::DualPtr d_de = session.alloc(bytes);
-  core::DualPtr d_cf = session.alloc(bytes);
+  core::ReplicaPtr d_img = session.alloc(bytes);
+  core::ReplicaPtr d_dn = session.alloc(bytes);
+  core::ReplicaPtr d_ds = session.alloc(bytes);
+  core::ReplicaPtr d_dw = session.alloc(bytes);
+  core::ReplicaPtr d_de = session.alloc(bytes);
+  core::ReplicaPtr d_cf = session.alloc(bytes);
   session.h2d(d_img, image_.data(), bytes);
 
   isa::ProgramPtr k1 = build_srad1();

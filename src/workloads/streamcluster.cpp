@@ -80,13 +80,13 @@ void Streamcluster::setup(Scale scale, u64 seed) {
 }
 
 void Streamcluster::run(RunContext& ctx) {
-  core::RedundantSession& session = ctx.session();
+  core::ExecSession& session = ctx.session();
   session.device().host_generate(input_bytes());  // points synthesized in memory
 
   const u64 pts_bytes = static_cast<u64>(n_) * kDims * 4;
   const u64 cost_bytes = static_cast<u64>(n_) * 4;
-  core::DualPtr d_pts = session.alloc(pts_bytes);
-  core::DualPtr d_cost = session.alloc(cost_bytes);
+  core::ReplicaPtr d_pts = session.alloc(pts_bytes);
+  core::ReplicaPtr d_cost = session.alloc(cost_bytes);
   session.h2d(d_pts, points_.data(), pts_bytes);
   std::vector<float> init(n_, 1e30f);
   session.h2d(d_cost, init.data(), cost_bytes);

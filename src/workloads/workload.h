@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "core/redundant.h"
+#include "core/exec.h"
 
 namespace higpu::workloads {
 
@@ -26,22 +26,22 @@ Scale parse_scale(const std::string& s);
 
 /// Execution context handed to Workload::run. It bundles the (possibly
 /// redundant) session with the device it drives, so a workload body is
-/// written once and runs unchanged in baseline, redundant and
-/// fault-injection configurations — the variant wiring (policy, redundancy
-/// mode, fault hooks, trace sinks) is owned by exp::run_scenario, never by
-/// the workload or its call sites.
+/// written once and runs unchanged at any redundancy level — baseline,
+/// DCLS, NMR, with or without fault injection or recovery — the variant
+/// wiring (policy, RedundancySpec, fault hooks, trace sinks) is owned by
+/// exp::run_scenario, never by the workload or its call sites.
 class RunContext {
  public:
-  explicit RunContext(core::RedundantSession& session) : session_(session) {}
+  explicit RunContext(core::ExecSession& session) : session_(session) {}
 
-  core::RedundantSession& session() { return session_; }
+  core::ExecSession& session() { return session_; }
   runtime::Device& device() { return session_.device(); }
-  const core::RedundantSession::Config& config() const {
+  const core::ExecSession::Config& config() const {
     return session_.config();
   }
 
  private:
-  core::RedundantSession& session_;
+  core::ExecSession& session_;
 };
 
 class Workload {

@@ -44,18 +44,29 @@ TEST(ScenarioSpec, RejectsDegenerateGpuAndSrrsStarts) {
   EXPECT_THROW(spec.validate(), std::invalid_argument);
 
   spec = base_spec();
-  spec.srrs_start_b = spec.srrs_start_a;  // no spatial diversity
+  spec.redundancy.srrs_starts = {2, 2};  // no spatial diversity
   EXPECT_THROW(spec.validate(), std::invalid_argument);
 
   spec = base_spec();
-  spec.srrs_start_a = 99;
+  spec.redundancy.srrs_starts = {99};
   EXPECT_THROW(spec.validate(), std::invalid_argument);
 
   // Baseline mode doesn't care about SRRS starts.
   spec = base_spec();
-  spec.redundant = false;
-  spec.srrs_start_b = spec.srrs_start_a;
+  spec.redundancy = core::RedundancySpec::baseline();
+  spec.redundancy.srrs_starts = {0};
   spec.validate();
+
+  // Redundancy-spec errors surface through ScenarioSpec::validate too.
+  spec = base_spec();
+  spec.redundancy.n_copies = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = base_spec();
+  spec.redundancy = core::RedundancySpec::nmr(2);  // vote needs >= 3 copies
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = base_spec();
+  spec.redundancy.tolerance = 0.5f;  // tolerance without kTolerance
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
 }
 
 TEST(ScenarioSpec, RejectsBadFaultPlans) {
@@ -85,9 +96,21 @@ TEST(ScenarioSpec, LabelIsStableAndDistinguishesAxes) {
             "hotspot:test:seed2019:srrs:red:droop@2000w50b2");
 
   ScenarioSpec baseline = base_spec();
-  baseline.redundant = false;
+  baseline.redundancy = core::RedundancySpec::baseline();
   baseline.policy = sched::Policy::kDefault;
   EXPECT_EQ(baseline.label(), "hotspot:test:seed2019:default:base:nofault");
+
+  // The N-copy grammar: copies + compare mode + recovery strategy.
+  ScenarioSpec tmr = base_spec();
+  tmr.redundancy = core::RedundancySpec::tmr();
+  EXPECT_EQ(tmr.label(), "hotspot:test:seed2019:srrs:tmr-vote:nofault");
+  tmr.redundancy = core::RedundancySpec::nmr(5);
+  EXPECT_EQ(tmr.label(), "hotspot:test:seed2019:srrs:nmr5-vote:nofault");
+  ScenarioSpec retry = base_spec();
+  retry.redundancy = core::RedundancySpec::dcls_retry(3);
+  EXPECT_EQ(retry.label(), "hotspot:test:seed2019:srrs:red-retry3:nofault");
+  retry.redundancy.recovery = core::RedundancySpec::Recovery::kDegrade;
+  EXPECT_EQ(retry.label(), "hotspot:test:seed2019:srrs:red-degrade:nofault");
 }
 
 // ---- ScenarioSet builders --------------------------------------------------
@@ -143,6 +166,30 @@ TEST(ScenarioSet, MemorySweepsGetDistinctStableLabels) {
   EXPECT_THROW(bad.validate(), std::invalid_argument);
 }
 
+TEST(ScenarioSet, RedundancySweepExpandsTheUnifiedModes) {
+  // The canonical N in {1,2,3} x compare x recovery expansion.
+  const ScenarioSet set = ScenarioSet::of(base_spec()).sweep_redundancy();
+  ASSERT_EQ(set.size(), 5u);
+  EXPECT_EQ(set[0].redundancy.n_copies, 1u);
+  EXPECT_EQ(set[1].redundancy, core::RedundancySpec::dcls());
+  EXPECT_EQ(set[2].redundancy.recovery,
+            core::RedundancySpec::Recovery::kRetry);
+  EXPECT_EQ(set[3].redundancy.n_copies, 3u);
+  EXPECT_EQ(set[3].redundancy.compare,
+            core::RedundancySpec::Compare::kMajorityVote);
+  std::set<std::string> labels;
+  for (const ScenarioSpec& s : set) labels.insert(s.label());
+  EXPECT_EQ(labels.size(), set.size()) << "every mode must label distinctly";
+  set.validate_all();
+
+  // A custom axis sweeps any spec list.
+  const ScenarioSet wide = ScenarioSet::of(base_spec())
+                               .sweep_redundancy({core::RedundancySpec::nmr(4),
+                                                  core::RedundancySpec::nmr(5)});
+  ASSERT_EQ(wide.size(), 2u);
+  EXPECT_EQ(wide[1].redundancy.n_copies, 5u);
+}
+
 TEST(ScenarioSet, ForWorkloadsAndGenericProduct) {
   const ScenarioSet set =
       ScenarioSet::for_workloads({"hotspot", "bfs", "nn"}, base_spec())
@@ -188,13 +235,24 @@ ScenarioSet determinism_set() {
           .sweep_faults({FaultPlan::none(), FaultPlan::droop(2000, 120, 2),
                          FaultPlan::permanent_sm(2, 0, 20)});
   ScenarioSpec baseline = base_spec();
-  baseline.redundant = false;
+  baseline.redundancy = core::RedundancySpec::baseline();
   baseline.workload = "bfs";
   swept.add(baseline);
   ScenarioSpec sched_fault = base_spec();
   sched_fault.workload = "nn";
   sched_fault.fault = FaultPlan::scheduler(0, 3);
   swept.add(sched_fault);
+  // The unified-session modes: fail-operational TMR voting and DCLS with
+  // detect-and-retry, both under a fault so the vote/retry paths execute.
+  ScenarioSpec tmr = base_spec();
+  tmr.workload = "nn";
+  tmr.redundancy = core::RedundancySpec::tmr();
+  tmr.fault = FaultPlan::permanent_sm(1, 0, 20);
+  swept.add(tmr);
+  ScenarioSpec retry = base_spec();
+  retry.redundancy = core::RedundancySpec::dcls_retry(1);
+  retry.fault = FaultPlan::droop(2000, 120, 2);
+  swept.add(retry);
   return swept;
 }
 

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/diversity.h"
-#include "core/redundant.h"
+#include "core/exec.h"
 #include "tests/test_kernels.h"
 
 namespace higpu::core {
@@ -90,11 +90,11 @@ TEST(BlockDiversity, IgnoresUnrelatedLaunches) {
 // End-to-end: SRRS gives full block-level diversity on a real pair.
 TEST(BlockDiversity, SrrsPairFullyDiverse) {
   runtime::Device dev;
-  RedundantSession::Config cfg;
+  ExecSession::Config cfg;
   cfg.policy = sched::Policy::kSrrs;
-  RedundantSession s(dev, cfg);
+  ExecSession s(dev, cfg);
   const u32 n = 24 * 128;
-  const DualPtr out = s.alloc(n * 4);
+  const ReplicaPtr out = s.alloc(n * 4);
   s.launch(make_spin_kernel(30), sim::Dim3{24, 1, 1}, sim::Dim3{128, 1, 1},
            {out, n});
   s.sync();
@@ -109,11 +109,11 @@ TEST(BlockDiversity, SrrsPairFullyDiverse) {
 // granularity (that is fine — temporal diversity is instruction-level).
 TEST(BlockDiversity, HalfPairSpatiallyDiverse) {
   runtime::Device dev;
-  RedundantSession::Config cfg;
+  ExecSession::Config cfg;
   cfg.policy = sched::Policy::kHalf;
-  RedundantSession s(dev, cfg);
+  ExecSession s(dev, cfg);
   const u32 n = 24 * 128;
-  const DualPtr out = s.alloc(n * 4);
+  const ReplicaPtr out = s.alloc(n * 4);
   s.launch(make_spin_kernel(200), sim::Dim3{24, 1, 1}, sim::Dim3{128, 1, 1},
            {out, n});
   s.sync();
@@ -153,11 +153,11 @@ TEST(InstrTrace, SrrsSlackExceedsDefaultSlack) {
     runtime::Device dev(p);
     InstrTraceCollector tc;
     dev.gpu().set_trace_sink(&tc);
-    RedundantSession::Config cfg;
+    ExecSession::Config cfg;
     cfg.policy = policy;
-    RedundantSession s(dev, cfg);
+    ExecSession s(dev, cfg);
     const u32 n = 12 * 128;
-    const DualPtr out = s.alloc(n * 4);
+    const ReplicaPtr out = s.alloc(n * 4);
     s.launch(make_spin_kernel(100), sim::Dim3{12, 1, 1}, sim::Dim3{128, 1, 1},
              {out, n});
     s.sync();

@@ -1,0 +1,584 @@
+// ExecSession: the unified N-copy redundant execution flow of paper §IV.A —
+// one session API for baseline (N=1), DCLS (N=2, bitwise), and NMR (N>=3,
+// majority vote), with pluggable comparison and session-owned recovery.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/exec.h"
+#include "fault/injector.h"
+#include "tests/test_kernels.h"
+
+namespace higpu::core {
+namespace {
+
+using testing::make_spin_kernel;
+using testing::make_store_kernel;
+
+ExecSession::Config cfg_for(sched::Policy p, RedundancySpec red = {}) {
+  ExecSession::Config c;
+  c.policy = p;
+  c.redundancy = red;
+  return c;
+}
+
+// ---- RedundancySpec (the value) --------------------------------------------
+
+TEST(RedundancySpec, LabelsCoverTheGrammar) {
+  EXPECT_EQ(RedundancySpec::baseline().label(), "base");
+  EXPECT_EQ(RedundancySpec::dcls().label(), "red");
+  EXPECT_EQ(RedundancySpec::dcls_retry(2).label(), "red-retry2");
+  EXPECT_EQ(RedundancySpec::tmr().label(), "tmr-vote");
+  EXPECT_EQ(RedundancySpec::nmr(5).label(), "nmr5-vote");
+  RedundancySpec tol;
+  tol.compare = RedundancySpec::Compare::kTolerance;
+  tol.tolerance = 1e-4f;
+  EXPECT_EQ(tol.label(), "red-tol0.0001");
+  tol.tolerance = 1e-6f;
+  EXPECT_EQ(tol.label(), "red-tol1e-06")
+      << "tolerance sweeps must yield distinct labels";
+  RedundancySpec degrade = RedundancySpec::tmr();
+  degrade.recovery = RedundancySpec::Recovery::kDegrade;
+  EXPECT_EQ(degrade.label(), "tmr-vote-degrade");
+}
+
+TEST(RedundancySpec, ValidateRejectsNonsense) {
+  const sim::GpuParams gpu;  // 6 SMs
+  RedundancySpec r;
+  r.n_copies = 0;
+  EXPECT_THROW(r.validate(gpu, sched::Policy::kSrrs), std::invalid_argument);
+  r = RedundancySpec::nmr(2);  // vote needs a majority
+  EXPECT_THROW(r.validate(gpu, sched::Policy::kSrrs), std::invalid_argument);
+  r = {};
+  r.tolerance = 0.1f;  // tolerance without kTolerance
+  EXPECT_THROW(r.validate(gpu, sched::Policy::kSrrs), std::invalid_argument);
+  r = {};
+  r.compare = RedundancySpec::Compare::kTolerance;  // ... and vice versa
+  EXPECT_THROW(r.validate(gpu, sched::Policy::kSrrs), std::invalid_argument);
+  r = {};
+  r.srrs_starts = {0, 0};  // no spatial diversity after resolution
+  EXPECT_THROW(r.validate(gpu, sched::Policy::kSrrs), std::invalid_argument);
+  r = {};
+  r.srrs_starts = {0, 9};  // outside the 6-SM GPU
+  EXPECT_THROW(r.validate(gpu, sched::Policy::kSrrs), std::invalid_argument);
+  r = RedundancySpec::nmr(7);  // 7 copies cannot partition 6 SMs
+  EXPECT_THROW(r.validate(gpu, sched::Policy::kHalf), std::invalid_argument);
+  // The same specs are fine where the constraint does not apply.
+  r = RedundancySpec::nmr(7);
+  r.validate(gpu, sched::Policy::kDefault);
+  r = RedundancySpec::tmr();
+  r.validate(gpu, sched::Policy::kSrrs);
+}
+
+TEST(RedundancySpec, AutoSrrsStartsSpreadAroundTheRing) {
+  RedundancySpec r = RedundancySpec::dcls();
+  EXPECT_EQ(r.srrs_start_of(0, 6), 0u);
+  EXPECT_EQ(r.srrs_start_of(1, 6), 3u);  // the classic {0, num_sms/2}
+  r = RedundancySpec::tmr();
+  EXPECT_EQ(r.srrs_start_of(0, 6), 0u);
+  EXPECT_EQ(r.srrs_start_of(1, 6), 2u);
+  EXPECT_EQ(r.srrs_start_of(2, 6), 4u);
+  // Explicit entries win; kAuto entries fall back to the spread.
+  r.srrs_starts = {5, RedundancySpec::kAuto, 1};
+  EXPECT_EQ(r.srrs_start_of(0, 6), 5u);
+  EXPECT_EQ(r.srrs_start_of(1, 6), 2u);
+  EXPECT_EQ(r.srrs_start_of(2, 6), 1u);
+}
+
+TEST(RedundancySpec, AchievedAsilRequiresDiverseRedundancy) {
+  using safety::Asil;
+  // A single COTS GPU element: ASIL-B at best, regardless of policy.
+  EXPECT_EQ(RedundancySpec::baseline().achieved_asil(sched::Policy::kSrrs),
+            Asil::kB);
+  // Two diverse copies decompose B + B -> D (paper Fig. 1).
+  EXPECT_EQ(RedundancySpec::dcls().achieved_asil(sched::Policy::kSrrs),
+            Asil::kD);
+  EXPECT_EQ(RedundancySpec::dcls().achieved_asil(sched::Policy::kHalf),
+            Asil::kD);
+  EXPECT_EQ(RedundancySpec::tmr().achieved_asil(sched::Policy::kSrrs),
+            Asil::kD);
+  // The default scheduler provides no independence: no decomposition credit.
+  EXPECT_EQ(RedundancySpec::dcls().achieved_asil(sched::Policy::kDefault),
+            Asil::kB);
+}
+
+// ---- Baseline / DCLS flow (the classic 5 steps) ----------------------------
+
+TEST(ExecSession, BaselineModeAllocatesOneCopy) {
+  runtime::Device dev;
+  ExecSession s(dev, cfg_for(sched::Policy::kDefault,
+                             RedundancySpec::baseline()));
+  const ReplicaPtr p = s.alloc(64);
+  ASSERT_EQ(p.copy.size(), 1u);
+  const CompareVerdict v = s.compare(p, 64);  // vacuous in baseline mode
+  EXPECT_TRUE(v.unanimous);
+  EXPECT_TRUE(v.majority);
+  EXPECT_EQ(s.comparisons(), 0u);
+}
+
+TEST(ExecSession, RedundantModeSeparatesBuffers) {
+  runtime::Device dev;
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs));
+  const ReplicaPtr p = s.alloc(64);
+  ASSERT_EQ(p.copy.size(), 2u);
+  EXPECT_NE(p.copy[0], p.copy[1]);
+}
+
+TEST(ExecSession, UploadReachesEveryCopy) {
+  runtime::Device dev;
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs, RedundancySpec::tmr()));
+  const ReplicaPtr p = s.alloc(16);
+  const std::vector<u32> data = {1, 2, 3, 4};
+  s.h2d(p, data.data(), 16);
+  for (u32 c = 0; c < 3; ++c) {
+    std::vector<u32> got(4);
+    dev.memcpy_d2h(got.data(), p.copy[c], 16);
+    EXPECT_EQ(got, data) << "copy " << c;
+  }
+}
+
+TEST(ExecSession, LaunchCreatesGroupsOnDistinctStreams) {
+  runtime::Device dev;
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs));
+  const u32 n = 256;
+  const ReplicaPtr out = s.alloc(n * 4);
+  s.launch(make_store_kernel(), sim::Dim3{2, 1, 1}, sim::Dim3{128, 1, 1},
+           {out, n});
+  s.sync();
+  ASSERT_EQ(s.pairs().size(), 1u);
+  const auto [ida, idb] = s.pairs()[0];
+  EXPECT_NE(ida, idb);
+  EXPECT_EQ(dev.gpu().launch_of(ida).stream, 0u);
+  EXPECT_EQ(dev.gpu().launch_of(idb).stream, 1u);
+}
+
+TEST(ExecSession, SrrsHintsDifferPerCopy) {
+  runtime::Device dev;
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs));
+  const u32 n = 256;
+  const ReplicaPtr out = s.alloc(n * 4);
+  s.launch(make_store_kernel(), sim::Dim3{2, 1, 1}, sim::Dim3{128, 1, 1},
+           {out, n});
+  s.sync();
+  const auto [ida, idb] = s.pairs()[0];
+  const u32 start_a = dev.gpu().launch_of(ida).hints.start_sm;
+  const u32 start_b = dev.gpu().launch_of(idb).hints.start_sm;
+  EXPECT_NE(start_a, start_b);
+  EXPECT_EQ(start_b, dev.gpu().num_sms() / 2);  // auto-spread default
+}
+
+TEST(ExecSession, HalfMasksAreDisjointHalves) {
+  runtime::Device dev;
+  ExecSession s(dev, cfg_for(sched::Policy::kHalf));
+  const u32 n = 256;
+  const ReplicaPtr out = s.alloc(n * 4);
+  s.launch(make_store_kernel(), sim::Dim3{2, 1, 1}, sim::Dim3{128, 1, 1},
+           {out, n});
+  s.sync();
+  const auto [ida, idb] = s.pairs()[0];
+  const u64 mask_a = dev.gpu().launch_of(ida).hints.sm_mask;
+  const u64 mask_b = dev.gpu().launch_of(idb).hints.sm_mask;
+  EXPECT_NE(mask_a, 0u);
+  EXPECT_NE(mask_b, 0u);
+  EXPECT_EQ(mask_a & mask_b, 0u);
+  EXPECT_EQ(mask_a | mask_b, sched::sm_range_mask(0, dev.gpu().num_sms()));
+}
+
+TEST(ExecSession, IdenticalCopiesCompareEqual) {
+  for (sched::Policy p : {sched::Policy::kDefault, sched::Policy::kHalf,
+                          sched::Policy::kSrrs}) {
+    runtime::Device dev;
+    ExecSession s(dev, cfg_for(p));
+    const u32 n = 2048;
+    const ReplicaPtr out = s.alloc(n * 4);
+    s.launch(make_spin_kernel(30), sim::Dim3{16, 1, 1}, sim::Dim3{128, 1, 1},
+             {out, n});
+    s.sync();
+    EXPECT_TRUE(s.compare(out, n * 4).unanimous)
+        << "policy " << sched::policy_name(p);
+    EXPECT_TRUE(s.all_unanimous());
+    EXPECT_TRUE(s.all_safe());
+    EXPECT_EQ(s.comparisons(), 1u);
+    EXPECT_EQ(s.mismatches(), 0u);
+  }
+}
+
+TEST(ExecSession, DetectsInjectedOutputCorruption) {
+  runtime::Device dev;
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs));
+  const u32 n = 256;
+  const ReplicaPtr out = s.alloc(n * 4);
+  s.launch(make_store_kernel(), sim::Dim3{2, 1, 1}, sim::Dim3{128, 1, 1},
+           {out, n});
+  s.sync();
+  // Corrupt one word of copy 1 directly in device memory.
+  dev.gpu().store().write32(out.copy[1] + 40, 0xBAD);
+  const CompareVerdict v = s.compare(out, n * 4);
+  EXPECT_TRUE(v.detected());
+  EXPECT_FALSE(v.unanimous);
+  EXPECT_FALSE(v.majority);  // 1 vs 1: bitwise pairs cannot out-vote
+  EXPECT_EQ(v.dissenting_words, 1u);
+  EXPECT_EQ(v.tied_words, 1u);
+  EXPECT_FALSE(s.all_unanimous());
+  EXPECT_FALSE(s.all_safe());
+  EXPECT_EQ(s.mismatches(), 1u);
+}
+
+TEST(ExecSession, KernelCyclesAccumulate) {
+  runtime::Device dev;
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs));
+  const u32 n = 1024;
+  const ReplicaPtr out = s.alloc(n * 4);
+  s.launch(make_spin_kernel(50), sim::Dim3{8, 1, 1}, sim::Dim3{128, 1, 1},
+           {out, n});
+  s.sync();
+  const Cycle c1 = s.kernel_cycles();
+  EXPECT_GT(c1, 0u);
+  s.launch(make_spin_kernel(50), sim::Dim3{8, 1, 1}, sim::Dim3{128, 1, 1},
+           {out, n});
+  s.sync();
+  EXPECT_GT(s.kernel_cycles(), c1);
+}
+
+TEST(ExecSession, WallClockGrowsWithCopyCount) {
+  auto run_n = [&](const RedundancySpec& red) {
+    runtime::Device dev;
+    ExecSession s(dev, cfg_for(sched::Policy::kSrrs, red));
+    const u32 n = 4096;
+    const ReplicaPtr out = s.alloc(n * 4);
+    std::vector<u32> zeros(n, 0);
+    s.h2d(out, zeros.data(), n * 4);
+    s.launch(make_spin_kernel(100), sim::Dim3{32, 1, 1}, sim::Dim3{128, 1, 1},
+             {out, n});
+    s.sync();
+    s.compare(out, n * 4);
+    return dev.elapsed_ns();
+  };
+  const NanoSec base = run_n(RedundancySpec::baseline());
+  const NanoSec dcls = run_n(RedundancySpec::dcls());
+  const NanoSec tmr = run_n(RedundancySpec::tmr());
+  EXPECT_GT(dcls, base);
+  EXPECT_GT(tmr, dcls);
+}
+
+// ---- NMR / majority vote ---------------------------------------------------
+
+constexpr u32 kN = 12 * 64;
+
+ReplicaPtr run_group(ExecSession& s, isa::ProgramPtr prog) {
+  ReplicaPtr out = s.alloc(kN * 4);
+  std::vector<u32> zeros(kN, 0);
+  s.h2d(out, zeros.data(), kN * 4);
+  s.launch(std::move(prog), sim::Dim3{12, 1, 1}, sim::Dim3{64, 1, 1},
+           {out, kN});
+  s.sync();
+  return out;
+}
+
+TEST(Nmr, TripleCopiesAllAgreeWhenFaultFree) {
+  for (sched::Policy p : {sched::Policy::kDefault, sched::Policy::kHalf,
+                          sched::Policy::kSrrs}) {
+    runtime::Device dev;
+    ExecSession s(dev, cfg_for(p, RedundancySpec::tmr()));
+    ReplicaPtr out = run_group(s, make_spin_kernel(30));
+    const CompareVerdict v = s.compare(out, kN * 4);
+    EXPECT_TRUE(v.unanimous) << sched::policy_name(p);
+    EXPECT_TRUE(v.majority);
+    EXPECT_FALSE(v.detected());
+    EXPECT_EQ(v.faulty_copy, -1);
+  }
+}
+
+TEST(Nmr, LaunchesOneKernelPerCopy) {
+  runtime::Device dev;
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs, RedundancySpec::tmr()));
+  run_group(s, make_store_kernel());
+  ASSERT_EQ(s.groups().size(), 1u);
+  EXPECT_EQ(s.groups()[0].size(), 3u);
+  // Distinct streams -> distinct launch ids and distinct SRRS start SMs.
+  std::set<u32> starts;
+  for (u32 id : s.groups()[0])
+    starts.insert(dev.gpu().launch_of(id).hints.start_sm);
+  EXPECT_EQ(starts.size(), 3u);
+  // all_copy_pairs: 3 unordered pairs per group for diversity analysis.
+  EXPECT_EQ(s.all_copy_pairs().size(), 3u);
+}
+
+TEST(Nmr, HalfPartitionsAreDisjointForThreeCopies) {
+  runtime::Device dev;
+  ExecSession s(dev, cfg_for(sched::Policy::kHalf, RedundancySpec::tmr()));
+  run_group(s, make_spin_kernel(50));
+  std::map<u32, std::set<u32>> sms;
+  for (const sim::BlockRecord& r : dev.gpu().block_records())
+    sms[r.launch_id].insert(r.sm);
+  ASSERT_EQ(sms.size(), 3u);
+  std::set<u32> all;
+  u64 total = 0;
+  for (const auto& [id, set] : sms) {
+    total += set.size();
+    all.insert(set.begin(), set.end());
+  }
+  EXPECT_EQ(all.size(), total);  // pairwise disjoint
+}
+
+TEST(Nmr, MajorityOutvotesSingleFaultyCopy) {
+  runtime::Device dev;
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs, RedundancySpec::tmr()));
+  ReplicaPtr out = run_group(s, make_store_kernel());
+  // Corrupt one word of copy 2 directly.
+  dev.gpu().store().write32(out.copy[2] + 16, 0xDEAD);
+  const CompareVerdict v = s.compare(out, kN * 4);
+  EXPECT_TRUE(v.detected());
+  EXPECT_TRUE(v.majority);  // fail-operational: majority still intact
+  EXPECT_FALSE(v.unanimous);
+  EXPECT_EQ(v.dissenting_words, 1u);
+  EXPECT_EQ(v.tied_words, 0u);
+  EXPECT_EQ(v.faulty_copy, 2);
+  EXPECT_TRUE(s.all_safe()) << "an out-voted fault is a safe outcome";
+  EXPECT_FALSE(s.all_unanimous());
+}
+
+TEST(Nmr, VoteRepairsTheCallersHostBuffer) {
+  runtime::Device dev;
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs, RedundancySpec::tmr()));
+  ReplicaPtr out = run_group(s, make_store_kernel());
+  // Corrupt the PRIMARY copy: the application's d2h data is wrong until the
+  // vote repairs it (fail-operational continuation for every workload).
+  dev.gpu().store().write32(out.copy[0] + 16, 0xDEAD);
+  std::vector<u32> host(kN);
+  s.d2h(host.data(), out, kN * 4);
+  EXPECT_EQ(host[4], 0xDEADu) << "primary copy is corrupted before the vote";
+  const CompareVerdict v = s.compare(out, kN * 4, host.data());
+  EXPECT_TRUE(v.majority);
+  EXPECT_TRUE(v.corrected);
+  EXPECT_EQ(v.faulty_copy, 0);
+  EXPECT_EQ(host[4], 4u) << "voted majority value (out[gid] = gid)";
+}
+
+TEST(Nmr, OutvotedPrimaryWithoutRepairDestinationIsNotSafe) {
+  // Without a host buffer the majority value is discarded while the
+  // application's d2h data stays wrong — that must not earn "safe" credit
+  // (a dissenting SECONDARY copy needs no repair and stays safe).
+  runtime::Device dev;
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs, RedundancySpec::tmr()));
+  ReplicaPtr out = run_group(s, make_store_kernel());
+  dev.gpu().store().write32(out.copy[0] + 16, 0xDEAD);
+  const CompareVerdict v = s.compare(out, kN * 4);
+  EXPECT_TRUE(v.detected());
+  EXPECT_EQ(v.primary_dissents, 1u);
+  EXPECT_FALSE(v.corrected);
+  EXPECT_FALSE(v.majority) << "no safe output exists anywhere";
+  EXPECT_FALSE(s.all_safe());
+}
+
+TEST(Nmr, BitwiseTripleDetectsButNeverCorrects) {
+  runtime::Device dev;
+  RedundancySpec red;
+  red.n_copies = 3;  // bitwise TMR: unanimity or failure
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs, red));
+  ReplicaPtr out = run_group(s, make_store_kernel());
+  dev.gpu().store().write32(out.copy[0] + 16, 0xDEAD);
+  std::vector<u32> host(kN);
+  s.d2h(host.data(), out, kN * 4);
+  const CompareVerdict v = s.compare(out, kN * 4, host.data());
+  EXPECT_TRUE(v.detected());
+  EXPECT_FALSE(v.majority);
+  EXPECT_FALSE(v.corrected);
+  EXPECT_EQ(host[4], 0xDEADu) << "bitwise mode must not touch the buffer";
+  EXPECT_FALSE(s.all_safe());
+}
+
+TEST(Nmr, ToleranceModeAcceptsSmallFloatDeviations) {
+  runtime::Device dev;
+  RedundancySpec red;
+  red.compare = RedundancySpec::Compare::kTolerance;
+  red.tolerance = 1e-3f;
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs, red));
+  ReplicaPtr out = run_group(s, make_store_kernel());
+  // Nudge one word of copy 1 within tolerance, one far outside.
+  std::vector<u32> words(kN);
+  dev.memcpy_d2h(words.data(), out.copy[1], kN * 4);
+  // store kernel writes integers; treat as float bits for the nudge.
+  const float v4 = bits2f(words[4]);
+  dev.gpu().store().write32(out.copy[1] + 16, f2bits(v4 * (1.0f + 1e-4f)));
+  EXPECT_TRUE(s.compare(out, kN * 4).unanimous)
+      << "within-tolerance deviation must not be a detection";
+  dev.gpu().store().write32(out.copy[1] + 16, f2bits(v4 * 2.0f + 7.0f));
+  const CompareVerdict v = s.compare(out, kN * 4);
+  EXPECT_TRUE(v.detected());
+  EXPECT_EQ(v.faulty_copy, 1);
+}
+
+TEST(Nmr, ToleranceAgreementIsPairwiseNotJustVsReference) {
+  // Tolerance agreement is not transitive: two copies straddling the
+  // reference by just under eps each "agree" with copy 0 but not with each
+  // other — that is a detectable disagreement, not unanimity.
+  runtime::Device dev;
+  RedundancySpec red;
+  red.n_copies = 3;
+  red.compare = RedundancySpec::Compare::kTolerance;
+  red.tolerance = 1e-3f;
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs, red));
+  ReplicaPtr out = run_group(s, make_store_kernel());
+  // Word 4 is ~0 in float terms (denormal bits of gid=4): give copies 1
+  // and 2 opposite 0.9*eps absolute deviations.
+  dev.gpu().store().write32(out.copy[1] + 16, f2bits(9e-4f));
+  dev.gpu().store().write32(out.copy[2] + 16, f2bits(-9e-4f));
+  const CompareVerdict v = s.compare(out, kN * 4);
+  EXPECT_TRUE(v.detected())
+      << "copies 1 and 2 disagree by 1.8*eps; unanimity must not be claimed";
+}
+
+TEST(Nmr, ToleranceModeBlamesTheReferenceCopyWhenItIsTheDissenter) {
+  // With copies 1..n-1 agreeing among themselves, a deviating copy 0 must
+  // be diagnosed as the faulty one — not the first copy that happens to
+  // differ from the corrupted reference.
+  runtime::Device dev;
+  RedundancySpec red;
+  red.n_copies = 3;
+  red.compare = RedundancySpec::Compare::kTolerance;
+  red.tolerance = 1e-3f;
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs, red));
+  ReplicaPtr out = run_group(s, make_store_kernel());
+  std::vector<u32> words(kN);
+  dev.memcpy_d2h(words.data(), out.copy[0], kN * 4);
+  dev.gpu().store().write32(out.copy[0] + 16,
+                            f2bits(bits2f(words[4]) * 2.0f + 7.0f));
+  const CompareVerdict v = s.compare(out, kN * 4);
+  EXPECT_TRUE(v.detected());
+  EXPECT_EQ(v.faulty_copy, 0);
+}
+
+TEST(Nmr, TmrSurvivesPermanentSmFaultUnderSrrs) {
+  // With three SRRS copies and one broken SM, at most one copy of any
+  // logical block is corrupted: the majority always wins and the repaired
+  // host data equals a fault-free execution.
+  runtime::Device dev;
+  fault::FaultInjector fi;
+  fi.arm_permanent_sm(1, 0, 20);
+  dev.gpu().set_fault_hook(&fi);
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs, RedundancySpec::tmr()));
+  ReplicaPtr out = run_group(s, make_spin_kernel(40));
+  std::vector<u32> host(kN);
+  s.d2h(host.data(), out, kN * 4);
+  const CompareVerdict v = s.compare(out, kN * 4, host.data());
+  EXPECT_TRUE(v.detected());
+  EXPECT_TRUE(v.majority) << "TMR must remain fail-operational";
+  EXPECT_EQ(v.tied_words, 0u);
+
+  runtime::Device clean_dev;
+  ExecSession clean(clean_dev,
+                    cfg_for(sched::Policy::kSrrs, RedundancySpec::dcls()));
+  ReplicaPtr ref = run_group(clean, make_spin_kernel(40));
+  std::vector<u32> golden(kN);
+  clean_dev.gpu().store().read_block(golden.data(), ref.primary(), kN * 4);
+  EXPECT_EQ(host, golden);
+}
+
+// ---- Session-owned recovery ------------------------------------------------
+
+void spin_body(ExecSession& s) {
+  const u32 n = 12 * 64;
+  ReplicaPtr out = s.alloc(n * 4);
+  s.launch(make_spin_kernel(60), sim::Dim3{12, 1, 1}, sim::Dim3{64, 1, 1},
+           {out, n});
+  s.sync();
+  // The standard workload pattern: fetch the primary result, then compare
+  // with the host buffer as the repair destination.
+  std::vector<u32> host(n);
+  s.d2h(host.data(), out, n * 4);
+  s.compare(out, n * 4, host.data());
+}
+
+TEST(Recovery, NoRetryWhenFaultFree) {
+  runtime::Device dev;
+  ExecSession s(dev,
+                cfg_for(sched::Policy::kSrrs, RedundancySpec::dcls_retry(2)));
+  const ExecSession::Report rep = s.run(spin_body);
+  EXPECT_TRUE(rep.success);
+  EXPECT_EQ(rep.attempts, 1u);
+  EXPECT_TRUE(rep.budget.met());
+  EXPECT_EQ(rep.asil, safety::Asil::kD);
+}
+
+TEST(Recovery, TransientFaultRecoveredByReexecution) {
+  runtime::Device dev;
+  fault::FaultInjector fi;
+  // Single-SM transient hitting only the first attempt's execution window.
+  fi.arm_transient_sm(0, 4000, 4000, 20);
+  dev.gpu().set_fault_hook(&fi);
+
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs,
+                             RedundancySpec::dcls_retry(3, 1'000'000'000)));
+  const ExecSession::Report rep = s.run(spin_body);
+  EXPECT_TRUE(rep.success);
+  EXPECT_GT(rep.attempts, 1u) << "first attempt must have been corrupted";
+  EXPECT_TRUE(s.all_unanimous()) << "the final attempt is clean";
+  EXPECT_TRUE(rep.budget.met());
+}
+
+TEST(Recovery, PermanentFaultExhaustsRetries) {
+  runtime::Device dev;
+  fault::FaultInjector fi;
+  fi.arm_permanent_sm(2, 0, 20);
+  dev.gpu().set_fault_hook(&fi);
+
+  ExecSession s(dev,
+                cfg_for(sched::Policy::kSrrs, RedundancySpec::dcls_retry(2)));
+  const ExecSession::Report rep = s.run(spin_body);
+  EXPECT_FALSE(rep.success);
+  EXPECT_FALSE(rep.degraded);  // kRetry never degrades
+  EXPECT_EQ(rep.attempts, 3u);  // initial + 2 retries
+}
+
+TEST(Recovery, TmrOutvotesInsteadOfRetrying) {
+  // Fail-operational NMR: a single corrupted copy is out-voted, so the
+  // retry loop never fires even though the fault was detected.
+  runtime::Device dev;
+  fault::FaultInjector fi;
+  fi.arm_permanent_sm(2, 0, 20);
+  dev.gpu().set_fault_hook(&fi);
+
+  RedundancySpec red = RedundancySpec::tmr();
+  red.recovery = RedundancySpec::Recovery::kRetry;
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs, red));
+  const ExecSession::Report rep = s.run(spin_body);
+  EXPECT_TRUE(rep.success);
+  EXPECT_EQ(rep.attempts, 1u) << "majority vote already produced a safe output";
+  EXPECT_GT(s.mismatches(), 0u) << "the fault was still detected";
+}
+
+TEST(Recovery, DegradeFlagsTheTransitionWithoutReexecuting) {
+  runtime::Device dev;
+  fault::FaultInjector fi;
+  fi.arm_permanent_sm(2, 0, 20);
+  dev.gpu().set_fault_hook(&fi);
+
+  RedundancySpec red = RedundancySpec::dcls();
+  red.recovery = RedundancySpec::Recovery::kDegrade;
+  ExecSession s(dev, cfg_for(sched::Policy::kSrrs, red));
+  const ExecSession::Report rep = s.run(spin_body);
+  EXPECT_FALSE(rep.success);
+  EXPECT_TRUE(rep.degraded);
+  EXPECT_EQ(rep.attempts, 1u);
+}
+
+TEST(Recovery, RetryAccountsTheWholeResponseAgainstTheFtti) {
+  runtime::Device dev;
+  fault::FaultInjector fi;
+  fi.arm_permanent_sm(2, 0, 20);
+  dev.gpu().set_fault_hook(&fi);
+
+  // An FTTI far too small for even one execution: the verdict must fail
+  // although every retry executed "correctly".
+  ExecSession s(dev,
+                cfg_for(sched::Policy::kSrrs, RedundancySpec::dcls_retry(1, 10)));
+  const ExecSession::Report rep = s.run(spin_body);
+  EXPECT_FALSE(rep.budget.met());
+  EXPECT_EQ(rep.budget.response_ns(), static_cast<u64>(rep.total_ns));
+  EXPECT_GT(rep.total_ns, 0);
+}
+
+}  // namespace
+}  // namespace higpu::core

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/diversity.h"
-#include "core/redundant.h"
+#include "core/exec.h"
 #include "exp/campaign.h"
 #include "fault/injector.h"
 #include "tests/test_kernels.h"
@@ -12,8 +12,8 @@
 namespace higpu::fault {
 namespace {
 
-using core::DualPtr;
-using core::RedundantSession;
+using core::ExecSession;
+using core::ReplicaPtr;
 using testing::make_spin_kernel;
 
 TEST(Injector, ClassifyOutcomes) {
@@ -94,15 +94,15 @@ std::pair<bool, u64> run_with_droop(sched::Policy policy, Cycle start,
   exp::FaultPlan::droop(start, width, 20).arm(fi);
   dev.gpu().set_fault_hook(&fi);
 
-  RedundantSession::Config cfg;
+  ExecSession::Config cfg;
   cfg.policy = policy;
-  RedundantSession s(dev, cfg);
+  ExecSession s(dev, cfg);
   const u32 n = 12 * 128;
-  const DualPtr out = s.alloc(n * 4);
+  const ReplicaPtr out = s.alloc(n * 4);
   s.launch(make_spin_kernel(200), sim::Dim3{12, 1, 1}, sim::Dim3{128, 1, 1},
            {out, n});
   s.sync();
-  const bool match = s.compare(out, n * 4);
+  const bool match = s.compare(out, n * 4).unanimous;
   return {match, fi.corruptions()};
 }
 
@@ -169,18 +169,18 @@ ZeroGapProbe probe_zero_gap(sched::Policy policy, const u32 n,
     fi->arm_droop(droop_start, droop_end - droop_start, 2);
     dev.gpu().set_fault_hook(fi);
   }
-  RedundantSession::Config cfg;
+  ExecSession::Config cfg;
   cfg.policy = policy;
-  RedundantSession s(dev, cfg);
-  const DualPtr out = s.alloc(n * 4);
+  ExecSession s(dev, cfg);
+  const ReplicaPtr out = s.alloc(n * 4);
   s.launch(make_chain_kernel(), sim::Dim3{1, 1, 1}, sim::Dim3{n, 1, 1},
            {out, n});
   s.sync();
-  const bool match = s.compare(out, n * 4);
+  const bool match = s.compare(out, n * 4).unanimous;
   if (out_match != nullptr) *out_match = match;
   if (out_bytes != nullptr) {
     out_bytes->resize(n * 4);
-    dev.gpu().store().read_block(out_bytes->data(), out.a, n * 4);
+    dev.gpu().store().read_block(out_bytes->data(), out.primary(), n * 4);
   }
   probe.id_a = s.pairs()[0].first;
   probe.id_b = s.pairs()[0].second;
@@ -222,11 +222,11 @@ TEST(DroopCampaign, HalfZeroGapStillSpatiallyDiverse) {
   sim::GpuParams p;
   p.launch_gap_cycles = 0;
   runtime::Device dev(p);
-  RedundantSession::Config cfg;
+  ExecSession::Config cfg;
   cfg.policy = sched::Policy::kHalf;
-  RedundantSession s(dev, cfg);
+  ExecSession s(dev, cfg);
   const u32 n = 12 * 128;
-  const DualPtr out = s.alloc(n * 4);
+  const ReplicaPtr out = s.alloc(n * 4);
   s.launch(make_spin_kernel(50), sim::Dim3{12, 1, 1}, sim::Dim3{128, 1, 1},
            {out, n});
   s.sync();
@@ -242,17 +242,17 @@ TEST(PermanentFault, SrrsDetectsBrokenSm) {
   exp::FaultPlan::permanent_sm(2, 0, 20).arm(fi);
   dev.gpu().set_fault_hook(&fi);
 
-  RedundantSession::Config cfg;
+  ExecSession::Config cfg;
   cfg.policy = sched::Policy::kSrrs;
-  RedundantSession s(dev, cfg);
+  ExecSession s(dev, cfg);
   const u32 n = 12 * 128;
-  const DualPtr out = s.alloc(n * 4);
+  const ReplicaPtr out = s.alloc(n * 4);
   s.launch(make_spin_kernel(100), sim::Dim3{12, 1, 1}, sim::Dim3{128, 1, 1},
            {out, n});
   s.sync();
   // SRRS guarantees each logical block runs on different SMs across copies,
   // so a broken SM corrupts different logical blocks in each copy.
-  EXPECT_FALSE(s.compare(out, n * 4));
+  EXPECT_FALSE(s.compare(out, n * 4).unanimous);
 }
 
 TEST(PermanentFault, HalfDetectsBrokenSm) {
@@ -262,16 +262,16 @@ TEST(PermanentFault, HalfDetectsBrokenSm) {
   exp::FaultPlan::permanent_sm(4, 0, 20).arm(fi);
   dev.gpu().set_fault_hook(&fi);
 
-  RedundantSession::Config cfg;
+  ExecSession::Config cfg;
   cfg.policy = sched::Policy::kHalf;
-  RedundantSession s(dev, cfg);
+  ExecSession s(dev, cfg);
   const u32 n = 12 * 128;
-  const DualPtr out = s.alloc(n * 4);
+  const ReplicaPtr out = s.alloc(n * 4);
   s.launch(make_spin_kernel(100), sim::Dim3{12, 1, 1}, sim::Dim3{128, 1, 1},
            {out, n});
   s.sync();
   // SM 4 belongs to copy B's partition only: copies differ.
-  EXPECT_FALSE(s.compare(out, n * 4));
+  EXPECT_FALSE(s.compare(out, n * 4).unanimous);
 }
 
 // ---- Scenario-level fault campaigns (the §IV.C sweep as a declarative
@@ -323,7 +323,7 @@ TEST(FaultScenario, FaultFreeCampaignPassesAllPolicies) {
           .sweep_policies({sched::Policy::kDefault, sched::Policy::kHalf,
                            sched::Policy::kSrrs})
           .sweep_redundancy();
-  ASSERT_EQ(set.size(), 6u);
+  ASSERT_EQ(set.size(), 15u);  // 3 policies x 5 redundancy modes
   const exp::CampaignResult campaign = exp::CampaignRunner().run(set);
   EXPECT_TRUE(campaign.all_passed());
   for (const exp::ScenarioResult& r : campaign.results) {

@@ -5,15 +5,15 @@
 #include <map>
 
 #include "core/diversity.h"
-#include "core/redundant.h"
+#include "core/exec.h"
 #include "sched/policies.h"
 #include "tests/test_kernels.h"
 
 namespace higpu {
 namespace {
 
-using core::DualPtr;
-using core::RedundantSession;
+using core::ExecSession;
+using core::ReplicaPtr;
 using testing::make_spin_kernel;
 
 // ---------------------------------------------------------------------------
@@ -32,14 +32,13 @@ class SrrsDiversityProperty : public ::testing::TestWithParam<SrrsCase> {};
 TEST_P(SrrsDiversityProperty, BlocksAlwaysOnDifferentSmsAtDifferentTimes) {
   const SrrsCase c = GetParam();
   runtime::Device dev;
-  RedundantSession::Config cfg;
+  ExecSession::Config cfg;
   cfg.policy = sched::Policy::kSrrs;
-  cfg.srrs_start_a = c.start_a;
-  cfg.srrs_start_b = c.start_b;
-  RedundantSession s(dev, cfg);
+  cfg.redundancy.srrs_starts = {c.start_a, c.start_b};
+  ExecSession s(dev, cfg);
 
   const u32 n = c.blocks * 64;
-  const DualPtr out = s.alloc(n * 4);
+  const ReplicaPtr out = s.alloc(n * 4);
   s.launch(make_spin_kernel(20), sim::Dim3{c.blocks, 1, 1},
            sim::Dim3{64, 1, 1}, {out, n});
   s.sync();
@@ -50,7 +49,7 @@ TEST_P(SrrsDiversityProperty, BlocksAlwaysOnDifferentSmsAtDifferentTimes) {
   EXPECT_TRUE(rep.spatially_diverse())
       << "starts " << c.start_a << "/" << c.start_b;
   EXPECT_TRUE(rep.temporally_disjoint());
-  EXPECT_TRUE(s.all_outputs_matched() || s.comparisons() == 0);
+  EXPECT_TRUE(s.all_unanimous() || s.comparisons() == 0);
 }
 
 std::vector<SrrsCase> srrs_cases() {
@@ -75,13 +74,12 @@ INSTANTIATE_TEST_SUITE_P(AllStartPairs, SrrsDiversityProperty,
 
 TEST(SrrsDiversityNegative, SameStartSmSharesEverySm) {
   runtime::Device dev;
-  RedundantSession::Config cfg;
+  ExecSession::Config cfg;
   cfg.policy = sched::Policy::kSrrs;
-  cfg.srrs_start_a = 2;
-  cfg.srrs_start_b = 2;  // misconfigured on purpose
-  RedundantSession s(dev, cfg);
+  cfg.redundancy.srrs_starts = {2, 2};  // misconfigured on purpose
+  ExecSession s(dev, cfg);
   const u32 blocks = 12, n = blocks * 64;
-  const DualPtr out = s.alloc(n * 4);
+  const ReplicaPtr out = s.alloc(n * 4);
   s.launch(make_spin_kernel(20), sim::Dim3{blocks, 1, 1}, sim::Dim3{64, 1, 1},
            {out, n});
   s.sync();
@@ -106,11 +104,11 @@ class HalfDiversityProperty : public ::testing::TestWithParam<HalfCase> {};
 TEST_P(HalfDiversityProperty, PartitionsNeverShareSms) {
   const HalfCase c = GetParam();
   runtime::Device dev;
-  RedundantSession::Config cfg;
+  ExecSession::Config cfg;
   cfg.policy = sched::Policy::kHalf;
-  RedundantSession s(dev, cfg);
+  ExecSession s(dev, cfg);
   const u32 n = c.blocks * 64;
-  const DualPtr out = s.alloc(n * 4);
+  const ReplicaPtr out = s.alloc(n * 4);
   s.launch(make_spin_kernel(c.spin), sim::Dim3{c.blocks, 1, 1},
            sim::Dim3{64, 1, 1}, {out, n});
   s.sync();
@@ -140,11 +138,11 @@ class PolicyFunctionalEquivalence
 TEST_P(PolicyFunctionalEquivalence, SameOutputsAsDefault) {
   auto run_with = [](sched::Policy policy) {
     runtime::Device dev;
-    RedundantSession::Config cfg;
+    ExecSession::Config cfg;
     cfg.policy = policy;
-    RedundantSession s(dev, cfg);
+    ExecSession s(dev, cfg);
     const u32 n = 12 * 64;
-    const DualPtr out = s.alloc(n * 4);
+    const ReplicaPtr out = s.alloc(n * 4);
     std::vector<u32> zero(n, 0);
     s.h2d(out, zero.data(), n * 4);
     s.launch(make_spin_kernel(37), sim::Dim3{12, 1, 1}, sim::Dim3{64, 1, 1},
@@ -173,14 +171,13 @@ TEST_P(SmCountProperty, SrrsDiverseOnAnyGpuSize) {
   sim::GpuParams p;
   p.num_sms = num_sms;
   runtime::Device dev(p);
-  RedundantSession::Config cfg;
+  ExecSession::Config cfg;
   cfg.policy = sched::Policy::kSrrs;
-  cfg.srrs_start_a = 0;
-  cfg.srrs_start_b = num_sms / 2 + (num_sms / 2 == 0 ? 1 : 0);
-  RedundantSession s(dev, cfg);
+  cfg.redundancy.srrs_starts = {0, num_sms / 2 + (num_sms / 2 == 0 ? 1 : 0)};
+  ExecSession s(dev, cfg);
   const u32 blocks = 2 * num_sms + 1;
   const u32 n = blocks * 64;
-  const DualPtr out = s.alloc(n * 4);
+  const ReplicaPtr out = s.alloc(n * 4);
   s.launch(make_spin_kernel(20), sim::Dim3{blocks, 1, 1}, sim::Dim3{64, 1, 1},
            {out, n});
   s.sync();

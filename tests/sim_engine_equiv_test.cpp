@@ -10,7 +10,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/redundant.h"
+#include "core/exec.h"
 #include "fault/injector.h"
 #include "memsys/global_store.h"
 #include "sched/policies.h"
@@ -300,18 +300,19 @@ struct WorkloadArtifacts {
 };
 
 WorkloadArtifacts run_workload_with(const std::string& name, sim::SimEngine engine,
-                                    sched::Policy policy, bool redundant) {
+                                    sched::Policy policy,
+                                    const core::RedundancySpec& redundancy) {
   exp::ScenarioSpec spec;
   spec.workload = name;
   spec.scale = Scale::kTest;
   spec.seed = 2019;
   spec.gpu.engine = engine;
   spec.policy = policy;
-  spec.redundant = redundant;
+  spec.redundancy = redundancy;
 
   WorkloadArtifacts a;
   const exp::ScenarioResult r = exp::run_scenario(
-      spec, 0, [&](runtime::Device& dev, Workload&, core::RedundantSession&) {
+      spec, 0, [&](runtime::Device& dev, Workload&, core::ExecSession&) {
         a.records = dev.gpu().block_records();
       });
   EXPECT_TRUE(r.ok) << r.error;
@@ -326,10 +327,12 @@ WorkloadArtifacts run_workload_with(const std::string& name, sim::SimEngine engi
 class WorkloadEquivalence : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(WorkloadEquivalence, EventEngineBitIdenticalToDense) {
-  const auto dense = run_workload_with(GetParam(), sim::SimEngine::kDense,
-                                       sched::Policy::kSrrs, /*redundant=*/true);
-  const auto event = run_workload_with(GetParam(), sim::SimEngine::kEvent,
-                                       sched::Policy::kSrrs, /*redundant=*/true);
+  const auto dense =
+      run_workload_with(GetParam(), sim::SimEngine::kDense,
+                        sched::Policy::kSrrs, core::RedundancySpec::dcls());
+  const auto event =
+      run_workload_with(GetParam(), sim::SimEngine::kEvent,
+                        sched::Policy::kSrrs, core::RedundancySpec::dcls());
   EXPECT_TRUE(dense.verified);
   EXPECT_TRUE(event.verified);
   EXPECT_TRUE(dense.matched);
@@ -348,6 +351,31 @@ INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadEquivalence,
                              if (c == '+' || c == '-') c = '_';
                            return name;
                          });
+
+// Three streams of three replica kernels exercise engine wake/dispatch
+// paths the DCLS pair never reaches; the engines must still agree bit-for-
+// bit at N = 3 with majority voting.
+class NmrEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NmrEquivalence, EventEngineBitIdenticalToDenseAtTmr) {
+  const auto dense =
+      run_workload_with(GetParam(), sim::SimEngine::kDense,
+                        sched::Policy::kSrrs, core::RedundancySpec::tmr());
+  const auto event =
+      run_workload_with(GetParam(), sim::SimEngine::kEvent,
+                        sched::Policy::kSrrs, core::RedundancySpec::tmr());
+  EXPECT_TRUE(dense.verified);
+  EXPECT_TRUE(event.verified);
+  EXPECT_TRUE(dense.matched);
+  EXPECT_TRUE(event.matched);
+  EXPECT_EQ(dense.kernel_cycles, event.kernel_cycles) << "cycle counts differ";
+  EXPECT_EQ(dense.elapsed_ns, event.elapsed_ns) << "wall-clock model differs";
+  expect_same_stats(dense.stats, event.stats, GetParam());
+  expect_same_records(dense.records, event.records, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(TmrWorkloads, NmrEquivalence,
+                         ::testing::Values("hotspot", "bfs", "lud"));
 
 }  // namespace
 }  // namespace higpu::workloads

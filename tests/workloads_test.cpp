@@ -19,7 +19,8 @@ exp::ScenarioSpec spec_for(const std::string& name, sched::Policy policy,
   spec.scale = Scale::kTest;
   spec.seed = seed;
   spec.policy = policy;
-  spec.redundant = redundant;
+  spec.redundancy = redundant ? core::RedundancySpec::dcls()
+                               : core::RedundancySpec::baseline();
   return spec;
 }
 
