@@ -24,17 +24,23 @@ int usage() {
   std::printf(
       "usage: run_workload <name...> [options]\n"
       "       run_workload --all | --fig4 [options]\n"
-      "       run_workload --list\n"
+      "       run_workload --list | --list-workloads\n"
       "options:\n"
       "  --policy=default|half|srrs   scheduling policy (default: srrs)\n"
       "  --sweep-policies             run every policy (overrides --policy)\n"
       "  --baseline                   single copy instead of a DCLS pair\n"
+      "  --list-workloads             print every workload with its scales\n"
       "redundancy options (one ExecSession serves every mode):\n"
       "  --redundancy=N               copies: 1=baseline, 2=DCLS, >=3 NMR\n"
       "  --compare=bitwise|vote|tol:E comparison semantics (vote needs N>=3;\n"
       "                               tol:E = float tolerance E, e.g. tol:1e-4)\n"
-      "  --recovery=retry:N|degrade   detect-and-retry (N re-executions)\n"
-      "                               or degraded-mode transition\n"
+      "  --recovery=retry:N|rollback:N|degrade\n"
+      "                               detect-and-retry (N re-executions),\n"
+      "                               checkpoint rollback (N rollbacks), or\n"
+      "                               degraded-mode transition\n"
+      "  --checkpoint-interval=N      snapshot device state every N cycles\n"
+      "                               (labels gain :ckptN; rollback recovery\n"
+      "                               uses the checkpoints)\n"
       "  --sweep-redundancy           run base, DCLS, DCLS+retry, TMR-vote,\n"
       "                               TMR-vote+retry (overrides the above)\n"
       "  --scale=test|bench           problem size (default: bench)\n"
@@ -93,12 +99,31 @@ void parse_recovery(const std::string& s, core::RedundancySpec* red) {
     red->recovery = core::RedundancySpec::Recovery::kRetry;
     return;
   }
+  if (s.rfind("rollback:", 0) == 0) {
+    red->recovery = core::RedundancySpec::Recovery::kRollback;
+    red->max_retries =
+        static_cast<u32>(parse_number("--recovery", s.substr(9)));
+    return;
+  }
+  if (s == "rollback") {
+    red->recovery = core::RedundancySpec::Recovery::kRollback;
+    return;
+  }
   if (s == "degrade") {
     red->recovery = core::RedundancySpec::Recovery::kDegrade;
     return;
   }
   throw std::invalid_argument("unknown recovery '" + s +
-                              "'; valid: retry:N degrade");
+                              "'; valid: retry:N rollback:N degrade");
+}
+
+ckpt::CheckpointPolicy parse_checkpoint_interval(const std::string& s) {
+  const u64 cycles = parse_number("--checkpoint-interval", s);
+  if (cycles == 0)
+    throw std::invalid_argument(
+        "bad value '0' for --checkpoint-interval: expected a positive cycle "
+        "count (e.g. 5000)");
+  return ckpt::CheckpointPolicy::interval(cycles);
 }
 
 sched::Policy parse_policy(const std::string& s) {
@@ -193,6 +218,13 @@ int main(int argc, char** argv) {
         for (const std::string& n : workloads::all_names())
           std::printf("%s\n", n.c_str());
         return 0;
+      } else if (arg == "--list-workloads") {
+        // Every workloads::is_known name with its available scales.
+        for (const std::string& n : workloads::all_names())
+          std::printf("%-16s %s,%s\n", n.c_str(),
+                      workloads::scale_name(workloads::Scale::kTest),
+                      workloads::scale_name(workloads::Scale::kBench));
+        return 0;
       } else if (arg == "--all") {
         names = workloads::all_names();
       } else if (arg == "--fig4") {
@@ -211,6 +243,8 @@ int main(int argc, char** argv) {
         compare_explicit = true;
       } else if (arg.rfind("--recovery=", 0) == 0) {
         parse_recovery(arg.substr(11), &proto.redundancy);
+      } else if (arg.rfind("--checkpoint-interval=", 0) == 0) {
+        proto.ckpt = parse_checkpoint_interval(arg.substr(22));
       } else if (arg == "--sweep-redundancy") {
         sweep_redundancy = true;
       } else if (arg == "--sweep-policies") {

@@ -1,0 +1,103 @@
+#include "ckpt/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace higpu::ckpt {
+
+CheckpointPolicy CheckpointPolicy::interval(u64 cycles) {
+  if (cycles == 0)
+    throw std::invalid_argument(
+        "CheckpointPolicy: interval must be a positive cycle count");
+  CheckpointPolicy p;
+  p.kind = Kind::kInterval;
+  p.interval_cycles = cycles;
+  return p;
+}
+
+std::string CheckpointPolicy::label() const {
+  switch (kind) {
+    case Kind::kNone: return "";
+    case Kind::kInterval: return "ckpt" + std::to_string(interval_cycles);
+    case Kind::kPreKernel: return "prekernel";
+  }
+  return "?";
+}
+
+const Section* Snapshot::find_section(const std::string& name) const {
+  for (const Section& s : sections)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+namespace {
+
+/// Architectural state first, bookkeeping last; ties broken by name so the
+/// scan order is total and deterministic.
+int section_priority(const std::string& name) {
+  if (name.rfind("sm", 0) == 0) return 0;
+  if (name.rfind("l1[", 0) == 0) return 1;
+  if (name == "l2") return 2;
+  if (name == "dram") return 3;
+  if (name == "store") return 4;
+  return 5;
+}
+
+/// Byte length of the allocator cursor + size header GlobalStore::save
+/// writes before the raw contents of the "store" section; subtracted so a
+/// reported store offset is the actual device address.
+constexpr size_t kStoreSectionHeader = 4 + 8;
+
+/// Human name of the first differing record inside a section pair.
+std::string localize(const Section& s, const std::vector<u8>& a,
+                     const std::vector<u8>& b, size_t b_offset) {
+  size_t off = 0;
+  while (off < s.len && a[s.offset + off] == b[b_offset + off]) ++off;
+  if (s.record_size != 0 && off < s.len) {
+    const u64 rec = off / s.record_size;
+    if (s.name.rfind("l1[", 0) == 0 || s.name == "l2")
+      return s.name + " set " + std::to_string(rec);
+    if (s.name == "dram") return s.name + " bank " + std::to_string(rec);
+    if (s.name == "store") {
+      if (off < kStoreSectionHeader) return s.name;  // allocator cursor
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), " @0x%llx",
+                    static_cast<unsigned long long>(off - kStoreSectionHeader));
+      return s.name + buf;
+    }
+    return s.name + " #" + std::to_string(rec);
+  }
+  return s.name;
+}
+
+}  // namespace
+
+std::string first_divergence(const Snapshot& a, const Snapshot& b) {
+  if (a.sections.size() != b.sections.size()) return "shape";
+
+  std::vector<size_t> order(a.sections.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    const int px = section_priority(a.sections[x].name);
+    const int py = section_priority(a.sections[y].name);
+    if (px != py) return px < py;
+    return a.sections[x].name < a.sections[y].name;
+  });
+
+  for (size_t i : order) {
+    const Section& sa = a.sections[i];
+    const Section& sb = b.sections[i];
+    if (sa.name != sb.name) return "shape";
+    if (sa.len != sb.len) return sa.name;
+    if (sa.hash == sb.hash &&
+        std::memcmp(a.blob.data() + sa.offset, b.blob.data() + sb.offset,
+                    sa.len) == 0)
+      continue;
+    return localize(sa, a.blob, b.blob, sb.offset);
+  }
+  return "";
+}
+
+}  // namespace higpu::ckpt

@@ -26,6 +26,14 @@ RedundancySpec RedundancySpec::dcls_retry(u32 max_retries, u64 ftti_ns) {
   return s;
 }
 
+RedundancySpec RedundancySpec::dcls_rollback(u32 max_rollbacks, u64 ftti_ns) {
+  RedundancySpec s;
+  s.recovery = Recovery::kRollback;
+  s.max_retries = max_rollbacks;
+  s.ftti_ns = ftti_ns;
+  return s;
+}
+
 RedundancySpec RedundancySpec::nmr(u32 n) {
   RedundancySpec s;
   s.n_copies = n;
@@ -52,6 +60,7 @@ const char* recovery_name(RedundancySpec::Recovery r) {
   switch (r) {
     case RedundancySpec::Recovery::kNone: return "none";
     case RedundancySpec::Recovery::kRetry: return "retry";
+    case RedundancySpec::Recovery::kRollback: return "rollback";
     case RedundancySpec::Recovery::kDegrade: return "degrade";
   }
   return "?";
@@ -76,6 +85,9 @@ std::string RedundancySpec::label() const {
   switch (recovery) {
     case Recovery::kNone: break;
     case Recovery::kRetry: l += "-retry" + std::to_string(max_retries); break;
+    case Recovery::kRollback:
+      l += "-rollback" + std::to_string(max_retries);
+      break;
     case Recovery::kDegrade: l += "-degrade"; break;
   }
   return l;
@@ -105,9 +117,12 @@ void RedundancySpec::validate(const sim::GpuParams& gpu,
         "RedundancySpec: more srrs_starts (" +
         std::to_string(srrs_starts.size()) + ") than copies (" +
         std::to_string(n_copies) + ")");
-  if (recovery == Recovery::kRetry && ftti_ns == 0)
+  if ((recovery == Recovery::kRetry || recovery == Recovery::kRollback) &&
+      ftti_ns == 0)
     throw std::invalid_argument(
-        "RedundancySpec: kRetry needs a non-zero FTTI budget");
+        "RedundancySpec: " +
+        std::string(recovery == Recovery::kRetry ? "kRetry" : "kRollback") +
+        " needs a non-zero FTTI budget");
   if (redundant() && policy == sched::Policy::kHalf &&
       gpu.num_sms < n_copies)
     throw std::invalid_argument(
@@ -148,6 +163,14 @@ safety::Asil RedundancySpec::achieved_asil(sched::Policy policy) const {
 ExecSession::ExecSession(runtime::Device& dev, Config cfg)
     : dev_(dev), cfg_(std::move(cfg)), num_sms_(dev.gpu().num_sms()) {
   dev_.set_kernel_scheduler(sched::make_scheduler(cfg_.policy));
+  if (cfg_.redundancy.recovery == RedundancySpec::Recovery::kRollback) {
+    record_rollback_state_ = true;
+    // Rollback needs at least the pre-kernel anchors; an explicitly
+    // configured policy (e.g. kInterval) already provides checkpoints and
+    // is kept — mid-kernel checkpoints only shrink the re-executed span.
+    if (!dev_.checkpoint_policy().active())
+      dev_.set_checkpoint_policy(ckpt::CheckpointPolicy::pre_kernel());
+  }
 }
 
 ReplicaPtr ExecSession::alloc(u64 bytes) {
@@ -205,6 +228,8 @@ void ExecSession::launch(isa::ProgramPtr prog, sim::Dim3 grid, sim::Dim3 block,
     if (c > 0) l.tag += (n == 2) ? "#r" : "#r" + std::to_string(c);
     for (const ReplicaParam& p : params)
       l.params.push_back(p.is_buffer ? p.buf.copy[c] : p.scalar);
+    if (record_rollback_state_ && !replaying_)
+      recorded_launches_.push_back(RecordedLaunch{l, /*stream=*/c});
     ids.push_back(dev_.launch(std::move(l), /*stream=*/c));
   }
   if (n >= 2) groups_.push_back(std::move(ids));
@@ -343,6 +368,8 @@ CompareVerdict ExecSession::vote_words(const std::vector<const u8*>& host,
 
 CompareVerdict ExecSession::compare(const ReplicaPtr& buf, u64 bytes,
                                     void* host0) {
+  if (record_rollback_state_ && !replaying_)
+    recorded_compares_.push_back(RecordedCompare{buf, bytes, host0});
   CompareVerdict v;
   if (copies() < 2) {
     v.unanimous = true;
@@ -385,13 +412,40 @@ CompareVerdict ExecSession::compare(const ReplicaPtr& buf, u64 bytes,
   return v;
 }
 
-void ExecSession::reset_attempt() {
+void ExecSession::reset_compare_counters() {
   comparisons_ = 0;
   detections_ = 0;
   failures_ = 0;
   faulty_copy_ = -1;
+}
+
+void ExecSession::reset_attempt() {
+  reset_compare_counters();
   // Fresh scheduler state per attempt, exactly as a fresh session would get.
   dev_.set_kernel_scheduler(sched::make_scheduler(cfg_.policy));
+}
+
+bool ExecSession::rollback_once(const ckpt::Snapshot& snap) {
+  // Restore the machine (host timeline keeps advancing; the restore itself
+  // is charged), then re-enqueue any launches the restore rolled away —
+  // the device's deterministic allocator means their recorded parameter
+  // blocks still point at the right buffers.
+  dev_.rollback(snap);
+  for (size_t i = snap.launch_count; i < recorded_launches_.size(); ++i)
+    dev_.launch(recorded_launches_[i].launch, recorded_launches_[i].stream);
+  sync();
+  // Re-fetch the primary copies into the caller's host buffers and replay
+  // every recorded comparison: this is the recovery's own detect step, and
+  // it repairs the application-visible data as a side effect.
+  reset_compare_counters();
+  replaying_ = true;
+  for (const RecordedCompare& rc : recorded_compares_) {
+    if (rc.host0 != nullptr)
+      dev_.memcpy_d2h(rc.host0, rc.buf.primary(), rc.bytes);
+    compare(rc.buf, rc.bytes, rc.host0);
+  }
+  replaying_ = false;
+  return all_safe();
 }
 
 ExecSession::Report ExecSession::run(
@@ -400,17 +454,41 @@ ExecSession::Report ExecSession::run(
   rep.asil = cfg_.redundancy.achieved_asil(cfg_.policy);
   const NanoSec start = dev_.elapsed_ns();
 
-  const u32 budgeted_retries =
-      cfg_.redundancy.recovery == RedundancySpec::Recovery::kRetry
-          ? cfg_.redundancy.max_retries
-          : 0;
-  for (u32 attempt = 0; attempt <= budgeted_retries; ++attempt) {
+  if (cfg_.redundancy.recovery == RedundancySpec::Recovery::kRollback) {
+    dev_.clear_checkpoints();
+    recorded_launches_.clear();
+    recorded_compares_.clear();
     reset_attempt();
-    rep.attempts += 1;
+    rep.attempts = 1;
     body(*this);
-    if (all_safe()) {
-      rep.success = true;
-      break;
+    if (!all_safe()) {
+      // Walk the captured checkpoints newest to oldest: the newest one
+      // minimizes re-execution; one captured after the corruption fails its
+      // re-comparison and the walk falls back to an older, clean one.
+      std::vector<ckpt::SnapshotPtr> snaps = dev_.checkpoints();
+      for (u32 rb = 0;
+           rb < cfg_.redundancy.max_retries && !all_safe() && !snaps.empty();
+           ++rb) {
+        const ckpt::SnapshotPtr snap = snaps.back();
+        snaps.pop_back();
+        rep.attempts += 1;
+        rollback_once(*snap);
+      }
+    }
+    rep.success = all_safe();
+  } else {
+    const u32 budgeted_retries =
+        cfg_.redundancy.recovery == RedundancySpec::Recovery::kRetry
+            ? cfg_.redundancy.max_retries
+            : 0;
+    for (u32 attempt = 0; attempt <= budgeted_retries; ++attempt) {
+      reset_attempt();
+      rep.attempts += 1;
+      body(*this);
+      if (all_safe()) {
+        rep.success = true;
+        break;
+      }
     }
   }
   if (!rep.success &&

@@ -44,9 +44,12 @@ struct RedundancySpec {
     kTolerance,     // float compare within `tolerance` (abs + rel)
   };
   enum class Recovery {
-    kNone,    // report only
-    kRetry,   // detect -> re-execute (up to max_retries) within the FTTI
-    kDegrade, // detect -> flag degraded-mode transition, no re-execution
+    kNone,     // report only
+    kRetry,    // detect -> re-execute (up to max_retries) within the FTTI
+    kRollback, // detect -> restore the last clean device checkpoint and
+               // re-execute only from there (up to max_retries rollbacks);
+               // cheaper than kRetry exactly when the FTTI is tightest
+    kDegrade,  // detect -> flag degraded-mode transition, no re-execution
   };
 
   /// Sentinel for "pick a diverse start automatically".
@@ -63,6 +66,7 @@ struct RedundancySpec {
   std::vector<u32> srrs_starts;
   Recovery recovery = Recovery::kNone;
   /// kRetry: additional executions allowed after the first detection.
+  /// kRollback: rollback attempts, walking checkpoints newest to oldest.
   u32 max_retries = 2;
   /// The item's Fault-Tolerant Time Interval, nanoseconds (FTTI verdicts).
   u64 ftti_ns = 100'000'000;
@@ -74,6 +78,13 @@ struct RedundancySpec {
   /// DCLS with detect-and-retry (fail-operational DMR, footnote 1).
   static RedundancySpec dcls_retry(u32 max_retries = 2,
                                    u64 ftti_ns = 100'000'000);
+  /// DCLS with checkpoint-rollback recovery: on a detected miscompare the
+  /// session restores the last clean device checkpoint (captured before the
+  /// kernels ran, or mid-run under an interval CheckpointPolicy) instead of
+  /// re-executing the whole offload — no input re-transfer, no replay of
+  /// already-completed kernel rounds.
+  static RedundancySpec dcls_rollback(u32 max_rollbacks = 2,
+                                      u64 ftti_ns = 100'000'000);
   /// N-modular redundancy with majority voting (n >= 3; n = 3 is TMR —
   /// voting needs a strict majority, use dcls() for pairs).
   static RedundancySpec nmr(u32 n);
@@ -83,8 +94,9 @@ struct RedundancySpec {
   /// SRRS start SM for copy `c`, resolving kAuto / missing entries.
   u32 srrs_start_of(u32 c, u32 num_sms) const;
 
-  /// Stable label fragment: "base", "red", "red-retry2", "tmr-vote",
-  /// "nmr5-vote", "red-tol0.0001" (+"-retryN"/"-degrade" recovery suffix).
+  /// Stable label fragment: "base", "red", "red-retry2", "red-rollback2",
+  /// "tmr-vote", "nmr5-vote", "red-tol0.0001" (+"-retryN"/"-rollbackN"/
+  /// "-degrade" recovery suffix).
   std::string label() const;
 
   /// Throws std::invalid_argument naming the offending field: zero/huge
@@ -221,18 +233,45 @@ class ExecSession {
   /// unsafe — the application would keep the wrong data. The
   /// fast path memcmps the copies and enters the word-by-word vote loop
   /// only on mismatch. No-op (unanimous) in baseline mode.
+  ///
+  /// Lifetime: under Recovery::kRollback the session records (buf, bytes,
+  /// host0) and replays the comparison after a rollback — re-fetching the
+  /// primary copy into `host0` to repair the application's data — so
+  /// `host0` must stay valid until run() returns (pass member storage, not
+  /// a stack local; every bundled workload does).
   CompareVerdict compare(const ReplicaPtr& buf, u64 bytes,
                          void* host0 = nullptr);
 
   // ---- Recovery -----------------------------------------------------------
   /// Run `body` under the spec's Recovery strategy: execute, and if an
   /// uncorrectable disagreement was detected, re-execute (kRetry, up to
-  /// max_retries times) or flag the degraded-mode transition (kDegrade).
-  /// Per-attempt comparison counters reset between attempts (a retried
-  /// mismatch that comes back clean is a recovered run); kernel_cycles and
-  /// launch groups accumulate across attempts, so the session's totals are
-  /// the real cost of the whole response. The FTTI verdict covers the full
-  /// detect/re-execute sequence on the device's modelled timeline.
+  /// max_retries times), roll back to the last clean device checkpoint and
+  /// resume from there (kRollback), or flag the degraded-mode transition
+  /// (kDegrade). Per-attempt comparison counters reset between attempts (a
+  /// retried mismatch that comes back clean is a recovered run);
+  /// kernel_cycles and launch groups accumulate across attempts, so the
+  /// session's totals are the real cost of the whole response. The FTTI
+  /// verdict covers the full detect/re-execute sequence on the device's
+  /// modelled timeline.
+  ///
+  /// kRollback mechanics: the session enables pre-kernel checkpointing on
+  /// the device (unless a policy is already set — an interval policy adds
+  /// mid-kernel checkpoints, shrinking the re-executed span further),
+  /// records every launch and comparison the body performs, and on failure
+  /// walks the captured checkpoints newest to oldest: restore, re-enqueue
+  /// any launches the restore rolled away, re-drain the GPU, re-fetch the
+  /// primary copies into the caller's host buffers, and re-compare. A
+  /// checkpoint captured after the fault corrupted state simply fails its
+  /// re-comparison and the walk falls back to an older (clean) one.
+  ///
+  /// Recovery boundary: rollback repairs device state and every
+  /// compare()-registered host buffer — but NOT host-side values the body
+  /// derived from mid-run d2h fetches (e.g. an accumulator updated per
+  /// round from fetched partials); the session cannot re-run host code.
+  /// Report::success therefore attests that all *compared* outputs are
+  /// safe. Bodies whose application result folds uncompared per-round
+  /// fetches into host state should use kRetry (full re-execution) or
+  /// compare the buffers the host computation consumes.
   Report run(const std::function<void(ExecSession&)>& body);
 
   // ---- Results ------------------------------------------------------------
@@ -266,6 +305,8 @@ class ExecSession {
  private:
   sim::SchedHints hints_for_copy(u32 c) const;
   void reset_attempt();
+  void reset_compare_counters();
+  bool rollback_once(const ckpt::Snapshot& snap);
   CompareVerdict vote_words(const std::vector<const u8*>& host, u64 bytes,
                             void* host0);
 
@@ -279,6 +320,21 @@ class ExecSession {
   i32 faulty_copy_ = -1;
   std::vector<std::vector<u32>> groups_;
   std::vector<std::vector<u8>> scratch_;
+
+  // Rollback-recovery bookkeeping (recorded only under Recovery::kRollback).
+  struct RecordedLaunch {
+    sim::KernelLaunch launch;  // one physical copy's launch, hints resolved
+    u32 stream = 0;
+  };
+  struct RecordedCompare {
+    ReplicaPtr buf;
+    u64 bytes = 0;
+    void* host0 = nullptr;
+  };
+  bool record_rollback_state_ = false;
+  bool replaying_ = false;
+  std::vector<RecordedLaunch> recorded_launches_;
+  std::vector<RecordedCompare> recorded_compares_;
 };
 
 }  // namespace higpu::core

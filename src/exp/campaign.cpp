@@ -44,7 +44,7 @@ bool ScenarioResult::deterministic_fields_equal(
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, u32 index,
                             const ScenarioProbe& probe,
-                            const ScenarioProbe& pre_run) {
+                            const ScenarioProbe& pre_run, SnapshotIo* snap) {
   ScenarioResult r;
   r.index = index;
   r.label = spec.label();
@@ -59,6 +59,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, u32 index,
     w->setup(spec.scale, spec.seed);
 
     runtime::Device dev(spec.gpu, spec.platform);
+    if (spec.ckpt.active()) dev.set_checkpoint_policy(spec.ckpt);
+    if (snap != nullptr) {
+      if (!snap->capture_targets.empty())
+        dev.set_checkpoint_targets(snap->capture_targets);
+      if (snap->resume != nullptr) dev.arm_resume(snap->resume);
+    }
     fault::FaultInjector injector;
     if (spec.fault.active()) {
       spec.fault.arm(injector);
@@ -105,6 +111,14 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, u32 index,
     // earlier attempt — that must classify as kDetected, never kMasked.
     const bool detected = !session.all_unanimous() || r.attempts > 1;
     r.outcome = fault::classify(!detected, r.verified);
+    if (snap != nullptr) {
+      snap->capture_targets = dev.targets();  // canonical sorted order
+      snap->captured = dev.target_snapshots();
+      snap->final_state = dev.snapshot();
+      if (snap->divergence_ref != nullptr)
+        r.divergence =
+            ckpt::first_divergence(*snap->divergence_ref, *snap->final_state);
+    }
     r.ok = true;
   } catch (const std::exception& e) {
     r.ok = false;
@@ -163,6 +177,7 @@ std::string CampaignResult::to_json() const {
       jw.field("diverted_blocks", r.diverted_blocks);
       jw.field("fault_outcome", std::string(fault::outcome_name(r.outcome)));
     }
+    if (!r.divergence.empty()) jw.field("divergence", r.divergence);
     jw.key("diversity");
     jw.begin_object();
     jw.field("blocks_checked", r.diversity.blocks_checked);
@@ -186,7 +201,7 @@ std::string CampaignResult::to_csv() const {
                    "dcls_match", "comparisons", "mismatches", "n_copies",
                    "attempts", "asil", "ftti_met", "kernel_cycles",
                    "elapsed_ns", "fault", "corruptions", "fault_outcome",
-                   "instructions", "error"});
+                   "divergence", "instructions", "error"});
   for (const ScenarioResult& r : results) {
     table.add_row({std::to_string(r.index), r.label, r.workload,
                    r.ok ? "true" : "false", r.passed() ? "true" : "false",
@@ -201,10 +216,71 @@ std::string CampaignResult::to_csv() const {
                    r.fault_active ? "true" : "false",
                    std::to_string(r.corruptions),
                    r.fault_active ? fault::outcome_name(r.outcome) : "",
+                   r.divergence,
                    std::to_string(r.stats.get("instructions")), r.error});
   }
   return table.render_csv();
 }
+
+namespace {
+
+/// Execute one fault-sweep group with a shared clean base run. `members`
+/// are scenario indices that differ only in their fault plan; the clean
+/// base is simulated once with a snapshot captured at every member's
+/// injection cycle, then each faulted member forks from the snapshot
+/// covering its own injection point. Members whose snapshot is unavailable
+/// (the base finished before the target, or the base itself failed) fall
+/// back to from-scratch execution, so fast-forward is purely an
+/// acceleration: per-scenario results never depend on it.
+void run_ff_group(const ScenarioSet& set, const std::vector<size_t>& members,
+                  const std::function<void(const ScenarioResult&)>& report,
+                  std::vector<ScenarioResult>& results) {
+  std::vector<size_t> forks;
+  std::vector<size_t> nofault;
+  SnapshotIo base_io;
+  for (size_t i : members) {
+    if (set[i].fault.active()) {
+      forks.push_back(i);
+      base_io.capture_targets.push_back(set[i].fault.start);
+    } else {
+      nofault.push_back(i);
+    }
+  }
+
+  // The clean base: reuse the group's own fault-free member if it has one
+  // (captures are free and invisible, so its result doubles as the base's),
+  // otherwise synthesize one whose result is discarded.
+  ScenarioSpec base_spec = set[members[0]];
+  base_spec.fault = FaultPlan::none();
+  const size_t base_index = nofault.empty() ? members[0] : nofault[0];
+  ScenarioResult base_r =
+      run_scenario(nofault.empty() ? base_spec : set[nofault[0]],
+                   static_cast<u32>(base_index), nullptr, nullptr, &base_io);
+  for (size_t i : nofault) {
+    results[i] = (i == nofault[0])
+                     ? base_r
+                     : run_scenario(set[i], static_cast<u32>(i));
+    report(results[i]);
+  }
+
+  for (size_t i : forks) {
+    SnapshotIo fork_io;
+    if (base_r.ok) {
+      const auto& targets = base_io.capture_targets;  // sorted + deduped
+      const auto it = std::lower_bound(targets.begin(), targets.end(),
+                                       set[i].fault.start);
+      if (it != targets.end() && *it == set[i].fault.start)
+        fork_io.resume =
+            base_io.captured[static_cast<size_t>(it - targets.begin())];
+      fork_io.divergence_ref = base_io.final_state;
+    }
+    results[i] =
+        run_scenario(set[i], static_cast<u32>(i), nullptr, nullptr, &fork_io);
+    report(results[i]);
+  }
+}
+
+}  // namespace
 
 CampaignResult CampaignRunner::run(const ScenarioSet& set) const {
   set.validate_all();
@@ -216,19 +292,59 @@ CampaignResult CampaignRunner::run(const ScenarioSet& set) const {
   jobs = std::min<u32>(jobs, set.empty() ? 1 : static_cast<u32>(set.size()));
   out.jobs = jobs;
 
+  // Work units: normally one scenario each; under snapshot fast-forward,
+  // scenarios differing only in their fault plan coalesce into one unit
+  // that shares a clean base simulation (>= 2 faulted members make the
+  // base run worthwhile). Unit discovery is deterministic, and results are
+  // stored at each scenario's index, so campaign output remains
+  // bit-identical regardless of jobs or fast-forward.
+  std::vector<std::vector<size_t>> units;
+  if (cfg_.snapshot_fast_forward) {
+    std::vector<bool> grouped(set.size(), false);
+    for (size_t i = 0; i < set.size(); ++i) {
+      if (grouped[i]) continue;
+      std::vector<size_t> unit{i};
+      grouped[i] = true;
+      for (size_t j = i + 1; j < set.size(); ++j) {
+        if (!grouped[j] && set[i].same_but_fault(set[j])) {
+          unit.push_back(j);
+          grouped[j] = true;
+        }
+      }
+      units.push_back(std::move(unit));
+    }
+  } else {
+    units.reserve(set.size());
+    for (size_t i = 0; i < set.size(); ++i) units.push_back({i});
+  }
+
   const auto t0 = Clock::now();
   std::atomic<size_t> next{0};
   std::mutex report_mutex;
 
+  const auto report = [&](const ScenarioResult& r) {
+    if (cfg_.on_result) {
+      std::lock_guard<std::mutex> lock(report_mutex);
+      cfg_.on_result(r);
+    }
+  };
+
   auto worker = [&] {
-    for (size_t i = next.fetch_add(1); i < set.size();
-         i = next.fetch_add(1)) {
-      ScenarioResult r = run_scenario(set[i], static_cast<u32>(i));
-      if (cfg_.on_result) {
-        std::lock_guard<std::mutex> lock(report_mutex);
-        cfg_.on_result(r);
+    for (size_t u = next.fetch_add(1); u < units.size();
+         u = next.fetch_add(1)) {
+      const std::vector<size_t>& unit = units[u];
+      size_t fault_members = 0;
+      for (size_t i : unit)
+        if (set[i].fault.active()) ++fault_members;
+      if (unit.size() >= 2 && fault_members >= 2) {
+        run_ff_group(set, unit, report, out.results);
+        continue;
       }
-      out.results[i] = std::move(r);
+      for (size_t i : unit) {
+        ScenarioResult r = run_scenario(set[i], static_cast<u32>(i));
+        report(r);
+        out.results[i] = std::move(r);
+      }
     }
   };
 

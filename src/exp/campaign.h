@@ -70,6 +70,16 @@ struct ScenarioResult {
   /// the run is correct (e.g. the window hit an idle phase).
   fault::Outcome outcome = fault::Outcome::kMasked;
 
+  // ---- Diagnosis (campaign-mode dependent, excluded from equality) -------
+  /// First architecturally divergent component between this run's final
+  /// device state and a clean reference snapshot (ckpt::first_divergence:
+  /// "sm3", "l1[2] set 17", "dram bank 5", "store @0x..."), "" when
+  /// identical. Only populated when a reference exists — snapshot
+  /// fast-forward campaigns diff every faulted fork against the clean base
+  /// run — so, like the wall-clock fields, it is not part of
+  /// deterministic_fields_equal().
+  std::string divergence;
+
   // ---- Host timing (NON-deterministic, excluded from equality) -----------
   double wall_sec = 0.0;      // full scenario wall time on this host
   double sim_wall_sec = 0.0;  // wall time inside the simulation engine
@@ -94,14 +104,37 @@ struct ScenarioResult {
 using ScenarioProbe = std::function<void(
     runtime::Device&, workloads::Workload&, core::ExecSession&)>;
 
+/// Snapshot traffic of one scenario execution — the plumbing behind
+/// snapshot-accelerated fault campaigns. A *base* run sets capture_targets
+/// (the sweep's injection cycles) and reads back `captured`/`final_state`;
+/// a *fork* sets `resume` (a base snapshot whose cycle predates its fault)
+/// and optionally `divergence_ref` (the clean final state to diff against).
+/// All snapshots are immutable and safely shared across threads.
+struct SnapshotIo {
+  // In (base run): capture a snapshot covering each cycle.
+  std::vector<Cycle> capture_targets;
+  // Out (base run): parallel to sorted/deduped capture_targets; null where
+  // the run finished before the target.
+  std::vector<ckpt::SnapshotPtr> captured;
+  // In (fork): restore this snapshot at the matching synchronize() — the
+  // deterministic prefix is skipped, results stay bit-identical.
+  ckpt::SnapshotPtr resume;
+  // Out: the device's final state after the run (for divergence diffing).
+  ckpt::SnapshotPtr final_state;
+  // In (fork): clean final state to localize divergence against.
+  ckpt::SnapshotPtr divergence_ref;
+};
+
 /// Execute one scenario start-to-finish on the calling thread. `pre_run`
 /// runs after the device/session are constructed but before the workload
 /// executes (e.g. to install a trace sink); `probe` runs directly after
 /// Workload::run returns, before verification/teardown — a pre_run/probe
-/// pair brackets exactly the workload's device flow.
+/// pair brackets exactly the workload's device flow. `snap`, when given,
+/// wires the scenario into the snapshot machinery (see SnapshotIo).
 ScenarioResult run_scenario(const ScenarioSpec& spec, u32 index = 0,
                             const ScenarioProbe& probe = nullptr,
-                            const ScenarioProbe& pre_run = nullptr);
+                            const ScenarioProbe& pre_run = nullptr,
+                            SnapshotIo* snap = nullptr);
 
 struct CampaignResult {
   std::vector<ScenarioResult> results;  // in ScenarioSet order
@@ -125,6 +158,16 @@ class CampaignRunner {
   struct Config {
     /// Worker threads; 0 = std::thread::hardware_concurrency().
     u32 jobs = 0;
+    /// Snapshot fast-forward: scenarios that differ only in their fault
+    /// plan share one clean base run — simulated once, snapshotted at each
+    /// member's injection cycle — and each faulted member forks from the
+    /// snapshot covering its injection point instead of re-simulating the
+    /// common prefix from cycle 0. Results are bit-identical to from-
+    /// scratch execution (enforced by tests/ckpt_test.cpp); forks
+    /// additionally report ScenarioResult::divergence against the clean
+    /// run's final state. Groups need >= 2 fault members to be worth a
+    /// base run; everything else runs normally.
+    bool snapshot_fast_forward = false;
     /// Called after each scenario completes, serialized under a mutex
     /// (progress reporting). Completion order is scheduling-dependent.
     std::function<void(const ScenarioResult&)> on_result;

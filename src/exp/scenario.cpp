@@ -143,7 +143,18 @@ std::string ScenarioSpec::label() const {
     l += ':';
     l += mem;
   }
+  if (ckpt.active()) {
+    l += ':';
+    l += ckpt.label();
+  }
   return l;
+}
+
+bool ScenarioSpec::same_but_fault(const ScenarioSpec& other) const {
+  return workload == other.workload && scale == other.scale &&
+         seed == other.seed && gpu == other.gpu &&
+         platform == other.platform && policy == other.policy &&
+         redundancy == other.redundancy && ckpt == other.ckpt;
 }
 
 // ---- ScenarioSet -----------------------------------------------------------
@@ -175,9 +186,18 @@ ScenarioSet& ScenarioSet::append(const ScenarioSet& other) {
   return *this;
 }
 
+void ScenarioSet::require_base(const char* builder) const {
+  if (specs_.empty())
+    throw std::invalid_argument(
+        std::string("ScenarioSet::") + builder +
+        ": base scenario set is empty (nothing to sweep; build the set "
+        "before applying sweep axes)");
+}
+
 ScenarioSet ScenarioSet::product(const std::vector<Mutator>& axis) const {
-  // An empty axis would silently annihilate the set, and an empty campaign
-  // vacuously "passes" — make the degenerate sweep loud instead.
+  // An empty side would silently annihilate the cross-product, and an empty
+  // campaign vacuously "passes" — make the degenerate sweep loud instead.
+  require_base("product");
   if (axis.empty())
     throw std::invalid_argument(
         "ScenarioSet::product: sweep axis must not be empty");
@@ -195,6 +215,7 @@ ScenarioSet ScenarioSet::product(const std::vector<Mutator>& axis) const {
 
 ScenarioSet ScenarioSet::sweep_policies(
     const std::vector<sched::Policy>& policies) const {
+  require_base("sweep_policies");
   std::vector<Mutator> axis;
   for (sched::Policy p : policies)
     axis.push_back([p](ScenarioSpec& s) { s.policy = p; });
@@ -203,6 +224,7 @@ ScenarioSet ScenarioSet::sweep_policies(
 
 ScenarioSet ScenarioSet::sweep_faults(
     const std::vector<FaultPlan>& plans) const {
+  require_base("sweep_faults");
   std::vector<Mutator> axis;
   for (const FaultPlan& plan : plans)
     axis.push_back([plan](ScenarioSpec& s) { s.fault = plan; });
@@ -210,6 +232,7 @@ ScenarioSet ScenarioSet::sweep_faults(
 }
 
 ScenarioSet ScenarioSet::sweep_seeds(const std::vector<u64>& seeds) const {
+  require_base("sweep_seeds");
   std::vector<Mutator> axis;
   for (u64 seed : seeds)
     axis.push_back([seed](ScenarioSpec& s) { s.seed = seed; });
@@ -218,6 +241,7 @@ ScenarioSet ScenarioSet::sweep_seeds(const std::vector<u64>& seeds) const {
 
 ScenarioSet ScenarioSet::sweep_workloads(
     const std::vector<std::string>& names) const {
+  require_base("sweep_workloads");
   std::vector<Mutator> axis;
   for (const std::string& name : names)
     axis.push_back([name](ScenarioSpec& s) { s.workload = name; });
@@ -226,6 +250,7 @@ ScenarioSet ScenarioSet::sweep_workloads(
 
 ScenarioSet ScenarioSet::sweep_redundancy(
     const std::vector<core::RedundancySpec>& specs) const {
+  require_base("sweep_redundancy");
   std::vector<Mutator> axis;
   for (const core::RedundancySpec& r : specs)
     axis.push_back([r](ScenarioSpec& s) { s.redundancy = r; });
@@ -245,6 +270,7 @@ ScenarioSet ScenarioSet::sweep_redundancy() const {
 
 ScenarioSet ScenarioSet::sweep_mem(
     const std::vector<memsys::MemParams>& mems) const {
+  require_base("sweep_mem");
   std::vector<Mutator> axis;
   for (const memsys::MemParams& mem : mems)
     axis.push_back([mem](ScenarioSpec& s) { s.gpu.mem = mem; });
@@ -252,6 +278,7 @@ ScenarioSet ScenarioSet::sweep_mem(
 }
 
 ScenarioSet ScenarioSet::sweep_write_policies() const {
+  require_base("sweep_write_policies");
   std::vector<Mutator> axis;
   for (memsys::WritePolicy wp :
        {memsys::WritePolicy::kWriteBack, memsys::WritePolicy::kWriteThrough}) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.h"
 #include "core/exec.h"
 #include "fault/injector.h"
 #include "runtime/platform.h"
@@ -77,6 +78,19 @@ struct ScenarioSpec {
 
   FaultPlan fault;
 
+  /// Automatic device checkpointing (see ckpt::CheckpointPolicy). Captures
+  /// are free on the modelled timeline and never perturb simulation, so a
+  /// scenario's results are identical with or without them; the policy
+  /// still appears in the label (":ckpt5000" / ":prekernel") because it
+  /// changes what recovery/diagnosis machinery has to work with.
+  /// Recovery::kRollback scenarios get kPreKernel automatically.
+  ckpt::CheckpointPolicy ckpt;
+
+  /// All fields except the fault plan match — `other` is the same
+  /// experiment under a different fault. The grouping predicate behind
+  /// CampaignRunner's snapshot fast-forward.
+  bool same_but_fault(const ScenarioSpec& other) const;
+
   /// Session config corresponding to this spec.
   core::ExecSession::Config session_config() const;
 
@@ -105,6 +119,10 @@ struct ScenarioSpec {
 ///       .sweep_faults({FaultPlan::none(), FaultPlan::droop(2000, 50, 2)})
 ///
 /// yields 3 x 2 = 6 scenarios in deterministic (row-major) order.
+/// Degenerate sweeps are loud: both an empty axis and an empty base set
+/// throw std::invalid_argument naming the offending side (an empty
+/// cross-product would otherwise silently produce an empty, vacuously
+/// passing campaign).
 class ScenarioSet {
  public:
   /// Mutation applied to a copy of a spec — the generic sweep axis.
@@ -159,6 +177,10 @@ class ScenarioSet {
   auto end() const { return specs_.end(); }
 
  private:
+  /// Throws std::invalid_argument naming `builder` when the base set is
+  /// empty (a sweep over nothing would silently yield an empty campaign).
+  void require_base(const char* builder) const;
+
   std::vector<ScenarioSpec> specs_;
 };
 

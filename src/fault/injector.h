@@ -33,6 +33,16 @@ class FaultInjector final : public sim::IFaultHook {
   void on_block_diverted(u32 intended_sm, u32 actual_sm) override;
   bool armed() const override { return mode_ != Mode::kNone; }
   Cycle next_trigger_cycle(Cycle now) const override;
+  /// Checkpoint participation: the armed window and the corruption counters
+  /// are snapshot state, so an exact restore mid fault window resumes the
+  /// injection bit-identically.
+  void save_state(ckpt::Writer& w) const override;
+  void restore_state(ckpt::Reader& r) override;
+  /// Rollback recovery re-traverses past cycles; a transient disturbance
+  /// (droop / single-SM transient) is a one-time physical event that will
+  /// not recur, so its cycle-anchored window is disarmed. Permanent defects
+  /// and scheduler faults persist.
+  void on_rollback() override;
 
   /// Number of datapath results actually corrupted so far.
   u64 corruptions() const { return corruptions_; }

@@ -79,6 +79,26 @@ void SetAssocCache::clear() {
   use_counter_ = 0;
 }
 
+void SetAssocCache::save(ckpt::Writer& w) const {
+  for (const Way& way : ways_) {
+    w.put8(way.valid ? 1 : 0);
+    w.put8(way.dirty ? 1 : 0);
+    w.put64(way.tag);
+    w.put64(way.lru);
+  }
+  w.put64(use_counter_);
+}
+
+void SetAssocCache::restore(ckpt::Reader& r) {
+  for (Way& way : ways_) {
+    way.valid = r.get8() != 0;
+    way.dirty = r.get8() != 0;
+    way.tag = r.get64();
+    way.lru = r.get64();
+  }
+  use_counter_ = r.get64();
+}
+
 bool SetAssocCache::invalidate_line(u64 line_addr) {
   const u32 set = set_of(line_addr);
   const u64 tag = tag_of(line_addr);

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "ckpt/serial.h"
 #include "common/types.h"
 
 namespace higpu::memsys {
@@ -42,6 +43,13 @@ class SetAssocCache {
 
   u32 num_sets() const { return num_sets_; }
   u32 assoc() const { return assoc_; }
+
+  // Checkpoint: the tag array set-by-set (fixed-size records so a snapshot
+  // diff can name the first divergent set), then the LRU use counter.
+  void save(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
+  /// Serialized bytes per set — the snapshot section's record size.
+  u64 set_record_bytes() const { return 18ull * assoc_; }
 
  private:
   struct Way {

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "ckpt/serial.h"
 #include "common/types.h"
 
 namespace higpu::memsys {
@@ -34,6 +35,10 @@ class GlobalStore {
   // Bulk transfer helpers used by the host runtime.
   void write_block(DevPtr dst, const void* src, u64 bytes);
   void read_block(void* dst, DevPtr src, u64 bytes) const;
+
+  // Checkpoint: allocator cursor plus the full (lazily grown) contents.
+  void save(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
 
  private:
   static constexpr DevPtr kBase = 256;  // keep nullptr-like 0 unmapped

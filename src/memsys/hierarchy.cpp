@@ -269,4 +269,88 @@ MemResponse MemHierarchy::access_atomic(u32 sm, u64 line_addr, Cycle now) {
           t + 1};
 }
 
+void MemHierarchy::save(ckpt::Writer& w) const {
+  for (size_t i = 0; i < l1_.size(); ++i) {
+    w.begin_section("l1[" + std::to_string(i) + "]",
+                    l1_[i].set_record_bytes());
+    l1_[i].save(w);
+    w.end_section();
+  }
+  w.begin_section("l2", l2_.set_record_bytes());
+  l2_.save(w);
+  w.end_section();
+
+  // The dram section holds bank records only (fixed 16-byte records), so a
+  // snapshot diff maps its first differing byte to a real bank index;
+  // channel-bus bandwidth counters live in the bookkeeping section.
+  w.begin_section("dram", /*record_size=*/16);
+  for (const DramBank& b : dram_banks_) {
+    w.put64(b.busy_until);
+    w.put64(b.open_row);
+  }
+  w.end_section();
+
+  w.begin_section("memsys");
+  w.put_u64_vec(dram_channel_free_);
+  w.put_u64_vec(l1_port_free_);
+  w.put_u64_vec(l2_bank_free_);
+  w.put64(mshr_.size());
+  for (const auto& mshr : mshr_) {
+    w.put64(mshr.size());
+    for (const MshrEntry& e : mshr) {
+      w.put64(e.line);
+      w.put64(e.ready);
+      w.putb(e.fill_dirty);
+    }
+  }
+  for (u64 c : {l1_hits_, l1_misses_, l1_write_hits_, l1_write_misses_,
+                l1_mshr_merges_, l1_writebacks_, l1_mshr_stalls_,
+                l1_mshr_stall_cycles_, l1_write_through_, l2_hits_,
+                l2_misses_, dram_reads_, dram_writebacks_, dram_row_hits_,
+                dram_row_misses_, atomics_})
+    w.put64(c);
+  w.end_section();
+}
+
+void MemHierarchy::restore(ckpt::Reader& r) {
+  for (size_t i = 0; i < l1_.size(); ++i) {
+    r.enter_section("l1[" + std::to_string(i) + "]");
+    l1_[i].restore(r);
+    r.leave_section();
+  }
+  r.enter_section("l2");
+  l2_.restore(r);
+  r.leave_section();
+
+  r.enter_section("dram");
+  for (DramBank& b : dram_banks_) {
+    b.busy_until = r.get64();
+    b.open_row = r.get64();
+  }
+  r.leave_section();
+
+  r.enter_section("memsys");
+  dram_channel_free_ = r.get_u64_vec();
+  l1_port_free_ = r.get_u64_vec();
+  l2_bank_free_ = r.get_u64_vec();
+  const u64 n_mshr = r.get64();
+  if (n_mshr != mshr_.size())
+    throw ckpt::SnapshotError("snapshot MSHR array count mismatch");
+  for (auto& mshr : mshr_) {
+    mshr.resize(static_cast<size_t>(r.get64()));
+    for (MshrEntry& e : mshr) {
+      e.line = r.get64();
+      e.ready = r.get64();
+      e.fill_dirty = r.getb();
+    }
+  }
+  for (u64* c : {&l1_hits_, &l1_misses_, &l1_write_hits_, &l1_write_misses_,
+                 &l1_mshr_merges_, &l1_writebacks_, &l1_mshr_stalls_,
+                 &l1_mshr_stall_cycles_, &l1_write_through_, &l2_hits_,
+                 &l2_misses_, &dram_reads_, &dram_writebacks_,
+                 &dram_row_hits_, &dram_row_misses_, &atomics_})
+    *c = r.get64();
+  r.leave_section();
+}
+
 }  // namespace higpu::memsys

@@ -68,6 +68,13 @@ class MemHierarchy {
   /// Invalidate all cache state and bandwidth counters (fresh simulation).
   void reset();
 
+  /// Checkpoint the full hierarchy state: per-SM L1 tag arrays (one snapshot
+  /// section each, set-granular), the L2, DRAM bank/row state (bank-granular
+  /// section), and a bookkeeping section (port/bank/channel bandwidth
+  /// counters, MSHRs, statistics). Restore requires the same geometry.
+  void save(ckpt::Writer& w) const;
+  void restore(ckpt::Reader& r);
+
   const MemParams& params() const { return params_; }
   /// Statistics snapshot. Counters are kept as plain integers (a map lookup
   /// per access would dominate memory-bound simulations) and exported here

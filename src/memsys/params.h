@@ -60,6 +60,8 @@ struct MemParams {
 
   // Atomic operations are resolved at the L2; extra service time per access.
   u32 atomic_extra = 8;
+
+  bool operator==(const MemParams& other) const = default;
 };
 
 /// Throws std::invalid_argument naming the offending field (zero geometry,

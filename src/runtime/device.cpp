@@ -1,6 +1,8 @@
 #include "runtime/device.h"
 
+#include <algorithm>
 #include <chrono>
+#include <unordered_map>
 
 namespace higpu::runtime {
 
@@ -8,7 +10,11 @@ Device::Device(const sim::GpuParams& gpu_params, const PlatformParams& platform)
     : platform_(platform),
       store_(std::make_unique<memsys::GlobalStore>()),
       gpu_(std::make_unique<sim::Gpu>(gpu_params, store_.get())),
-      ns_per_cycle_(1.0 / gpu_params.clock_ghz) {}
+      ns_per_cycle_(1.0 / gpu_params.clock_ghz) {
+  gpu_->set_checkpoint_hook([this](Cycle nominal, bool is_target) {
+    on_gpu_checkpoint(nominal, is_target);
+  });
+}
 
 DevPtr Device::malloc(u64 bytes) {
   now_ns_ += platform_.api_call_ns;
@@ -34,7 +40,25 @@ u32 Device::launch(sim::KernelLaunch launch, u32 stream) {
 }
 
 Cycle Device::synchronize() {
+  sync_seq_ += 1;
   const Cycle before = gpu_->now();
+  // Pre-kernel checkpoints are captured before any resume restore: a
+  // fast-forwarded fork must record the same sync-entry anchor a
+  // from-scratch run records (its prefix state here is identical by
+  // determinism), not a mid-kernel state teleported in by the resume —
+  // otherwise a later rollback would walk different checkpoints and break
+  // the fork's bit-identical guarantee.
+  if (ckpt_policy_.kind == ckpt::CheckpointPolicy::Kind::kPreKernel &&
+      !gpu_->idle())
+    push_checkpoint(capture(gpu_->now()), /*anchor=*/true);
+  if (resume_ != nullptr && resume_->sync_seq == sync_seq_) {
+    // Campaign fast-forward: this run's prefix up to here is deterministic
+    // and identical to the run the snapshot came from; teleport over the
+    // already-simulated cycles and continue live from the capture point.
+    const ckpt::SnapshotPtr snap = std::move(resume_);
+    restore(*snap);  // also restores sync_seq_ == the value just computed
+  }
+
   const auto wall0 = std::chrono::steady_clock::now();
   gpu_->run_until_idle();
   sim_wall_sec_ +=
@@ -62,6 +86,187 @@ void Device::host_generate(u64 bytes) { now_ns_ += platform_.generate_ns(bytes);
 
 void Device::host_compare(u64 bytes) {
   now_ns_ += platform_.compare_ns(bytes);
+}
+
+// ---- Checkpoint / restore --------------------------------------------------
+
+void Device::set_checkpoint_policy(const ckpt::CheckpointPolicy& p) {
+  ckpt_policy_ = p;
+  gpu_->set_checkpoint_interval(
+      p.kind == ckpt::CheckpointPolicy::Kind::kInterval ? p.interval_cycles
+                                                        : 0);
+}
+
+void Device::set_checkpoint_targets(std::vector<Cycle> cycles) {
+  std::sort(cycles.begin(), cycles.end());
+  cycles.erase(std::unique(cycles.begin(), cycles.end()), cycles.end());
+  ckpt_targets_ = cycles;
+  target_snaps_.assign(ckpt_targets_.size(), nullptr);
+  gpu_->set_checkpoint_targets(std::move(cycles));
+}
+
+void Device::on_gpu_checkpoint(Cycle nominal, bool is_target) {
+  ckpt::SnapshotPtr snap = capture(nominal);
+  if (is_target) {
+    const auto it =
+        std::lower_bound(ckpt_targets_.begin(), ckpt_targets_.end(), nominal);
+    if (it != ckpt_targets_.end() && *it == nominal)
+      target_snaps_[static_cast<size_t>(it - ckpt_targets_.begin())] =
+          std::move(snap);
+  } else {
+    push_checkpoint(std::move(snap), /*anchor=*/false);
+  }
+}
+
+void Device::push_checkpoint(ckpt::SnapshotPtr snap, bool anchor) {
+  checkpoints_.push_back(std::move(snap));
+  checkpoint_is_anchor_.push_back(anchor ? 1 : 0);
+  if (anchor) return;
+  // Interval captures are periodic and each holds a full store image, so a
+  // long run would otherwise accumulate memory proportional to its length.
+  // Keep only the most recent few — rollback walks newest to oldest with a
+  // small attempt budget — while pre-kernel anchors (one per sync round,
+  // bounded by the workload's structure, and the guaranteed-clean fallback)
+  // are never evicted.
+  u32 intervals = 0;
+  for (u8 a : checkpoint_is_anchor_)
+    if (!a) ++intervals;
+  if (intervals <= kMaxIntervalCheckpoints) return;
+  for (size_t i = 0; i < checkpoints_.size(); ++i) {
+    if (!checkpoint_is_anchor_[i]) {
+      checkpoints_.erase(checkpoints_.begin() + static_cast<long>(i));
+      checkpoint_is_anchor_.erase(checkpoint_is_anchor_.begin() +
+                                  static_cast<long>(i));
+      break;
+    }
+  }
+}
+
+u64 Device::params_fingerprint() const {
+  ckpt::Writer w;
+  const sim::GpuParams& g = gpu_->params();
+  w.put8(static_cast<u8>(g.engine));
+  for (u32 v : {g.num_sms, g.warp_size, g.max_warps_per_sm,
+                g.max_blocks_per_sm, g.regfile_per_sm, g.shared_per_sm,
+                g.num_warp_schedulers, g.sp_latency, g.sfu_latency,
+                g.sfu_interval, g.launch_gap_cycles})
+    w.put32(v);
+  w.putf64(g.clock_ghz);
+  const memsys::MemParams& m = g.mem;
+  w.put8(static_cast<u8>(m.l1_write_policy));
+  w.put8(static_cast<u8>(m.l1_write_alloc));
+  for (u32 v : {m.line_bytes, m.l1_size, m.l1_assoc, m.l1_latency,
+                m.l1_mshr_entries, m.l2_size, m.l2_assoc, m.l2_banks,
+                m.l2_latency, m.l2_service, m.dram_channels,
+                m.dram_banks_per_channel, m.dram_row_bytes,
+                m.dram_row_hit_latency, m.dram_row_miss_latency,
+                m.dram_service, m.smem_banks, m.smem_latency, m.atomic_extra})
+    w.put32(v);
+  const PlatformParams& p = platform_;
+  for (double v : {p.pcie_h2d_gbps, p.pcie_d2h_gbps, p.host_compare_gbps,
+                   p.host_compute_gbps, p.file_parse_gbps, p.mem_generate_gbps,
+                   p.ckpt_restore_gbps})
+    w.putf64(v);
+  for (NanoSec v : {p.api_call_ns, p.memcpy_latency_ns, p.launch_ns, p.sync_ns,
+                    p.ckpt_restore_latency_ns})
+    w.put64(v);
+  return ckpt::fnv1a(w.blob().data(), w.blob().size());
+}
+
+ckpt::SnapshotPtr Device::snapshot() { return capture(gpu_->now()); }
+
+ckpt::SnapshotPtr Device::capture(Cycle nominal) {
+  auto snap = std::make_shared<ckpt::Snapshot>();
+  ckpt::Writer w;
+
+  w.begin_section("meta");
+  w.put64(ckpt::Snapshot::kMagic);
+  w.put32(ckpt::Snapshot::kVersion);
+  w.put64(params_fingerprint());
+  w.end_section();
+
+  // sim_wall_sec_ is real host wall-clock (non-deterministic); it stays out
+  // of the blob so snapshots of identical modelled state hash identically.
+  w.begin_section("host");
+  w.put64(now_ns_);
+  w.put64(gpu_cycles_);
+  w.put64(synced_upto_);
+  w.put64(sync_seq_);
+  w.end_section();
+
+  w.begin_section("store", /*record_size=*/1);
+  store_->save(w);
+  w.end_section();
+
+  std::unordered_map<const isa::KernelProgram*, u32> prog_index;
+  gpu_->save(w, [&](const isa::ProgramPtr& p) -> u32 {
+    const auto it = prog_index.find(p.get());
+    if (it != prog_index.end()) return it->second;
+    const u32 idx = static_cast<u32>(snap->programs.size());
+    prog_index.emplace(p.get(), idx);
+    snap->programs.push_back(p);
+    return idx;
+  });
+
+  snap->blob = w.take_blob();
+  snap->sections = w.take_sections();
+  snap->cycle = gpu_->now();
+  snap->sync_seq = sync_seq_;
+  snap->launch_count = gpu_->kernel_states().size();
+  snap->now_ns = now_ns_;
+  snap->target = nominal;
+  return snap;
+}
+
+void Device::restore(const ckpt::Snapshot& s) {
+  restore_impl(s, /*restore_fault=*/true);
+}
+
+void Device::rollback(const ckpt::Snapshot& s) {
+  const NanoSec keep_now = now_ns_;
+  const Cycle keep_cycles = gpu_cycles_;
+  const u64 keep_seq = sync_seq_;
+  // The environment is not rolled back: the injector keeps its armed state
+  // and cumulative corruption counters (restore_fault = false), and is told
+  // the physical disturbance lies in the past (on_rollback).
+  restore_impl(s, /*restore_fault=*/false);
+  now_ns_ = keep_now + platform_.restore_ns(s.size_bytes());
+  gpu_cycles_ = keep_cycles;
+  sync_seq_ = keep_seq;
+  gpu_->notify_rollback();
+}
+
+void Device::restore_impl(const ckpt::Snapshot& s, bool restore_fault) {
+  ckpt::Reader r(s.blob, s.sections);
+
+  r.enter_section("meta");
+  if (r.get64() != ckpt::Snapshot::kMagic)
+    throw ckpt::SnapshotError("not a device snapshot (bad magic)");
+  const u32 version = r.get32();
+  if (version != ckpt::Snapshot::kVersion)
+    throw ckpt::SnapshotError("snapshot format v" + std::to_string(version) +
+                              " != supported v" +
+                              std::to_string(ckpt::Snapshot::kVersion));
+  if (r.get64() != params_fingerprint())
+    throw ckpt::SnapshotError(
+        "snapshot was captured on a device with different GPU/platform "
+        "parameters");
+  r.leave_section();
+
+  r.enter_section("host");
+  now_ns_ = r.get64();
+  gpu_cycles_ = r.get64();
+  synced_upto_ = r.get64();
+  sync_seq_ = r.get64();
+  r.leave_section();
+
+  r.enter_section("store");
+  store_->restore(r);
+  r.leave_section();
+
+  gpu_->restore(
+      r, [&s](u32 idx) -> isa::ProgramPtr { return s.programs.at(idx); },
+      restore_fault);
 }
 
 }  // namespace higpu::runtime

@@ -10,11 +10,25 @@
 // GpuParams::engine (event-driven by default): wall-clock cost scales with
 // the work simulated, not with idle GPU cycles, while cycle counts and all
 // reported statistics stay bit-identical to the dense reference loop.
+//
+// Checkpoint/restore (src/ckpt): snapshot() captures the complete device
+// state — GPU core, memory system, global store, host timeline, scheduler
+// cursors, armed fault state — as a versioned binary ckpt::Snapshot;
+// restore() resumes from one bit-identically to an uninterrupted run, on
+// this device or a freshly constructed one with identical parameters.
+// Snapshots can be captured automatically (a CheckpointPolicy or explicit
+// mid-run target cycles) and consumed two ways: rollback() re-anchors the
+// simulation at a checkpoint while the host timeline keeps advancing
+// (recovery semantics: restore cost is charged, the fault hook is told the
+// physical world moved on), and arm_resume() teleports a deterministic
+// re-run of the same workload over its already-simulated prefix (campaign
+// fast-forward).
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "ckpt/snapshot.h"
 #include "common/types.h"
 #include "memsys/global_store.h"
 #include "runtime/platform.h"
@@ -52,6 +66,60 @@ class Device {
   /// Returns the GPU cycles consumed by this synchronization.
   Cycle synchronize();
 
+  // ---- Checkpoint / restore ----------------------------------------------
+  /// Automatic capture policy: kPreKernel snapshots at every synchronize()
+  /// with pending kernel work (the rollback anchors), kInterval snapshots
+  /// periodically during execution. Captured snapshots accumulate in
+  /// checkpoints() in capture order.
+  void set_checkpoint_policy(const ckpt::CheckpointPolicy& p);
+  const ckpt::CheckpointPolicy& checkpoint_policy() const {
+    return ckpt_policy_;
+  }
+  /// Explicit mid-run capture cycles (a campaign's fault-injection points).
+  /// After the run, target_snapshots()[i] holds the snapshot covering
+  /// targets()[i] (sorted order), or null if the run ended before it.
+  void set_checkpoint_targets(std::vector<Cycle> cycles);
+  const std::vector<Cycle>& targets() const { return ckpt_targets_; }
+  const std::vector<ckpt::SnapshotPtr>& target_snapshots() const {
+    return target_snaps_;
+  }
+  /// Policy captures in capture order. Pre-kernel anchors are all kept
+  /// (one per sync round with pending work); interval captures are a ring
+  /// of the most recent kMaxIntervalCheckpoints so long runs don't
+  /// accumulate memory proportional to their length.
+  const std::vector<ckpt::SnapshotPtr>& checkpoints() const {
+    return checkpoints_;
+  }
+  void clear_checkpoints() {
+    checkpoints_.clear();
+    checkpoint_is_anchor_.clear();
+  }
+  static constexpr u32 kMaxIntervalCheckpoints = 8;
+
+  /// Capture the complete device state right now (between host operations,
+  /// or from the GPU's mid-run capture points). Captures are free on the
+  /// modelled timeline (see PlatformParams::ckpt_restore_gbps).
+  ckpt::SnapshotPtr snapshot();
+
+  /// Exact restore: device state becomes the snapshot's, and continued
+  /// execution is bit-identical to the run the snapshot was captured from —
+  /// results, cycle counts, statistics and the modelled timeline included.
+  /// Throws ckpt::SnapshotError on version/parameter mismatch.
+  void restore(const ckpt::Snapshot& s);
+
+  /// Rollback restore: the simulated machine state is restored exactly, but
+  /// the host timeline keeps advancing — the restore is charged at the
+  /// platform's checkpoint-restore rate, cycles re-executed after the
+  /// rollback are charged again, and the fault hook's on_rollback() fires
+  /// (a past transient disturbance does not recur). This is the recovery
+  /// primitive behind RedundancySpec::Recovery::kRollback.
+  void rollback(const ckpt::Snapshot& s);
+
+  /// Restore `s` at the entry of the matching future synchronize() call
+  /// (the one with the snapshot's sync_seq), fast-forwarding a
+  /// deterministic re-run over its already-simulated prefix.
+  void arm_resume(ckpt::SnapshotPtr s) { resume_ = std::move(s); }
+
   // ---- Host-side time accounting ----------------------------------------------
   /// Charge host computation over `bytes` of data.
   void host_compute(u64 bytes);
@@ -73,14 +141,28 @@ class Device {
   double sim_wall_seconds() const { return sim_wall_sec_; }
 
  private:
+  void on_gpu_checkpoint(Cycle nominal, bool is_target);
+  void push_checkpoint(ckpt::SnapshotPtr snap, bool anchor);
+  ckpt::SnapshotPtr capture(Cycle nominal);
+  void restore_impl(const ckpt::Snapshot& s, bool restore_fault);
+  u64 params_fingerprint() const;
+
   PlatformParams platform_;
   std::unique_ptr<memsys::GlobalStore> store_;
   std::unique_ptr<sim::Gpu> gpu_;
   NanoSec now_ns_ = 0;
   Cycle gpu_cycles_ = 0;
   Cycle synced_upto_ = 0;
+  u64 sync_seq_ = 0;  // 1-based index of the synchronize() in progress
   double ns_per_cycle_;
   double sim_wall_sec_ = 0.0;
+
+  ckpt::CheckpointPolicy ckpt_policy_;
+  std::vector<Cycle> ckpt_targets_;               // sorted
+  std::vector<ckpt::SnapshotPtr> target_snaps_;   // parallel to ckpt_targets_
+  std::vector<ckpt::SnapshotPtr> checkpoints_;    // policy captures, in order
+  std::vector<u8> checkpoint_is_anchor_;          // parallel: 1 = pre-kernel
+  ckpt::SnapshotPtr resume_;
 };
 
 }  // namespace higpu::runtime

@@ -25,6 +25,12 @@ struct PlatformParams {
   double host_compute_gbps = 1.0;    // generic host phases
   double file_parse_gbps = 0.15;     // text input-file parsing (fscanf-style)
   double mem_generate_gbps = 1.2;    // in-memory synthetic input generation
+  // Checkpoint restore: reloading a protected in-device state image at
+  // device-memory bandwidth, plus a fixed rollback-sequencing overhead.
+  // Captures are modelled as free (shadowed/incremental, off the critical
+  // path); restores are synchronous — they gate the recovery re-execution.
+  double ckpt_restore_gbps = 32.0;
+  NanoSec ckpt_restore_latency_ns = 2'000;
 
   NanoSec transfer_ns(u64 bytes, bool h2d) const {
     const double gbps = h2d ? pcie_h2d_gbps : pcie_d2h_gbps;
@@ -43,6 +49,12 @@ struct PlatformParams {
   NanoSec generate_ns(u64 bytes) const {
     return static_cast<NanoSec>(static_cast<double>(bytes) / mem_generate_gbps);
   }
+  NanoSec restore_ns(u64 bytes) const {
+    return ckpt_restore_latency_ns +
+           static_cast<NanoSec>(static_cast<double>(bytes) / ckpt_restore_gbps);
+  }
+
+  bool operator==(const PlatformParams& other) const = default;
 };
 
 }  // namespace higpu::runtime

@@ -6,6 +6,7 @@
 // faults). Implementations live in src/fault; a null hook costs one branch.
 #pragma once
 
+#include "ckpt/serial.h"
 #include "common/types.h"
 
 namespace higpu::sim {
@@ -46,6 +47,20 @@ class IFaultHook {
     (void)now;
     return kNeverCycle;
   }
+
+  /// Checkpoint participation: hooks with behavioural state (armed windows,
+  /// corruption counters, RNG streams) serialize it here so an exact restore
+  /// resumes fault injection bit-identically (e.g. a snapshot taken mid
+  /// fault window). Stateless hooks keep the no-op defaults.
+  virtual void save_state(ckpt::Writer& w) const { (void)w; }
+  virtual void restore_state(ckpt::Reader& r) { (void)r; }
+
+  /// A rollback recovery restored an earlier checkpoint: simulated cycles
+  /// are about to be re-traversed, but the physical timeline moved on. A
+  /// transient disturbance (droop, SM transient) is a one-time event that
+  /// already happened, so hooks should disarm cycle-anchored transient
+  /// windows here; permanent defects persist and keep corrupting.
+  virtual void on_rollback() {}
 };
 
 }  // namespace higpu::sim

@@ -61,6 +61,9 @@ bool Gpu::idle() const {
 }
 
 void Gpu::step() {
+  // Dense stepping changes SM state behind the event bookkeeping's back;
+  // the next run_event entry must rebuild its active set.
+  event_primed_ = false;
   cycle_ += 1;
   dispatched_this_cycle_ = false;
   if (ksched_) ksched_->dispatch(*this);
@@ -79,6 +82,9 @@ Cycle Gpu::run_dense(u64 max_cycles) {
   const Cycle limit = cycle_ + max_cycles;
   for (auto& sm : sms_) sm->set_use_wake_records(false);
   while (!idle()) {
+    // Loop top: all cycles <= cycle_ fully processed — the dense capture
+    // point (targets <= cycle_ fire before cycle_ + 1 is simulated).
+    maybe_checkpoint(cycle_ + 1);
     if (cycle_ >= limit)
       throw SimTimeout("GPU did not drain within cycle budget (scheduler deadlock?)");
     step();
@@ -107,21 +113,26 @@ Cycle Gpu::run_event(u64 max_cycles) {
   const Cycle limit = cycle_ + max_cycles;
   event_running_ = true;
   for (auto& sm : sms_) sm->set_use_wake_records(true);
-  // (Re)build the active set. Host code may have stepped the GPU densely or
-  // launched new kernels since the last run, so start every resident SM on
-  // the next cycle and let the first ticks establish real wake times.
-  sm_wake_.assign(num_sms(), kNeverCycle);
-  wake_heap_ = {};
-  for (u32 i = 0; i < num_sms(); ++i)
-    if (!sms_[i]->idle()) wake_sm(i, cycle_ + 1);
-  Cycle dispatch_wake = cycle_ + 1;
+  if (!event_primed_) {
+    // (Re)build the active set. Host code may have stepped the GPU densely
+    // since the last run, so start every resident SM on the next cycle and
+    // let the first ticks establish real wake times. A restored snapshot
+    // arrives primed (wake times, heap and dispatch_wake_ deserialized) and
+    // skips this, resuming exactly where the captured run left off.
+    sm_wake_.assign(num_sms(), kNeverCycle);
+    wake_heap_ = {};
+    for (u32 i = 0; i < num_sms(); ++i)
+      if (!sms_[i]->idle()) wake_sm(i, cycle_ + 1);
+    dispatch_wake_ = cycle_ + 1;
+    event_primed_ = true;
+  }
 
   while (!idle()) {
     // Earliest future event: dispatch recheck, kernel arrival, SM wake, or
     // fault-window boundary. SMs due on the very next cycle (the common
     // case while work is flowing) bypass the heap entirely; the heap only
     // holds true sleeps.
-    Cycle next = std::min(dispatch_wake, next_kernel_arrival());
+    Cycle next = std::min(dispatch_wake_, next_kernel_arrival());
     while (!wake_heap_.empty()) {
       const auto [when, sm] = wake_heap_.top();
       if (when != sm_wake_[sm]) {  // stale heap entry
@@ -134,12 +145,18 @@ Cycle Gpu::run_event(u64 max_cycles) {
     if (fault_ != nullptr)
       next = std::min(next, fault_->next_trigger_cycle(cycle_));
 
+    // Capture checkpoints the jump to `next` would move past. The clock is
+    // still at the last processed event, so the captured state resumes by
+    // recomputing this very jump — fast-forward accounting included.
+    maybe_checkpoint(next);
+
     if (next > limit) {
       // The dense loop would have ticked quiescently up to `limit` before
       // throwing; replay its accounting so statistics stay bit-identical.
       for (auto& sm : sms_) sm->settle_to(limit);
       cycle_ = limit;
       event_running_ = false;
+      event_primed_ = false;
       throw SimTimeout("GPU did not drain within cycle budget (scheduler deadlock?)");
     }
 
@@ -171,10 +188,48 @@ Cycle Gpu::run_event(u64 max_cycles) {
     // dispatch decision, so re-run the kernel scheduler one cycle later.
     // With no progress, only a kernel arrival or an SM wake can unblock it —
     // both are events already in the computation above.
-    dispatch_wake = (progress || any_next_cycle) ? cycle_ + 1 : kNeverCycle;
+    dispatch_wake_ = (progress || any_next_cycle) ? cycle_ + 1 : kNeverCycle;
   }
   event_running_ = false;
   return cycle_;
+}
+
+void Gpu::set_checkpoint_targets(std::vector<Cycle> targets) {
+  std::sort(targets.begin(), targets.end());
+  ckpt_targets_ = std::move(targets);
+  ckpt_target_idx_ = 0;
+  // Never capture "in the past": a target below the current clock would
+  // yield a snapshot that does not cover it.
+  while (ckpt_target_idx_ < ckpt_targets_.size() &&
+         ckpt_targets_[ckpt_target_idx_] < cycle_)
+    ++ckpt_target_idx_;
+}
+
+void Gpu::set_checkpoint_interval(u64 cycles) {
+  ckpt_interval_ = cycles;
+  if (cycles == 0) {
+    ckpt_next_interval_ = kNeverCycle;
+    return;
+  }
+  ckpt_next_interval_ = (cycle_ / cycles + 1) * cycles;
+}
+
+void Gpu::maybe_checkpoint(Cycle horizon) {
+  if (!ckpt_hook_) return;
+  // `horizon` is the next cycle the loop will actually simulate. A target T
+  // with T <= horizon fires now, while the clock is still strictly below T
+  // (nothing in (now(), T) exists to simulate), so the snapshot predates
+  // every possible event at cycles >= T — including a fault window a forked
+  // run arms to open exactly at T.
+  while (ckpt_target_idx_ < ckpt_targets_.size() &&
+         ckpt_targets_[ckpt_target_idx_] <= horizon) {
+    ckpt_hook_(ckpt_targets_[ckpt_target_idx_], /*is_target=*/true);
+    ++ckpt_target_idx_;
+  }
+  while (ckpt_interval_ != 0 && ckpt_next_interval_ <= horizon) {
+    ckpt_hook_(ckpt_next_interval_, /*is_target=*/false);
+    ckpt_next_interval_ += ckpt_interval_;
+  }
 }
 
 bool Gpu::sm_can_accept(u32 sm, const KernelLaunch& launch) const {
@@ -249,6 +304,202 @@ void Gpu::on_block_done(const BlockRecord& rec) {
     kernels_finished_ += 1;
     stats_.add("kernels_completed");
   }
+}
+
+void Gpu::save(
+    ckpt::Writer& w,
+    const std::function<u32(const isa::ProgramPtr&)>& program_ref) const {
+  w.begin_section("gpu");
+  w.put64(cycle_);
+  w.put64(last_arrival_);
+  w.put64(last_dispatch_cycle_);
+  w.putb(dispatched_this_cycle_);
+  w.put64(ff_cycles_);
+  w.putb(event_primed_);
+  w.put64(dispatch_wake_);
+  if (sm_wake_.empty()) {
+    // Never entered the event engine: serialize the canonical empty wake
+    // table so save -> restore -> save round-trips byte-identically.
+    const std::vector<Cycle> all_asleep(sms_.size(), kNeverCycle);
+    w.put_u64_vec(all_asleep);
+  } else {
+    w.put_u64_vec(sm_wake_);
+  }
+  // The wake heap normalized: one live entry per sleeping SM (stale
+  // lazy-deletion entries are dropped — they are semantic no-ops, and
+  // normalizing keeps snapshots of identical states byte-identical).
+  w.put64(arrival_cursor_);
+  w.put32(kernels_finished_);
+
+  w.put64(launches_.size());
+  for (const auto& slot : launches_) {
+    const KernelLaunch& l = slot->launch;
+    w.put32(program_ref(l.program));
+    for (u32 d : {l.grid.x, l.grid.y, l.grid.z, l.block.x, l.block.y,
+                  l.block.z})
+      w.put32(d);
+    w.put_u32_vec(l.params);
+    w.put32(l.hints.start_sm);
+    w.put64(l.hints.sm_mask);
+    w.put32(l.stream);
+    w.put_string(l.tag);
+    const KernelState& ks = slot->state;
+    w.put32(ks.launch_id);
+    w.put64(ks.arrival);
+    w.put32(ks.blocks_dispatched);
+    w.put32(ks.blocks_done);
+    w.put32(ks.total_blocks);
+    w.put64(ks.first_dispatch_cycle);
+    w.put64(ks.done_cycle);
+  }
+
+  w.put64(records_.size());
+  for (const BlockRecord& rec : records_) {
+    w.put32(rec.launch_id);
+    w.put32(rec.block_linear);
+    w.put32(rec.sm);
+    w.put32(rec.intended_sm);
+    w.put64(rec.dispatch_cycle);
+    w.put64(rec.end_cycle);
+  }
+
+  const auto stat_entries = stats_.entries();
+  w.put64(stat_entries.size());
+  for (const auto& [name, value] : stat_entries) {
+    w.put_string(name);
+    w.put64(value);
+  }
+  w.end_section();
+
+  w.begin_section("sched");
+  w.put_string(ksched_ ? ksched_->name() : "");
+  if (ksched_) ksched_->save_state(w);
+  w.end_section();
+
+  for (u32 i = 0; i < num_sms(); ++i) {
+    w.begin_section("sm" + std::to_string(i));
+    sms_[i]->save(w);
+    w.end_section();
+  }
+
+  mem_.save(w);
+
+  w.begin_section("fault");
+  w.putb(fault_ != nullptr);
+  if (fault_ != nullptr) fault_->save_state(w);
+  w.end_section();
+}
+
+void Gpu::restore(ckpt::Reader& r,
+                  const std::function<isa::ProgramPtr(u32)>& program_of,
+                  bool restore_fault) {
+  r.enter_section("gpu");
+  cycle_ = r.get64();
+  last_arrival_ = r.get64();
+  last_dispatch_cycle_ = r.get64();
+  dispatched_this_cycle_ = r.getb();
+  ff_cycles_ = r.get64();
+  event_primed_ = r.getb();
+  dispatch_wake_ = r.get64();
+  sm_wake_ = r.get_u64_vec();
+  // A device that never entered the event engine (dense runs, fresh
+  // devices) has no wake table yet; its snapshot carries an empty one.
+  if (sm_wake_.empty()) sm_wake_.assign(sms_.size(), kNeverCycle);
+  if (sm_wake_.size() != sms_.size())
+    throw ckpt::SnapshotError("snapshot SM count mismatch");
+  // Rebuild the heap from the normalized wake times. Pop order is a strict
+  // (cycle, sm) order regardless of the heap's internal layout, so this is
+  // behaviourally identical to the captured heap minus its stale entries.
+  wake_heap_ = {};
+  for (u32 i = 0; i < sm_wake_.size(); ++i)
+    if (sm_wake_[i] != kNeverCycle) wake_heap_.push({sm_wake_[i], i});
+  arrival_cursor_ = static_cast<size_t>(r.get64());
+  kernels_finished_ = r.get32();
+
+  const u64 n_launches = r.get64();
+  launches_.clear();
+  state_ptrs_.clear();
+  launches_.reserve(static_cast<size_t>(n_launches));
+  for (u64 i = 0; i < n_launches; ++i) {
+    auto slot = std::make_unique<LaunchSlot>();
+    KernelLaunch& l = slot->launch;
+    l.program = program_of(r.get32());
+    l.grid.x = r.get32();
+    l.grid.y = r.get32();
+    l.grid.z = r.get32();
+    l.block.x = r.get32();
+    l.block.y = r.get32();
+    l.block.z = r.get32();
+    l.params = r.get_u32_vec();
+    l.hints.start_sm = r.get32();
+    l.hints.sm_mask = r.get64();
+    l.stream = r.get32();
+    l.tag = r.get_string();
+    KernelState& ks = slot->state;
+    ks.launch_id = r.get32();
+    ks.arrival = r.get64();
+    ks.blocks_dispatched = r.get32();
+    ks.blocks_done = r.get32();
+    ks.total_blocks = r.get32();
+    ks.first_dispatch_cycle = r.get64();
+    ks.done_cycle = r.get64();
+    launches_.push_back(std::move(slot));
+    state_ptrs_.push_back(&launches_.back()->state);
+  }
+
+  records_.resize(static_cast<size_t>(r.get64()));
+  for (BlockRecord& rec : records_) {
+    rec.launch_id = r.get32();
+    rec.block_linear = r.get32();
+    rec.sm = r.get32();
+    rec.intended_sm = r.get32();
+    rec.dispatch_cycle = r.get64();
+    rec.end_cycle = r.get64();
+  }
+
+  stats_ = StatSet{};
+  const u64 n_stats = r.get64();
+  for (u64 i = 0; i < n_stats; ++i) {
+    const std::string name = r.get_string();
+    stats_.set(name, r.get64());
+  }
+  r.leave_section();
+
+  r.enter_section("sched");
+  const std::string sched_name = r.get_string();
+  if ((ksched_ ? ksched_->name() : "") != sched_name)
+    throw ckpt::SnapshotError(
+        "snapshot kernel scheduler mismatch: captured '" + sched_name +
+        "', installed '" + (ksched_ ? ksched_->name() : "") + "'");
+  if (ksched_) ksched_->restore_state(r);
+  r.leave_section();
+
+  const auto launch_of = [this](u32 id) -> const KernelLaunch* {
+    return &launches_.at(id)->launch;
+  };
+  for (u32 i = 0; i < num_sms(); ++i) {
+    r.enter_section("sm" + std::to_string(i));
+    sms_[i]->restore(r, launch_of);
+    r.leave_section();
+  }
+
+  mem_.restore(r);
+
+  r.enter_section("fault");
+  const bool had_fault = r.getb();
+  if (had_fault && restore_fault && fault_ != nullptr)
+    fault_->restore_state(r);
+  else
+    // Either no hook is installed now, or a rollback restore deliberately
+    // leaves the environment un-rewound: drop the serialized hook state.
+    r.skip_to_section_end();
+  r.leave_section();
+
+  // A restored run arms its own capture triggers; never fire for points the
+  // restored clock has already passed.
+  std::vector<Cycle> targets = std::move(ckpt_targets_);
+  set_checkpoint_targets(std::move(targets));
+  set_checkpoint_interval(ckpt_interval_);
 }
 
 StatSet Gpu::collect_stats() const {

@@ -12,6 +12,7 @@
 //    reference for the dual-engine equivalence test (GpuParams::engine).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <queue>
 #include <stdexcept>
@@ -19,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/serial.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "memsys/global_store.h"
@@ -48,6 +50,7 @@ class Gpu {
   void set_kernel_scheduler(std::unique_ptr<IKernelScheduler> sched);
   IKernelScheduler* kernel_scheduler() { return ksched_.get(); }
   void set_fault_hook(IFaultHook* hook);
+  IFaultHook* fault_hook() const { return fault_; }
   void set_trace_sink(ITraceSink* sink);
   void set_warp_sched_policy(WarpSchedPolicy p);
   const GpuParams& params() const { return params_; }
@@ -101,10 +104,54 @@ class Gpu {
   memsys::GlobalStore& store() { return *store_; }
   SmCore& sm(u32 i) { return *sms_[i]; }
 
+  // ---- Checkpoint / restore ----------------------------------------------
+  /// Install the mid-run capture callback. It fires inside run_until_idle
+  /// at consistent points (the top of either engine's loop, all state
+  /// settled through now()) with the nominal target cycle and whether it
+  /// came from the explicit target list (vs the periodic interval).
+  void set_checkpoint_hook(std::function<void(Cycle nominal, bool is_target)> cb) {
+    ckpt_hook_ = std::move(cb);
+  }
+  /// Explicit capture cycles (sorted internally). Each target T fires the
+  /// hook exactly once, at a point where all simulated work at cycles < T'
+  /// (for some T' <= T... precisely: now() <= T and nothing remains to
+  /// simulate at cycles <= T) is in the state — so a snapshot taken then,
+  /// restored and resumed, replays cycles (now(), end] bit-identically and
+  /// covers any event (e.g. a fault-window opening) at cycle >= T.
+  void set_checkpoint_targets(std::vector<Cycle> targets);
+  /// Periodic capture roughly every `cycles` (exact under the dense engine,
+  /// at the previous event boundary under the event engine). 0 disables.
+  void set_checkpoint_interval(u64 cycles);
+
+  /// Serialize the complete GPU state (core, SMs, scheduler, memory
+  /// hierarchy, armed fault-hook state) into snapshot sections. Kernel
+  /// programs are emitted through `program_ref` as table indices.
+  void save(ckpt::Writer& w,
+            const std::function<u32(const isa::ProgramPtr&)>& program_ref) const;
+  /// Inverse of save(). `program_of` resolves table indices; the installed
+  /// kernel scheduler must match the serialized one by name. When
+  /// `restore_fault` is false the fault hook's state is left untouched
+  /// (rollback semantics: the environment is not rolled back).
+  void restore(ckpt::Reader& r,
+               const std::function<isa::ProgramPtr(u32)>& program_of,
+               bool restore_fault);
+
+  /// Forward a rollback notification to the installed fault hook.
+  void notify_rollback() {
+    if (fault_ != nullptr) fault_->on_rollback();
+  }
+
  private:
   void on_block_done(const BlockRecord& rec);
   Cycle run_dense(u64 max_cycles);
   Cycle run_event(u64 max_cycles);
+  /// Fire the checkpoint hook for every pending target/interval point that
+  /// the run loop is about to move past (`horizon` = the next cycle it will
+  /// actually simulate). Captures therefore happen *between* events with
+  /// the clock still at the last processed cycle — resumed execution
+  /// recomputes the same jump, keeping fast-forward accounting and every
+  /// statistic bit-identical to an uninterrupted run.
+  void maybe_checkpoint(Cycle horizon);
   /// Earliest future kernel-arrival cycle (launch_gap_cycles visibility),
   /// or kNeverCycle. Amortized O(1): arrivals are monotone in launch order.
   Cycle next_kernel_arrival();
@@ -127,13 +174,26 @@ class Gpu {
   // Event-engine state. sm_wake_[i] is the next cycle SM i must simulate;
   // kNeverCycle marks SMs outside the active set (no resident blocks and
   // nothing pending). The heap holds (wake, sm) pairs with lazy deletion:
-  // an entry is stale when it no longer matches sm_wake_.
+  // an entry is stale when it no longer matches sm_wake_. All of this is
+  // serializable (dispatch_wake_ included) so a snapshot taken mid-run
+  // resumes without the conservative active-set rebuild: event_primed_
+  // records whether the bookkeeping reflects the current SM state (dense
+  // stepping clears it; run_event establishes it).
   bool event_running_ = false;
+  bool event_primed_ = false;
   std::vector<Cycle> sm_wake_;
   std::priority_queue<std::pair<Cycle, u32>, std::vector<std::pair<Cycle, u32>>,
                       std::greater<>>
       wake_heap_;
+  Cycle dispatch_wake_ = 0;
   Cycle ff_cycles_ = 0;
+
+  // Checkpoint triggers (not snapshot state: each run arms its own).
+  std::function<void(Cycle, bool)> ckpt_hook_;
+  std::vector<Cycle> ckpt_targets_;  // sorted
+  size_t ckpt_target_idx_ = 0;
+  u64 ckpt_interval_ = 0;
+  Cycle ckpt_next_interval_ = kNeverCycle;
 
   // Launches are stored behind unique_ptr so KernelState/KernelLaunch
   // references stay stable as new kernels arrive.

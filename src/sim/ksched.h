@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "ckpt/serial.h"
 #include "common/types.h"
 
 namespace higpu::sim {
@@ -38,6 +39,12 @@ class IKernelScheduler {
 
   /// Clear any per-run state (called when the GPU is reset between runs).
   virtual void reset() {}
+
+  /// Checkpoint participation: dispatch cursors are behavioural state (they
+  /// decide block placement), so schedulers serialize them for bit-exact
+  /// resumption. Stateless schedulers keep the no-op defaults.
+  virtual void save_state(ckpt::Writer& w) const { (void)w; }
+  virtual void restore_state(ckpt::Reader& r) { (void)r; }
 };
 
 }  // namespace higpu::sim

@@ -51,6 +51,8 @@ struct GpuParams {
   double clock_ghz = 1.4;
 
   memsys::MemParams mem;
+
+  bool operator==(const GpuParams& other) const = default;
 };
 
 }  // namespace higpu::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstring>
 
 #include "memsys/coalescer.h"
 #include "sim/executor.h"
@@ -494,12 +495,19 @@ void SmCore::exec_shared_mem(Warp& w, const Instruction& ins, u32 guard_mask,
                              Cycle now) {
   ResidentBlock& b = blocks_[w.block_slot];
   if (guard_mask == 0) return;
+  if (b.shared.size() < 4) return;  // kernel declares no shared segment
   addr_scratch_.clear();
   for (u32 m = guard_mask; m != 0; m &= m - 1) {
     const u32 lane = static_cast<u32>(std::countr_zero(m));
-    const u64 addr = static_cast<u64>(operand_value(w, ins.src[0], lane)) +
-                     static_cast<u64>(static_cast<i64>(ins.mem_offset));
-    assert(addr + 4 <= b.shared.size() && "shared-memory access out of bounds");
+    u64 addr = static_cast<u64>(operand_value(w, ins.src[0], lane)) +
+               static_cast<u64>(static_cast<i64>(ins.mem_offset));
+    // Fault-free kernels stay in bounds by construction; an injected fault
+    // can corrupt an address computation, and the corrupted access must
+    // stay deterministic (and memory-safe) — wrap it into the block's
+    // shared segment, like hardware wrapping into its SRAM banks.
+    assert((fault_ != nullptr && fault_->armed()) ||
+           addr + 4 <= b.shared.size());
+    if (addr + 4 > b.shared.size()) addr = (addr % (b.shared.size() - 3)) & ~u64{3};
     addr_scratch_.push_back(addr);
   }
 
@@ -515,11 +523,17 @@ void SmCore::exec_shared_mem(Warp& w, const Instruction& ins, u32 guard_mask,
   for (u32 m = guard_mask; m != 0; m &= m - 1) {
     const u32 lane = static_cast<u32>(std::countr_zero(m));
     const u64 addr = addr_scratch_[i++];
-    u32* word = reinterpret_cast<u32*>(b.shared.data() + addr);
-    if (is_write)
-      *word = operand_value(w, ins.src[1], lane);
-    else
-      w.reg_at(ins.dst, lane) = *word;
+    // memcpy, not a u32* deref: a fault-corrupted (but in-bounds) address
+    // may be misaligned, and the access must stay well-defined.
+    u8* word = b.shared.data() + addr;
+    if (is_write) {
+      const u32 v = operand_value(w, ins.src[1], lane);
+      std::memcpy(word, &v, 4);
+    } else {
+      u32 v;
+      std::memcpy(&v, word, 4);
+      w.reg_at(ins.dst, lane) = v;
+    }
   }
   if (!is_write) w.pending.push_back(Warp::Pending{ins.dst, false, done});
 }
@@ -564,6 +578,166 @@ void SmCore::complete_warp(Warp& w, Cycle now) {
     // A warp exited while the rest were waiting: the barrier is satisfied.
     release_barrier(b);
   }
+}
+
+void SmCore::save(ckpt::Writer& w) const {
+  w.put32(warps_used_);
+  w.put32(blocks_used_);
+  w.put32(regs_used_);
+  w.put32(shared_used_);
+  w.put64(sfu_free_);
+  w.put64(mem_free_);
+  w.put64(age_counter_);
+  w.put64(last_issued_.size());
+  for (i32 s : last_issued_) w.put32(static_cast<u32>(s));
+  for (const std::vector<u32>& order : sched_order_) w.put_u32_vec(order);
+  w.put64(last_settled_);
+  w.putb(progress_);
+  w.put64(quiet_wake_);
+  for (const StallRec& rec : warp_stall_) {
+    w.put64(rec.wake);
+    w.put8(static_cast<u8>(rec.cls));
+  }
+
+  for (const ResidentBlock& b : blocks_) {
+    w.putb(b.active);
+    if (!b.active) continue;
+    w.put32(b.launch_id);
+    w.put32(b.block_linear);
+    w.put32(b.block_idx.x);
+    w.put32(b.block_idx.y);
+    w.put32(b.block_idx.z);
+    w.put32(b.num_warps);
+    w.put32(b.warps_live);
+    w.put32(b.barrier_count);
+    w.put64(b.shared.size());
+    w.put_bytes(b.shared.data(), b.shared.size());
+    w.put32(b.regs_reserved);
+    w.put32(b.shared_reserved);
+    w.put32(b.intended_sm);
+    w.put64(b.dispatch_cycle);
+  }
+
+  for (const Warp& warp : warps_) {
+    w.putb(warp.active);
+    if (!warp.active) continue;
+    w.put64(warp.age);
+    w.put32(warp.block_slot);
+    w.put32(warp.warp_in_block);
+    w.put32(warp.valid_mask);
+    w.put32(warp.exited);
+    w.put64(warp.stack.size());
+    for (const StackEntry& e : warp.stack) {
+      w.put32(e.pc);
+      w.put32(e.rpc);
+      w.put32(e.mask);
+    }
+    w.put_u32_vec(warp.regs);
+    w.put64(warp.preds.size());
+    w.put_bytes(warp.preds.data(), warp.preds.size());
+    w.putb(warp.at_barrier);
+    w.put64(warp.pending.size());
+    for (const Warp::Pending& p : warp.pending) {
+      w.put16(p.reg);
+      w.putb(p.is_pred);
+      w.put64(p.ready);
+    }
+    w.put64(warp.instructions);
+  }
+
+  for (u64 c : {blocks_accepted_, blocks_completed_, active_cycles_,
+                instructions_, divergent_branches_, barriers_,
+                smem_accesses_, smem_bank_conflicts_, global_atomics_,
+                global_load_transactions_, global_store_transactions_,
+                stall_scoreboard_, stall_barrier_, stall_structural_,
+                issued_attempts_})
+    w.put64(c);
+}
+
+void SmCore::restore(
+    ckpt::Reader& r,
+    const std::function<const KernelLaunch*(u32)>& launch_of) {
+  warps_used_ = r.get32();
+  blocks_used_ = r.get32();
+  regs_used_ = r.get32();
+  shared_used_ = r.get32();
+  sfu_free_ = r.get64();
+  mem_free_ = r.get64();
+  age_counter_ = r.get64();
+  const u64 nsched = r.get64();
+  if (nsched != last_issued_.size())
+    throw ckpt::SnapshotError("snapshot warp-scheduler count mismatch");
+  for (i32& s : last_issued_) s = static_cast<i32>(r.get32());
+  for (std::vector<u32>& order : sched_order_) order = r.get_u32_vec();
+  last_settled_ = r.get64();
+  progress_ = r.getb();
+  quiet_wake_ = r.get64();
+  for (StallRec& rec : warp_stall_) {
+    rec.wake = r.get64();
+    rec.cls = static_cast<IssueOutcome>(r.get8());
+  }
+
+  for (ResidentBlock& b : blocks_) {
+    if (!r.getb()) {
+      b = ResidentBlock{};
+      continue;
+    }
+    b.active = true;
+    b.launch_id = r.get32();
+    b.block_linear = r.get32();
+    b.block_idx.x = r.get32();
+    b.block_idx.y = r.get32();
+    b.block_idx.z = r.get32();
+    b.launch = launch_of(b.launch_id);
+    b.num_warps = r.get32();
+    b.warps_live = r.get32();
+    b.barrier_count = r.get32();
+    b.shared.assign(static_cast<size_t>(r.get64()), 0);
+    r.get_bytes(b.shared.data(), b.shared.size());
+    b.regs_reserved = r.get32();
+    b.shared_reserved = r.get32();
+    b.intended_sm = r.get32();
+    b.dispatch_cycle = r.get64();
+  }
+
+  for (Warp& warp : warps_) {
+    if (!r.getb()) {
+      warp = Warp{};
+      continue;
+    }
+    warp.active = true;
+    warp.age = r.get64();
+    warp.block_slot = r.get32();
+    warp.warp_in_block = r.get32();
+    warp.prog = blocks_[warp.block_slot].launch->program.get();
+    warp.valid_mask = r.get32();
+    warp.exited = r.get32();
+    warp.stack.resize(static_cast<size_t>(r.get64()));
+    for (StackEntry& e : warp.stack) {
+      e.pc = r.get32();
+      e.rpc = r.get32();
+      e.mask = r.get32();
+    }
+    warp.regs = r.get_u32_vec();
+    warp.preds.assign(static_cast<size_t>(r.get64()), 0);
+    r.get_bytes(warp.preds.data(), warp.preds.size());
+    warp.at_barrier = r.getb();
+    warp.pending.resize(static_cast<size_t>(r.get64()));
+    for (Warp::Pending& p : warp.pending) {
+      p.reg = r.get16();
+      p.is_pred = r.getb();
+      p.ready = r.get64();
+    }
+    warp.instructions = r.get64();
+  }
+
+  for (u64* c : {&blocks_accepted_, &blocks_completed_, &active_cycles_,
+                 &instructions_, &divergent_branches_, &barriers_,
+                 &smem_accesses_, &smem_bank_conflicts_, &global_atomics_,
+                 &global_load_transactions_, &global_store_transactions_,
+                 &stall_scoreboard_, &stall_barrier_, &stall_structural_,
+                 &issued_attempts_})
+    *c = r.get64();
 }
 
 void SmCore::complete_block(ResidentBlock& b, Cycle now) {

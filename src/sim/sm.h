@@ -7,6 +7,7 @@
 #include <functional>
 #include <vector>
 
+#include "ckpt/serial.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "memsys/global_store.h"
@@ -112,6 +113,19 @@ class SmCore {
 
   /// Statistics snapshot including derived stall-reason counters.
   StatSet snapshot_stats() const;
+
+  /// Checkpoint the full SM state: resident blocks and warps (registers,
+  /// predicates, reconvergence stacks, scoreboards, shared memory), the
+  /// warp-scheduler bookkeeping, structural-unit availability, the event
+  /// engine's per-warp stall/wake records, and all statistics counters.
+  /// Inactive block/warp slots are serialized as empty (accept_block fully
+  /// reinitializes a slot, so stale contents are not behavioural state —
+  /// excluding them keeps snapshot hashes free of dead-data noise).
+  void save(ckpt::Writer& w) const;
+  /// `launch_of` maps a launch id to its (already restored) KernelLaunch;
+  /// used to rebuild the block -> launch and warp -> program pointers.
+  void restore(ckpt::Reader& r,
+               const std::function<const KernelLaunch*(u32)>& launch_of);
 
  private:
   // Issue path.

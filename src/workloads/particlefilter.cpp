@@ -143,7 +143,9 @@ void ParticleFilter::run(RunContext& ctx) {
   isa::ProgramPtr prog = build_likelihood_kernel(kSamples);
   std::vector<i32> pos = positions_;
   std::vector<i32> xs(particles_), ys(particles_);
-  std::vector<float> lik(particles_);
+  // lik_ is a member: it is the final compare()'s host destination, and
+  // rollback recovery may re-fetch into it after run() returns.
+  lik_.assign(particles_, 0.0f);
   result_.assign(particles_, 0.0f);
 
   for (u32 f = 0; f < frames_; ++f) {
@@ -160,16 +162,16 @@ void ParticleFilter::run(RunContext& ctx) {
                    sim::Dim3{256, 1, 1},
                    {d_img, d_px, d_py, d_off, d_lik, frame_dim_, particles_});
     session.sync();
-    session.d2h(lik.data(), d_lik, p_bytes);
+    session.d2h(lik_.data(), d_lik, p_bytes);
     // Host: weight accumulation + resampling work.
     session.device().host_compute(2 * p_bytes);
-    for (u32 p = 0; p < particles_; ++p) result_[p] += lik[p];
+    for (u32 p = 0; p < particles_; ++p) result_[p] += lik_[p];
     for (u32 p = 0; p < particles_; ++p) {
       pos[2 * p] = static_cast<i32>((pos[2 * p] + 3) % frame_dim_);
       pos[2 * p + 1] = static_cast<i32>((pos[2 * p + 1] + 1) % frame_dim_);
     }
   }
-  session.compare(d_lik, p_bytes, lik.data());
+  session.compare(d_lik, p_bytes, lik_.data());
 }
 
 bool ParticleFilter::verify() const {

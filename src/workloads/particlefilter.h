@@ -26,6 +26,9 @@ class ParticleFilter final : public Workload {
   std::vector<i32> offsets_;        // kSamples (dx,dy) pairs -> 2*kSamples
   std::vector<float> reference_;    // final particle weights
   std::vector<float> result_;
+  std::vector<float> lik_;          // last frame's fetched likelihoods
+                                    // (compare() host destination; must
+                                    // outlive run() for rollback recovery)
   // Deterministic particle positions per frame (host-side motion model).
   std::vector<i32> positions_;  // particles x 2
 };

@@ -1,0 +1,431 @@
+// Checkpoint/restore subsystem tests.
+//
+// The load-bearing guarantee: a run resumed from a snapshot is bit-identical
+// to a run that was never interrupted — results, cycle counts, statistics,
+// the modelled timeline — under both simulation engines, for every workload,
+// with or without an armed fault (including snapshots taken mid fault
+// window). On top of that: rollback recovery beats re-execution on response
+// time, snapshot hash diffing localizes fault divergence, campaign
+// fast-forward returns bit-identical ScenarioResults, and the ScenarioSet
+// sweep builders reject empty bases loudly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exp/campaign.h"
+#include "sched/policies.h"
+
+namespace higpu {
+namespace {
+
+using exp::FaultPlan;
+using exp::ScenarioResult;
+using exp::ScenarioSet;
+using exp::ScenarioSpec;
+using exp::SnapshotIo;
+
+ScenarioSpec make_spec(const std::string& workload, sim::SimEngine engine) {
+  ScenarioSpec s;
+  s.workload = workload;
+  s.gpu.engine = engine;
+  return s;
+}
+
+std::string diff_hint(const ScenarioResult& a, const ScenarioResult& b) {
+  std::string out;
+  auto f = [&](const char* name, u64 x, u64 y) {
+    if (x != y)
+      out += std::string(name) + " " + std::to_string(x) + " vs " +
+             std::to_string(y) + "; ";
+  };
+  f("kernel_cycles", a.kernel_cycles, b.kernel_cycles);
+  f("elapsed_ns", a.elapsed_ns, b.elapsed_ns);
+  f("ff_cycles", a.ff_cycles, b.ff_cycles);
+  f("attempts", a.attempts, b.attempts);
+  f("comparisons", a.comparisons, b.comparisons);
+  f("mismatches", a.mismatches, b.mismatches);
+  f("corruptions", a.corruptions, b.corruptions);
+  f("verified", a.verified, b.verified);
+  f("instructions", a.stats.get("instructions"),
+    b.stats.get("instructions"));
+  f("stats==", a.stats == b.stats, true);
+  return out.empty() ? "(labels/other fields differ)" : out;
+}
+
+/// Capture a snapshot at `target` during one run of `capture_spec`, fork
+/// `fork_spec` from it, and require the fork to be bit-identical to a
+/// from-scratch run of `fork_spec`. Also requires the capture run itself to
+/// be unperturbed by the captures.
+void expect_fork_identical(const ScenarioSpec& capture_spec,
+                           const ScenarioSpec& fork_spec, Cycle target) {
+  const ScenarioResult scratch_capture = exp::run_scenario(capture_spec);
+  ASSERT_TRUE(scratch_capture.ok) << scratch_capture.error;
+  const ScenarioResult scratch_fork = exp::run_scenario(fork_spec);
+  ASSERT_TRUE(scratch_fork.ok) << scratch_fork.error;
+
+  SnapshotIo base_io;
+  base_io.capture_targets = {target};
+  const ScenarioResult base =
+      exp::run_scenario(capture_spec, 0, nullptr, nullptr, &base_io);
+  ASSERT_TRUE(base.ok) << base.error;
+  EXPECT_TRUE(base.deterministic_fields_equal(scratch_capture))
+      << "captures perturbed the capture run: " << diff_hint(base, scratch_capture);
+  ASSERT_NE(base_io.captured[0], nullptr)
+      << capture_spec.label() << ": no snapshot covering cycle " << target;
+  EXPECT_LE(base_io.captured[0]->cycle, target);
+
+  SnapshotIo fork_io;
+  fork_io.resume = base_io.captured[0];
+  fork_io.divergence_ref = base_io.final_state;
+  const ScenarioResult fork =
+      exp::run_scenario(fork_spec, 0, nullptr, nullptr, &fork_io);
+  ASSERT_TRUE(fork.ok) << fork.error;
+  EXPECT_TRUE(fork.deterministic_fields_equal(scratch_fork))
+      << fork_spec.label() << " forked from cycle "
+      << base_io.captured[0]->cycle << ": " << diff_hint(fork, scratch_fork);
+}
+
+// ---- Save -> restore -> run bit-identical, all workloads x both engines ---
+
+class CkptAllWorkloads
+    : public ::testing::TestWithParam<std::tuple<std::string, sim::SimEngine>> {
+};
+
+TEST_P(CkptAllWorkloads, SaveRestoreRunBitIdentical) {
+  const auto& [workload, engine] = GetParam();
+  ScenarioSpec spec = make_spec(workload, engine);
+  // Aim mid-execution: halfway through the total simulated cycle span.
+  const ScenarioResult probe = exp::run_scenario(spec);
+  ASSERT_TRUE(probe.ok) << probe.error;
+  const Cycle target = probe.stats.get("cycles") / 2;
+  expect_fork_identical(spec, spec, target);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, CkptAllWorkloads,
+    ::testing::Combine(::testing::ValuesIn(workloads::all_names()),
+                       ::testing::Values(sim::SimEngine::kEvent,
+                                         sim::SimEngine::kDense)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);  // "b+tree" -> "b_tree"
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name + (std::get<1>(info.param) == sim::SimEngine::kEvent
+                         ? "_event"
+                         : "_dense");
+    });
+
+// ---- Fuzz: restore at a random cycle mid fault window ---------------------
+
+TEST(CkptFuzz, RestoreAtRandomCycleMidFaultWindow) {
+  Rng rng(0xC0FFEEull);
+  const std::vector<std::string> workloads = {"hotspot", "bfs", "srad"};
+  for (const std::string& wl : workloads) {
+    for (sim::SimEngine engine :
+         {sim::SimEngine::kEvent, sim::SimEngine::kDense}) {
+      ScenarioSpec clean = make_spec(wl, engine);
+      const ScenarioResult probe = exp::run_scenario(clean);
+      ASSERT_TRUE(probe.ok) << probe.error;
+      const Cycle span = probe.stats.get("cycles");
+      ASSERT_GT(span, 6000u);
+
+      // A droop window inside the execution; three fuzzed capture points:
+      // before, inside and right at the window.
+      const Cycle start = 3000 + rng.next_below(span / 2);
+      const Cycle width = 200 + rng.next_below(span / 4);
+      ScenarioSpec faulted = clean;
+      faulted.fault = FaultPlan::droop(start, width, 1 + rng.next_below(30));
+
+      // Corruption can change control flow, so the faulted run's span is
+      // its own; capture targets must fall inside it to be reachable.
+      const ScenarioResult fprobe = exp::run_scenario(faulted);
+      ASSERT_TRUE(fprobe.ok) << fprobe.error;
+      const Cycle fspan = fprobe.stats.get("cycles");
+
+      const Cycle targets[] = {rng.next_below(start), start,
+                               start + rng.next_below(width)};
+      for (Cycle t : targets) {
+        if (t >= fspan) continue;  // window outlived the corrupted run
+        SCOPED_TRACE(faulted.label() + " capture@" + std::to_string(t));
+        // Capture during the faulted run itself (snapshots carry the armed
+        // injector state, mid-window included) and fork the same fault.
+        expect_fork_identical(faulted, faulted, t);
+      }
+    }
+  }
+}
+
+// ---- Campaign fast-forward ------------------------------------------------
+
+TEST(CkptCampaign, FastForwardBitIdenticalToFromScratch) {
+  ScenarioSpec base = make_spec("hotspot", sim::SimEngine::kEvent);
+  ScenarioSet set = ScenarioSet::of(base).sweep_faults(
+      {FaultPlan::none(), FaultPlan::droop(9000, 400, 3),
+       FaultPlan::droop(15000, 400, 3), FaultPlan::transient_sm(0, 12000, 600, 7),
+       FaultPlan::permanent_sm(1, 10000, 5)});
+
+  exp::CampaignRunner::Config plain_cfg;
+  plain_cfg.jobs = 1;
+  const exp::CampaignResult plain = exp::CampaignRunner(plain_cfg).run(set);
+
+  exp::CampaignRunner::Config ff_cfg;
+  ff_cfg.jobs = 1;
+  ff_cfg.snapshot_fast_forward = true;
+  const exp::CampaignResult ff = exp::CampaignRunner(ff_cfg).run(set);
+
+  ASSERT_EQ(plain.results.size(), ff.results.size());
+  for (size_t i = 0; i < plain.results.size(); ++i) {
+    ASSERT_TRUE(plain.results[i].ok) << plain.results[i].error;
+    ASSERT_TRUE(ff.results[i].ok) << ff.results[i].error;
+    EXPECT_TRUE(plain.results[i].deterministic_fields_equal(ff.results[i]))
+        << plain.results[i].label << ": "
+        << diff_hint(ff.results[i], plain.results[i]);
+  }
+}
+
+TEST(CkptCampaign, FastForwardBitIdenticalWithRollbackRecovery) {
+  // Fast-forwarded forks of rollback scenarios must record the same
+  // pre-kernel checkpoint anchors a from-scratch run records (at sync
+  // entry, not at the teleported resume point), or the recovery walk — and
+  // with it response_ns/attempts — would differ.
+  ScenarioSpec base = make_spec("hotspot", sim::SimEngine::kEvent);
+  base.redundancy = core::RedundancySpec::dcls_rollback(2);
+  ScenarioSet set = ScenarioSet::of(base).sweep_faults(
+      {FaultPlan::none(), FaultPlan::droop(9000, 1500, 3),
+       FaultPlan::droop(15000, 1500, 3)});
+
+  exp::CampaignRunner::Config plain_cfg;
+  plain_cfg.jobs = 1;
+  const exp::CampaignResult plain = exp::CampaignRunner(plain_cfg).run(set);
+  exp::CampaignRunner::Config ff_cfg;
+  ff_cfg.jobs = 1;
+  ff_cfg.snapshot_fast_forward = true;
+  const exp::CampaignResult ff = exp::CampaignRunner(ff_cfg).run(set);
+
+  bool any_recovered = false;
+  for (size_t i = 0; i < plain.results.size(); ++i) {
+    ASSERT_TRUE(plain.results[i].ok) << plain.results[i].error;
+    EXPECT_TRUE(plain.results[i].deterministic_fields_equal(ff.results[i]))
+        << plain.results[i].label << ": "
+        << diff_hint(ff.results[i], plain.results[i]);
+    any_recovered = any_recovered || plain.results[i].recovered;
+  }
+  EXPECT_TRUE(any_recovered);  // the sweep must actually exercise recovery
+}
+
+TEST(CkptCampaign, FastForwardDeterministicAcrossJobs) {
+  // Several fault-sweep groups (one per workload) so parallel workers each
+  // own whole groups; results must not depend on the thread count.
+  ScenarioSet set;
+  for (const char* wl : {"hotspot", "nn", "pathfinder"})
+    set.append(ScenarioSet::of(make_spec(wl, sim::SimEngine::kEvent))
+                   .sweep_faults({FaultPlan::none(),
+                                  FaultPlan::droop(8000, 400, 3),
+                                  FaultPlan::droop(12000, 400, 3)}));
+
+  exp::CampaignRunner::Config one;
+  one.jobs = 1;
+  one.snapshot_fast_forward = true;
+  exp::CampaignRunner::Config four;
+  four.jobs = 4;
+  four.snapshot_fast_forward = true;
+  const exp::CampaignResult a = exp::CampaignRunner(one).run(set);
+  const exp::CampaignResult b = exp::CampaignRunner(four).run(set);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i)
+    EXPECT_TRUE(a.results[i].deterministic_fields_equal(b.results[i]))
+        << a.results[i].label << ": "
+        << diff_hint(b.results[i], a.results[i]);
+}
+
+TEST(CkptCampaign, FastForwardReportsDivergenceForSdcOrDetectedFaults) {
+  ScenarioSpec base = make_spec("hotspot", sim::SimEngine::kEvent);
+  ScenarioSet set = ScenarioSet::of(base).sweep_faults(
+      {FaultPlan::none(), FaultPlan::permanent_sm(0, 5000, 7),
+       FaultPlan::permanent_sm(0, 5000, 8)});
+
+  exp::CampaignRunner::Config cfg;
+  cfg.jobs = 1;
+  cfg.snapshot_fast_forward = true;
+  const exp::CampaignResult res = exp::CampaignRunner(cfg).run(set);
+  for (const ScenarioResult& r : res.results) {
+    ASSERT_TRUE(r.ok) << r.error;
+    if (!r.fault_active) continue;
+    // A permanent SM fault that corrupted datapath results must leave an
+    // architecturally divergent trace vs the clean run.
+    if (r.corruptions > 0) {
+      EXPECT_FALSE(r.divergence.empty()) << r.label;
+    }
+  }
+}
+
+// ---- Rollback recovery ----------------------------------------------------
+
+TEST(CkptRollback, RecoversFromTransientAndBeatsRetry) {
+  for (const std::string& wl : {std::string("hotspot"), std::string("nn")}) {
+    ScenarioSpec retry = make_spec(wl, sim::SimEngine::kEvent);
+    retry.fault = FaultPlan::droop(9000, 1500, 3);
+    retry.redundancy = core::RedundancySpec::dcls_retry(2);
+    const ScenarioResult r_retry = exp::run_scenario(retry);
+    ASSERT_TRUE(r_retry.ok) << r_retry.error;
+
+    ScenarioSpec rollback = retry;
+    rollback.redundancy = core::RedundancySpec::dcls_rollback(2);
+    const ScenarioResult r_rb = exp::run_scenario(rollback);
+    ASSERT_TRUE(r_rb.ok) << r_rb.error;
+
+    if (r_retry.mismatches == 0 && r_retry.attempts == 1) {
+      // The window missed this workload's vulnerable phase: nothing to
+      // recover, nothing to compare. (The bench sweeps windows that hit.)
+      continue;
+    }
+    SCOPED_TRACE(wl);
+    EXPECT_TRUE(r_rb.verified);
+    EXPECT_TRUE(r_rb.recovered);
+    EXPECT_EQ(r_rb.outcome, fault::Outcome::kDetected);
+    EXPECT_GT(r_rb.attempts, 1u);
+    // The point of checkpointing: the response fits a tighter budget than
+    // whole-offload re-execution.
+    EXPECT_LT(r_rb.response_ns, r_retry.response_ns);
+  }
+}
+
+TEST(CkptRollback, WalksBackPastDirtyIntervalCheckpoints) {
+  // Interval checkpoints land mid-execution; ones captured after the fault
+  // corrupted state fail their re-comparison and the walk falls back to an
+  // older clean checkpoint (ultimately the pre-kernel one).
+  ScenarioSpec spec = make_spec("hotspot", sim::SimEngine::kEvent);
+  spec.fault = FaultPlan::droop(9000, 1500, 3);
+  spec.redundancy = core::RedundancySpec::dcls_rollback(4);
+  spec.ckpt = ckpt::CheckpointPolicy::interval(2500);
+  const ScenarioResult r = exp::run_scenario(spec);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.verified);
+  EXPECT_TRUE(r.recovered);
+}
+
+TEST(CkptRollback, PermanentFaultIsNotRecoverable) {
+  ScenarioSpec spec = make_spec("hotspot", sim::SimEngine::kEvent);
+  spec.fault = FaultPlan::permanent_sm(0, 0, 7);
+  spec.redundancy = core::RedundancySpec::dcls_rollback(2);
+  const ScenarioResult r = exp::run_scenario(spec);
+  ASSERT_TRUE(r.ok) << r.error;
+  // A permanent defect re-corrupts every re-execution; rollback must not
+  // claim recovery (and must not silently pass corrupted data).
+  EXPECT_FALSE(r.recovered);
+  EXPECT_EQ(r.outcome, fault::Outcome::kDetected);
+}
+
+// ---- Snapshot hashing and divergence diagnosis ----------------------------
+
+TEST(CkptSnapshot, HashStableAcrossSaveRestoreSave) {
+  runtime::Device dev;
+  dev.set_kernel_scheduler(sched::make_scheduler(sched::Policy::kSrrs));
+  const memsys::DevPtr p = dev.malloc(4096);
+  std::vector<u32> data(1024, 0xDEADBEEF);
+  dev.memcpy_h2d(p, data.data(), data.size() * 4);
+
+  const ckpt::SnapshotPtr snap = dev.snapshot();
+  EXPECT_GT(snap->size_bytes(), 0u);
+
+  runtime::Device dev2;
+  dev2.set_kernel_scheduler(sched::make_scheduler(sched::Policy::kSrrs));
+  dev2.restore(*snap);
+  const ckpt::SnapshotPtr snap2 = dev2.snapshot();
+  EXPECT_EQ(snap->hash(), snap2->hash());
+  EXPECT_EQ(ckpt::first_divergence(*snap, *snap2), "");
+  EXPECT_EQ(dev2.elapsed_ns(), dev.elapsed_ns());
+}
+
+TEST(CkptSnapshot, RestoreRejectsMismatchedParameters) {
+  runtime::Device dev;
+  dev.set_kernel_scheduler(sched::make_scheduler(sched::Policy::kSrrs));
+  const ckpt::SnapshotPtr snap = dev.snapshot();
+
+  sim::GpuParams other;
+  other.num_sms = 4;
+  runtime::Device dev2(other);
+  dev2.set_kernel_scheduler(sched::make_scheduler(sched::Policy::kSrrs));
+  EXPECT_THROW(dev2.restore(*snap), ckpt::SnapshotError);
+}
+
+TEST(CkptSnapshot, DivergenceNamesTheStore) {
+  runtime::Device dev;
+  dev.set_kernel_scheduler(sched::make_scheduler(sched::Policy::kSrrs));
+  const memsys::DevPtr p = dev.malloc(256);
+  u32 v = 1;
+  dev.memcpy_h2d(p, &v, 4);
+  const ckpt::SnapshotPtr a = dev.snapshot();
+  v = 2;
+  dev.memcpy_h2d(p, &v, 4);
+  const ckpt::SnapshotPtr b = dev.snapshot();
+  // Only global-store contents (and the host timeline) changed.
+  EXPECT_EQ(ckpt::first_divergence(*a, *b).rfind("store", 0), 0u)
+      << ckpt::first_divergence(*a, *b);
+}
+
+// ---- Policy / label / sweep validation ------------------------------------
+
+TEST(CkptPolicy, IntervalZeroThrows) {
+  EXPECT_THROW(ckpt::CheckpointPolicy::interval(0), std::invalid_argument);
+}
+
+TEST(CkptPolicy, LabelsAndSpecLabels) {
+  EXPECT_EQ(ckpt::CheckpointPolicy::none().label(), "");
+  EXPECT_EQ(ckpt::CheckpointPolicy::interval(5000).label(), "ckpt5000");
+  EXPECT_EQ(ckpt::CheckpointPolicy::pre_kernel().label(), "prekernel");
+  EXPECT_EQ(core::RedundancySpec::dcls_rollback(2).label(), "red-rollback2");
+
+  ScenarioSpec spec = make_spec("hotspot", sim::SimEngine::kEvent);
+  spec.redundancy = core::RedundancySpec::dcls_rollback(3);
+  spec.ckpt = ckpt::CheckpointPolicy::interval(5000);
+  const std::string label = spec.label();
+  EXPECT_NE(label.find("red-rollback3"), std::string::npos) << label;
+  EXPECT_NE(label.find(":ckpt5000"), std::string::npos) << label;
+}
+
+TEST(CkptPolicy, CheckpointingDoesNotPerturbResults) {
+  ScenarioSpec plain = make_spec("bfs", sim::SimEngine::kEvent);
+  ScenarioSpec ckpted = plain;
+  ckpted.ckpt = ckpt::CheckpointPolicy::interval(2000);
+  const ScenarioResult a = exp::run_scenario(plain);
+  const ScenarioResult b = exp::run_scenario(ckpted);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(a.kernel_cycles, b.kernel_cycles);
+  EXPECT_EQ(a.elapsed_ns, b.elapsed_ns);
+  EXPECT_EQ(a.ff_cycles, b.ff_cycles);
+  EXPECT_TRUE(a.stats == b.stats);
+}
+
+TEST(CkptSweeps, EmptyBaseSetThrowsNamingTheBuilder) {
+  const ScenarioSet empty;
+  const auto expect_named = [&](const char* name, auto&& call) {
+    try {
+      call();
+      FAIL() << name << " accepted an empty base set";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(name), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_named("sweep_policies",
+               [&] { (void)empty.sweep_policies({sched::Policy::kSrrs}); });
+  expect_named("sweep_faults",
+               [&] { (void)empty.sweep_faults({FaultPlan::none()}); });
+  expect_named("sweep_seeds", [&] { (void)empty.sweep_seeds({1}); });
+  expect_named("sweep_workloads",
+               [&] { (void)empty.sweep_workloads({"hotspot"}); });
+  expect_named("sweep_redundancy", [&] { (void)empty.sweep_redundancy(); });
+  expect_named("sweep_mem",
+               [&] { (void)empty.sweep_mem({memsys::MemParams{}}); });
+  expect_named("sweep_write_policies",
+               [&] { (void)empty.sweep_write_policies(); });
+  expect_named("product", [&] {
+    (void)empty.product({[](ScenarioSpec&) {}});
+  });
+}
+
+}  // namespace
+}  // namespace higpu
