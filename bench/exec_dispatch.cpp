@@ -1,0 +1,333 @@
+// Interpreter vs block-compiled execution engine throughput. The block
+// engine changes dispatch cost only — cycle counts are bit-identical (and
+// asserted here) — so the metric is host simulation speed: simulated cycles
+// per wall second, interp vs block, on compute-bound work where dispatch
+// dominates. Emits BENCH_exec.json for the CI perf-trajectory artifact.
+//
+// Two layers:
+//  * micro: a dense ALU-chain kernel (unrolled FFMA/IADD body, no memory in
+//    the loop) across block widths 32..256 and a 50%-predicated variant —
+//    pure dispatch-path cost, the block engine's best case.
+//  * workloads: representative compute-bound Rodinia-style workloads through
+//    the full 5-step redundant flow.
+//
+//   $ ./bench_exec_dispatch [--scale=test|bench] [--out=BENCH_exec.json]
+//   $ ./bench_exec_dispatch --golden=PATH
+//
+// --golden runs every workload at test scale under the block engine and
+// writes one "name cycles elapsed_ns" line each; the CI reproducibility job
+// diffs these files across -O0 and -O3 builds (autovectorized lane kernels
+// must not change a single modelled cycle).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.h"
+#include "isa/builder.h"
+#include "memsys/global_store.h"
+#include "sched/policies.h"
+
+namespace {
+
+using namespace higpu;
+
+// ---- Micro: dispatch-bound ALU chain ---------------------------------------
+
+/// A compute kernel whose steady state is back-to-back ALU issue: `reps`
+/// loop iterations over a 24-op unrolled int/float body with enough
+/// independent chains that the scoreboard rarely stalls. When `predicated`,
+/// half the body ops are guarded by a lane-alternating predicate, exercising
+/// the partial-mask path of the lane kernels.
+isa::ProgramPtr make_alu_chain_kernel(u32 reps, bool predicated) {
+  using namespace isa;
+  KernelBuilder kb(predicated ? "alu_chain_pred" : "alu_chain");
+  Reg out = kb.reg();
+  kb.ldp(out, 0);
+  Reg gid = kb.global_tid_x();
+
+  Reg f0 = kb.reg(), f1 = kb.reg(), f2 = kb.reg(), f3 = kb.reg();
+  Reg i0 = kb.reg(), i1 = kb.reg(), i2 = kb.reg(), i3 = kb.reg();
+  kb.i2f(f0, gid);
+  kb.movf(f1, 1.000001f);
+  kb.movf(f2, 0.999999f);
+  kb.movf(f3, 0.5f);
+  kb.iadd(i0, gid, imm(1));
+  kb.movi(i1, 0x5bd1e995);
+  kb.movi(i2, 7);
+  kb.movi(i3, 13);
+
+  PredReg odd = kb.pred();
+  Reg lane = kb.reg();
+  kb.s2r(lane, SReg::kLaneId);
+  kb.and_(lane, lane, imm(1));
+  kb.setp(odd, CmpOp::kNe, DType::kI32, lane, imm(0));
+
+  Reg k = kb.reg();
+  kb.movi(k, 0);
+  Label loop = kb.label(), end = kb.label();
+  kb.bind(loop);
+  PredReg fin = kb.pred();
+  kb.setp(fin, CmpOp::kGe, DType::kI32, k, imm(static_cast<i32>(reps)));
+  kb.bra(end).guard_if(fin);
+  for (int u = 0; u < 6; ++u) {
+    Instruction& a = kb.ffma(f0, f0, f1, f3);
+    Instruction& b = kb.fmul(f2, f2, f1);
+    Instruction& c = kb.imad(i0, i0, i1, i2);
+    Instruction& d = kb.xor_(i3, i3, i0);
+    if (predicated && (u % 2 == 0)) {
+      a.guard_if(odd);
+      b.guard_ifnot(odd);
+      c.guard_if(odd);
+      d.guard_ifnot(odd);
+    }
+  }
+  kb.iadd(k, k, imm(1));
+  kb.bra(loop);
+  kb.bind(end);
+  Reg addr = kb.reg();
+  kb.f2i(f0, f0);
+  kb.xor_(i0, i0, f0);
+  kb.imad(addr, gid, imm(4), out);
+  kb.stg(addr, i0);
+  kb.exit();
+  return kb.build();
+}
+
+struct MicroRun {
+  double sim_sec = 0;
+  Cycle sim_cycles = 0;
+  u64 superop_hits = 0;
+  u64 fallback_exits = 0;
+  double cycles_per_sec() const {
+    return sim_sec > 0 ? static_cast<double>(sim_cycles) / sim_sec : 0.0;
+  }
+};
+
+MicroRun run_micro_once(sim::ExecMode mode, u32 block_width, bool predicated,
+                        u32 reps) {
+  sim::GpuParams params;
+  params.exec_mode = mode;
+  memsys::GlobalStore store;
+  sim::Gpu gpu(params, &store);
+  gpu.set_kernel_scheduler(std::make_unique<sched::DefaultKernelScheduler>());
+
+  const u32 threads = 6 * 4 * block_width;  // 4 blocks per SM
+  const memsys::DevPtr out = store.alloc(threads * 4);
+  sim::KernelLaunch l;
+  l.program = make_alu_chain_kernel(reps, predicated);
+  l.grid = {threads / block_width, 1, 1};
+  l.block = {block_width, 1, 1};
+  l.params = {out};
+  gpu.launch(std::move(l));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  gpu.run_until_idle(500'000'000);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  MicroRun r;
+  r.sim_sec = std::chrono::duration<double>(t1 - t0).count();
+  r.sim_cycles = gpu.now();
+  const StatSet s = gpu.collect_stats();
+  r.superop_hits = s.get("block_exec_hits");
+  r.fallback_exits = s.get("block_fallback_exits");
+  return r;
+}
+
+MicroRun best_micro(sim::ExecMode mode, u32 block_width, bool predicated,
+                    u32 reps, int tries) {
+  MicroRun best;
+  for (int i = 0; i < tries; ++i) {
+    MicroRun r = run_micro_once(mode, block_width, predicated, reps);
+    if (i == 0 || r.sim_sec < best.sim_sec) best = r;
+  }
+  return best;
+}
+
+// ---- Workloads through the full redundant flow -----------------------------
+
+struct WorkloadRun {
+  double sim_sec = 0;
+  Cycle kernel_cycles = 0;
+  NanoSec elapsed_ns = 0;
+  bool verified = false;
+  double coverage_pct = 0;
+};
+
+WorkloadRun run_workload_once(const std::string& name, workloads::Scale scale,
+                              sim::ExecMode mode) {
+  exp::ScenarioSpec spec;
+  spec.workload = name;
+  spec.scale = scale;
+  spec.seed = 2019;
+  spec.policy = sched::Policy::kSrrs;
+  spec.redundancy = core::RedundancySpec::dcls();
+  spec.gpu.exec_mode = mode;
+
+  const exp::ScenarioResult res = exp::run_scenario(spec);
+  WorkloadRun r;
+  r.sim_sec = res.sim_wall_sec;
+  r.kernel_cycles = res.kernel_cycles;
+  r.elapsed_ns = res.elapsed_ns;
+  r.verified = res.ok && res.verified && res.dcls_match;
+  const double hits = static_cast<double>(res.stats.get("block_exec_hits"));
+  const double total =
+      hits + static_cast<double>(res.stats.get("block_fallback_exits"));
+  r.coverage_pct = total > 0 ? 100.0 * hits / total : 0.0;
+  return r;
+}
+
+WorkloadRun best_workload(const std::string& name, workloads::Scale scale,
+                          sim::ExecMode mode, int tries) {
+  WorkloadRun best;
+  for (int i = 0; i < tries; ++i) {
+    WorkloadRun r = run_workload_once(name, scale, mode);
+    if (i == 0 || r.sim_sec < best.sim_sec) best = r;
+  }
+  return best;
+}
+
+// ---- Golden-cycle emission (the -O0 vs -O3 reproducibility contract) -------
+
+int emit_golden(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  bool ok = true;
+  for (const std::string& name : workloads::all_names()) {
+    const WorkloadRun r =
+        run_workload_once(name, workloads::Scale::kTest, sim::ExecMode::kBlock);
+    ok = ok && r.verified;
+    std::fprintf(f, "%s %llu %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(r.kernel_cycles),
+                 static_cast<unsigned long long>(r.elapsed_ns));
+  }
+  std::fclose(f);
+  std::printf("wrote golden cycle counts for %zu workloads to %s\n",
+              workloads::all_names().size(), path.c_str());
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workloads::Scale scale = workloads::Scale::kTest;
+  std::string out_path = "BENCH_exec.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale=bench") == 0)
+      scale = workloads::Scale::kBench;
+    else if (std::strcmp(argv[i], "--scale=test") == 0)
+      scale = workloads::Scale::kTest;
+    else if (std::strncmp(argv[i], "--out=", 6) == 0)
+      out_path = argv[i] + 6;
+    else if (std::strncmp(argv[i], "--golden=", 9) == 0)
+      return emit_golden(argv[i] + 9);
+  }
+
+  const int tries = 3;
+  bool all_ok = true;
+  std::string json = "{\n  \"bench\": \"exec_dispatch\",\n  \"metric\": "
+                     "\"simulated_cycles_per_sec interp vs block\",\n"
+                     "  \"micro\": [\n";
+
+  struct MicroCase {
+    const char* name;
+    u32 width;
+    bool predicated;
+  };
+  const MicroCase micro_cases[] = {{"alu_w32", 32, false},
+                                   {"alu_w64", 64, false},
+                                   {"alu_w128", 128, false},
+                                   {"alu_w256", 256, false},
+                                   {"alu_w128_pred", 128, true}};
+  const u32 reps = 400;
+  std::printf("Micro: dense ALU chain, interp vs block (best of %d)\n", tries);
+  for (size_t i = 0; i < std::size(micro_cases); ++i) {
+    const MicroCase& mc = micro_cases[i];
+    const MicroRun interp =
+        best_micro(sim::ExecMode::kInterp, mc.width, mc.predicated, reps, tries);
+    const MicroRun block =
+        best_micro(sim::ExecMode::kBlock, mc.width, mc.predicated, reps, tries);
+    const bool cycles_match = interp.sim_cycles == block.sim_cycles;
+    const double speedup = interp.cycles_per_sec() > 0
+                               ? block.cycles_per_sec() / interp.cycles_per_sec()
+                               : 0.0;
+    const u64 dispatched = block.superop_hits + block.fallback_exits;
+    const double coverage =
+        dispatched > 0 ? 100.0 * static_cast<double>(block.superop_hits) /
+                             static_cast<double>(dispatched)
+                       : 0.0;
+    all_ok = all_ok && cycles_match;
+    std::printf("  %-14s cycles=%-9llu interp=%.3g cyc/s  block=%.3g cyc/s  "
+                "speedup=%.2fx  coverage=%.1f%%%s\n",
+                mc.name, static_cast<unsigned long long>(block.sim_cycles),
+                interp.cycles_per_sec(), block.cycles_per_sec(), speedup,
+                coverage, cycles_match ? "" : "  [CYCLE MISMATCH]");
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"sim_cycles\": %llu, "
+                  "\"interp_cycles_per_sec\": %.1f, "
+                  "\"block_cycles_per_sec\": %.1f, \"speedup\": %.3f, "
+                  "\"superop_coverage_pct\": %.1f, \"cycles_match\": %s}%s\n",
+                  mc.name, static_cast<unsigned long long>(block.sim_cycles),
+                  interp.cycles_per_sec(), block.cycles_per_sec(), speedup,
+                  coverage, cycles_match ? "true" : "false",
+                  i + 1 < std::size(micro_cases) ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n  \"workloads\": [\n";
+
+  // Compute-regular workloads where dispatch is the dominant simulation
+  // cost; bfs rides along as the memory-stalled counterpoint (low coverage,
+  // expect ~1x).
+  const std::vector<std::string> names = {"hotspot", "gaussian", "pathfinder",
+                                          "srad", "bfs"};
+  std::printf("\nWorkloads (scale=%s, DCLS, SRRS, best of %d)\n",
+              workloads::scale_name(scale), tries);
+  for (size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    const WorkloadRun interp =
+        best_workload(name, scale, sim::ExecMode::kInterp, tries);
+    const WorkloadRun block =
+        best_workload(name, scale, sim::ExecMode::kBlock, tries);
+    const bool match = interp.kernel_cycles == block.kernel_cycles &&
+                       interp.elapsed_ns == block.elapsed_ns;
+    const double speedup =
+        block.sim_sec > 0 ? interp.sim_sec / block.sim_sec : 0.0;
+    all_ok = all_ok && match && interp.verified && block.verified;
+    std::printf("  %-14s kernel_cycles=%-9llu interp=%.3fs  block=%.3fs  "
+                "speedup=%.2fx  coverage=%.1f%%%s\n",
+                name.c_str(),
+                static_cast<unsigned long long>(block.kernel_cycles),
+                interp.sim_sec, block.sim_sec, speedup, block.coverage_pct,
+                match ? "" : "  [MISMATCH]");
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"kernel_cycles\": %llu, "
+                  "\"interp_sim_sec\": %.4f, \"block_sim_sec\": %.4f, "
+                  "\"speedup\": %.3f, \"superop_coverage_pct\": %.1f, "
+                  "\"bit_identical\": %s, \"verified\": %s}%s\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(block.kernel_cycles),
+                  interp.sim_sec, block.sim_sec, speedup, block.coverage_pct,
+                  match ? "true" : "false",
+                  interp.verified && block.verified ? "true" : "false",
+                  i + 1 < names.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  return all_ok ? 0 : 1;
+}

@@ -128,6 +128,20 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, u32 index,
   return r;
 }
 
+namespace {
+
+/// Dynamic superop coverage of one run: share of issued instructions that
+/// dispatched through a compiled superop (block engine only; hits plus
+/// fallback exits is every issued instruction). Derived for reporting — the
+/// raw counters live in the StatSet.
+double block_coverage_pct(const StatSet& s) {
+  const double hits = static_cast<double>(s.get("block_exec_hits"));
+  const double total = hits + static_cast<double>(s.get("block_fallback_exits"));
+  return total > 0 ? 100.0 * hits / total : 0.0;
+}
+
+}  // namespace
+
 u32 CampaignResult::failed() const {
   u32 n = 0;
   for (const ScenarioResult& r : results)
@@ -188,6 +202,8 @@ std::string CampaignResult::to_json() const {
     jw.begin_object();
     for (const auto& [name, value] : r.stats.entries()) jw.field(name, value);
     jw.end_object();
+    if (r.stats.get("block_exec_hits") + r.stats.get("block_fallback_exits") > 0)
+      jw.field("block_superop_coverage_pct", block_coverage_pct(r.stats));
     jw.field("wall_sec", r.wall_sec);
     jw.end_object();
   }
@@ -201,7 +217,8 @@ std::string CampaignResult::to_csv() const {
                    "dcls_match", "comparisons", "mismatches", "n_copies",
                    "attempts", "asil", "ftti_met", "kernel_cycles",
                    "elapsed_ns", "fault", "corruptions", "fault_outcome",
-                   "divergence", "instructions", "error"});
+                   "divergence", "instructions", "block_exec_hits",
+                   "block_fallback_exits", "block_coverage_pct", "error"});
   for (const ScenarioResult& r : results) {
     table.add_row({std::to_string(r.index), r.label, r.workload,
                    r.ok ? "true" : "false", r.passed() ? "true" : "false",
@@ -217,7 +234,10 @@ std::string CampaignResult::to_csv() const {
                    std::to_string(r.corruptions),
                    r.fault_active ? fault::outcome_name(r.outcome) : "",
                    r.divergence,
-                   std::to_string(r.stats.get("instructions")), r.error});
+                   std::to_string(r.stats.get("instructions")),
+                   std::to_string(r.stats.get("block_exec_hits")),
+                   std::to_string(r.stats.get("block_fallback_exits")),
+                   std::to_string(block_coverage_pct(r.stats)), r.error});
   }
   return table.render_csv();
 }

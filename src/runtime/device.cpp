@@ -145,6 +145,9 @@ void Device::push_checkpoint(ckpt::SnapshotPtr snap, bool anchor) {
 u64 Device::params_fingerprint() const {
   ckpt::Writer w;
   const sim::GpuParams& g = gpu_->params();
+  // exec_mode is deliberately NOT part of the fingerprint: the block engine
+  // is bit-identical to the interpreter and its traces are derived state
+  // rebuilt on restore, so snapshots are interchangeable across exec modes.
   w.put8(static_cast<u8>(g.engine));
   for (u32 v : {g.num_sms, g.warp_size, g.max_warps_per_sm,
                 g.max_blocks_per_sm, g.regfile_per_sm, g.shared_per_sm,

@@ -1,0 +1,310 @@
+#include "sim/blockexec.h"
+
+#include <map>
+#include <mutex>
+
+#include "isa/cfg.h"
+#include "isa/opcode.h"
+#include "sim/executor.h"
+
+namespace higpu::sim::blockexec {
+
+namespace {
+
+/// Lowered operand plan for one instruction source. Absent sources fold to
+/// immediate 0, exactly like the interpreter's missing-operand default.
+SrcPlan lower_src(const isa::Operand& o) {
+  SrcPlan s;
+  if (o.is_reg()) {
+    s.reg = o.reg;
+    s.is_imm = false;
+  } else {
+    s.is_imm = true;
+    s.imm = o.present() ? o.imm : 0;
+  }
+  return s;
+}
+
+/// Lower one instruction to its superop (or a fallback marker). The hazard
+/// plan reproduces the interpreter's check order exactly: guard, pred_src,
+/// sources in operand order, destination GPR, destination predicate.
+SuperOp lower(const isa::Instruction& ins) {
+  SuperOp s;
+  s.op = ins.op;
+  switch (ins.op) {
+    case isa::Op::kNop:      // never emitted by the builder; keep interpreted
+    case isa::Op::kBra:
+    case isa::Op::kExit:
+    case isa::Op::kBar:
+    case isa::Op::kLdg:
+    case isa::Op::kStg:
+    case isa::Op::kAtomAdd:
+    case isa::Op::kLds:
+    case isa::Op::kSts:
+      s.kind = SopKind::kFallback;
+      return s;
+    case isa::Op::kSetp:
+      s.kind = SopKind::kSetp;
+      break;
+    case isa::Op::kSelp:
+      s.kind = SopKind::kSelp;
+      break;
+    case isa::Op::kS2r:
+      s.kind = SopKind::kS2r;
+      break;
+    case isa::Op::kLdp:
+      s.kind = SopKind::kLdp;
+      break;
+    default:
+      s.kind = SopKind::kAlu;
+      break;
+  }
+
+  s.vkind = s.kind == SopKind::kAlu ? vkind_for(ins.op) : VKind::kGeneric;
+  s.is_sfu = isa::unit_class(ins.op) == isa::UnitClass::kSfu;
+  s.is_datapath = isa::is_datapath(ins.op);
+  s.writes_gpr = isa::writes_gpr(ins.op);
+  s.writes_pred = isa::writes_pred(ins.op);
+  s.guard = ins.guard;
+  s.guard_neg = ins.guard_neg;
+  s.dst = ins.dst;
+  s.a = lower_src(ins.src[0]);
+  s.b = lower_src(ins.src[1]);
+  s.c = lower_src(ins.src[2]);
+  s.cmp = ins.cmp;
+  s.dtype = ins.dtype;
+  s.pred_src = ins.pred_src;
+  s.sreg = ins.sreg;
+  if (ins.op == isa::Op::kLdp) s.param_idx = ins.src[0].imm;
+
+  auto haz = [&s](u16 reg, bool is_pred) {
+    s.hazards[s.n_hazards++] = HazPlan{reg, is_pred};
+  };
+  if (ins.guard != isa::kNoPred) haz(static_cast<u16>(ins.guard), true);
+  if (ins.pred_src != isa::kNoPred) haz(static_cast<u16>(ins.pred_src), true);
+  for (const isa::Operand& o : ins.src)
+    if (o.is_reg()) haz(o.reg, false);
+  if (s.writes_gpr) haz(ins.dst, false);
+  if (s.writes_pred) haz(ins.dst, true);
+  return s;
+}
+
+}  // namespace
+
+VKind vkind_for(isa::Op op) {
+  using isa::Op;
+  switch (op) {
+    case Op::kMov: return VKind::kMov;
+    case Op::kIadd: return VKind::kIadd;
+    case Op::kIsub: return VKind::kIsub;
+    case Op::kImul: return VKind::kImul;
+    case Op::kImad: return VKind::kImad;
+    case Op::kImin: return VKind::kImin;
+    case Op::kImax: return VKind::kImax;
+    case Op::kAnd: return VKind::kAnd;
+    case Op::kOr: return VKind::kOr;
+    case Op::kXor: return VKind::kXor;
+    case Op::kNot: return VKind::kNot;
+    case Op::kShl: return VKind::kShl;
+    case Op::kShr: return VKind::kShr;
+    case Op::kSra: return VKind::kSra;
+    case Op::kFadd: return VKind::kFadd;
+    case Op::kFsub: return VKind::kFsub;
+    case Op::kFmul: return VKind::kFmul;
+    case Op::kFfma: return VKind::kFfma;
+    case Op::kFmin: return VKind::kFmin;
+    case Op::kFmax: return VKind::kFmax;
+    case Op::kFabs: return VKind::kFabs;
+    case Op::kFneg: return VKind::kFneg;
+    case Op::kI2f: return VKind::kI2f;
+    case Op::kF2i: return VKind::kF2i;
+    default: return VKind::kGeneric;  // SFU transcendentals, div, sqrt, rcp
+  }
+}
+
+CompiledTrace::CompiledTrace(isa::ProgramPtr prog) : prog_(std::move(prog)) {
+  const std::vector<isa::Instruction>& code = prog_->code();
+  sops_.reserve(code.size());
+  for (const isa::Instruction& ins : code) sops_.push_back(lower(ins));
+
+  // Fused-run metadata over the CFG: maximal spans of consecutive superops
+  // within one basic block. Runs never cross block boundaries — a block is
+  // the unit the issue stage can walk without a control-flow re-check.
+  const isa::Cfg cfg(code);
+  num_blocks_ = cfg.num_blocks();
+  for (u32 b = 0; b < cfg.num_blocks(); ++b) {
+    const isa::BasicBlock& bb = cfg.block(b);
+    bool in_run = false;
+    for (isa::Pc pc = bb.first; pc <= bb.last; ++pc) {
+      if (sops_[pc].kind != SopKind::kFallback) {
+        num_superops_ += 1;
+        if (!in_run) {
+          num_fused_runs_ += 1;
+          in_run = true;
+        }
+      } else {
+        in_run = false;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Process-wide trace cache. Values are weak so the cache never extends a
+/// program's lifetime; a live trace pins its program (CompiledTrace holds
+/// the ProgramPtr), so a non-expired entry's pointer key cannot alias a
+/// different program. Expired entries are reaped on every miss.
+std::mutex g_cache_mu;
+std::map<const isa::KernelProgram*, std::weak_ptr<const CompiledTrace>>
+    g_cache;  // NOLINT(runtime/global) — intentional process-wide cache
+
+}  // namespace
+
+TracePtr trace_for(const isa::ProgramPtr& prog) {
+  std::lock_guard<std::mutex> lock(g_cache_mu);
+  auto it = g_cache.find(prog.get());
+  if (it != g_cache.end()) {
+    if (TracePtr t = it->second.lock()) return t;
+  }
+  for (auto e = g_cache.begin(); e != g_cache.end();)
+    e = e->second.expired() ? g_cache.erase(e) : std::next(e);
+  TracePtr t = std::make_shared<const CompiledTrace>(prog);
+  g_cache[prog.get()] = t;
+  return t;
+}
+
+u64 trace_cache_live() {
+  std::lock_guard<std::mutex> lock(g_cache_mu);
+  u64 n = 0;
+  for (const auto& [_, w] : g_cache) n += !w.expired();
+  return n;
+}
+
+// ---- Lane-vector kernels ---------------------------------------------------
+//
+// Each kernel is the width-32 form of one eval_alu case over contiguous
+// register rows. The full-mask path is a branch-free loop the compiler can
+// autovectorize; the partial-mask path keeps per-lane conditional stores so
+// inactive lanes are never written (their stale values are architectural
+// state — snapshots hash them). Bit-exactness with eval_alu is a hard
+// contract: integer ops are trivially exact, and the float ops use the very
+// same IEEE-754 single operations (std::fma/fmin/fmax included), which SIMD
+// lanes evaluate identically to scalar — verified per-op against edge inputs
+// (NaN, infinities, denormals) by tests/blockexec_test.cpp and across
+// optimization levels by the -O0/-O3 CI reproducibility job.
+
+namespace {
+
+template <class F>
+inline void lanes(u32* d, u32 mask, F&& f) {
+  if (mask == 0xFFFFFFFFu) {
+    for (u32 i = 0; i < 32; ++i) d[i] = f(i);
+  } else {
+    for (u32 i = 0; i < 32; ++i)
+      if ((mask >> i) & 1u) d[i] = f(i);
+  }
+}
+
+}  // namespace
+
+void run_vkernel(VKind k, isa::Op op, u32* d, const u32* a, const u32* b,
+                 const u32* c, u32 mask) {
+  const auto sa = [&](u32 i) { return static_cast<i32>(a[i]); };
+  const auto sb = [&](u32 i) { return static_cast<i32>(b[i]); };
+  const auto fa = [&](u32 i) { return bits2f(a[i]); };
+  const auto fb = [&](u32 i) { return bits2f(b[i]); };
+  const auto fc = [&](u32 i) { return bits2f(c[i]); };
+  switch (k) {
+    case VKind::kMov:
+      lanes(d, mask, [&](u32 i) { return a[i]; });
+      break;
+    case VKind::kIadd:
+      lanes(d, mask, [&](u32 i) { return a[i] + b[i]; });
+      break;
+    case VKind::kIsub:
+      lanes(d, mask, [&](u32 i) { return a[i] - b[i]; });
+      break;
+    case VKind::kImul:
+      lanes(d, mask, [&](u32 i) { return a[i] * b[i]; });
+      break;
+    case VKind::kImad:
+      lanes(d, mask, [&](u32 i) { return a[i] * b[i] + c[i]; });
+      break;
+    case VKind::kImin:
+      lanes(d, mask, [&](u32 i) {
+        return static_cast<u32>(sa(i) < sb(i) ? sa(i) : sb(i));
+      });
+      break;
+    case VKind::kImax:
+      lanes(d, mask, [&](u32 i) {
+        return static_cast<u32>(sa(i) > sb(i) ? sa(i) : sb(i));
+      });
+      break;
+    case VKind::kAnd:
+      lanes(d, mask, [&](u32 i) { return a[i] & b[i]; });
+      break;
+    case VKind::kOr:
+      lanes(d, mask, [&](u32 i) { return a[i] | b[i]; });
+      break;
+    case VKind::kXor:
+      lanes(d, mask, [&](u32 i) { return a[i] ^ b[i]; });
+      break;
+    case VKind::kNot:
+      lanes(d, mask, [&](u32 i) { return ~a[i]; });
+      break;
+    case VKind::kShl:
+      lanes(d, mask, [&](u32 i) { return a[i] << (b[i] & 31); });
+      break;
+    case VKind::kShr:
+      lanes(d, mask, [&](u32 i) { return a[i] >> (b[i] & 31); });
+      break;
+    case VKind::kSra:
+      lanes(d, mask, [&](u32 i) {
+        return static_cast<u32>(sa(i) >> (b[i] & 31));
+      });
+      break;
+    // Float kernels share eval_alu's canonicalization helpers (canon_f,
+    // fmin_bits, fmax_bits): NaN results and +-0 min/max ties are pinned to
+    // one bit pattern, so scalar and vectorized codegen cannot diverge.
+    case VKind::kFadd:
+      lanes(d, mask, [&](u32 i) { return canon_f(fa(i) + fb(i)); });
+      break;
+    case VKind::kFsub:
+      lanes(d, mask, [&](u32 i) { return canon_f(fa(i) - fb(i)); });
+      break;
+    case VKind::kFmul:
+      lanes(d, mask, [&](u32 i) { return canon_f(fa(i) * fb(i)); });
+      break;
+    case VKind::kFfma:
+      lanes(d, mask,
+            [&](u32 i) { return canon_f(std::fma(fa(i), fb(i), fc(i))); });
+      break;
+    case VKind::kFmin:
+      lanes(d, mask, [&](u32 i) { return fmin_bits(a[i], b[i]); });
+      break;
+    case VKind::kFmax:
+      lanes(d, mask, [&](u32 i) { return fmax_bits(a[i], b[i]); });
+      break;
+    case VKind::kFabs:
+      lanes(d, mask, [&](u32 i) { return a[i] & 0x7FFFFFFFu; });
+      break;
+    case VKind::kFneg:
+      lanes(d, mask, [&](u32 i) { return a[i] ^ 0x80000000u; });
+      break;
+    case VKind::kI2f:
+      lanes(d, mask, [&](u32 i) { return f2bits(static_cast<float>(sa(i))); });
+      break;
+    case VKind::kF2i:
+      // Keep the saturating semantics routed through the single scalar
+      // implementation: NaN/out-of-range handling must stay one source of
+      // truth with the interpreter.
+      lanes(d, mask, [&](u32 i) { return eval_alu(isa::Op::kF2i, a[i], 0, 0); });
+      break;
+    case VKind::kGeneric:
+      lanes(d, mask, [&](u32 i) { return eval_alu(op, a[i], b[i], c[i]); });
+      break;
+  }
+}
+
+}  // namespace higpu::sim::blockexec

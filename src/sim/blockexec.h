@@ -1,0 +1,169 @@
+// Block-compiled vectorized execution engine.
+//
+// At kernel launch the program's `isa::cfg` basic blocks are lowered into a
+// pre-decoded *superinstruction trace*: one SuperOp per pc with operands
+// resolved to register-file row offsets, immediates folded into splat values,
+// the opcode-classification predicates (unit class, writeback kind, datapath
+// membership) baked into flags, and the scoreboard-check sequence precomputed
+// as an ordered hazard plan. Consecutive superops inside a basic block form
+// *fused runs* — contiguous pre-decoded spans the issue stage walks without
+// ever touching the original `isa::Instruction` encoding.
+//
+// The trace changes *dispatch cost only*. Issue still happens one
+// instruction per warp scheduler per cycle with the exact scoreboard,
+// structural-hazard, guard-mask and writeback-latency semantics of the
+// interpreter, so cycle counts, stall classification, fault-injection
+// windows and statistics stay bit-identical (pinned by the dual-engine and
+// golden-cycle suites). Memory, control-flow and barrier instructions are
+// not lowered — they exit the block path and fall back to the per-
+// instruction interpreter, leaving divergence handling, MSHR backpressure
+// and barrier accounting untouched.
+//
+// The per-lane math of a superop executes over the warp's struct-of-arrays
+// register file (one contiguous 32-lane row per register, see sim/warp.h) as
+// width-32 lane kernels written so the compiler can autovectorize them into
+// 4/8-lane SIMD. All lane kernels are bit-exact re-expressions of
+// sim::eval_alu — enforced per-op by tests/blockexec_test.cpp and across
+// optimization levels by the -O0 vs -O3 reproducibility CI job.
+//
+// Compiled traces are cached process-wide, keyed by the program identity:
+// every SM, engine, redundancy copy and campaign worker thread executing the
+// same `isa::KernelProgram` shares one immutable trace. Traces are derived
+// state — never serialized — and are rebuilt on snapshot restore.
+#pragma once
+
+#include <memory>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+#include "isa/program.h"
+
+namespace higpu::sim::blockexec {
+
+/// Lowered execution form of one instruction.
+enum class SopKind : u8 {
+  kFallback,  // not lowered: interpreter path (memory/control/barrier/nop)
+  kAlu,       // SP/SFU data op through a lane-vector kernel
+  kSetp,      // predicate compare (optional .and input)
+  kSelp,      // predicate select
+  kS2r,       // special-register read
+  kLdp,       // kernel-parameter broadcast
+};
+
+/// Lane-kernel selector for SopKind::kAlu. Hot integer/float ops get a
+/// dedicated width-32 kernel; long-latency SFU/libm ops share the generic
+/// eval_alu loop (their cost is the math, not the dispatch).
+enum class VKind : u8 {
+  kMov, kIadd, kIsub, kImul, kImad, kImin, kImax,
+  kAnd, kOr, kXor, kNot, kShl, kShr, kSra,
+  kFadd, kFsub, kFmul, kFfma, kFmin, kFmax, kFabs, kFneg,
+  kI2f, kF2i,
+  kGeneric,
+};
+
+/// One pre-decoded source operand: a register row index or a folded
+/// immediate. Absent operands fold to immediate 0, mirroring the
+/// interpreter's `present() ? value : 0`.
+struct SrcPlan {
+  u16 reg = 0;
+  bool is_imm = true;
+  u32 imm = 0;
+};
+
+/// One scoreboard check: register (or predicate) index + file.
+struct HazPlan {
+  u16 reg = 0;
+  bool is_pred = false;
+};
+
+/// A pre-decoded superinstruction. Everything the issue stage derives from
+/// an `isa::Instruction` per dynamic execution — operand routing, unit
+/// class, writeback kind, hazard sequence — resolved once at compile time.
+struct SuperOp {
+  SopKind kind = SopKind::kFallback;
+  VKind vkind = VKind::kGeneric;
+  isa::Op op = isa::Op::kNop;  // original opcode (generic kernel, fault path)
+
+  // Flags folded from the isa:: classification predicates.
+  bool is_sfu = false;
+  bool is_datapath = false;
+  bool writes_gpr = false;
+  bool writes_pred = false;
+
+  // Guard predicate.
+  i16 guard = isa::kNoPred;
+  bool guard_neg = false;
+
+  u16 dst = 0;  // GPR row (kAlu/kSelp/kS2r/kLdp) or predicate row (kSetp)
+  SrcPlan a, b, c;
+
+  // kSetp / kSelp extras.
+  isa::CmpOp cmp = isa::CmpOp::kEq;
+  isa::DType dtype = isa::DType::kI32;
+  i16 pred_src = isa::kNoPred;
+
+  // kS2r / kLdp extras.
+  isa::SReg sreg = isa::SReg::kTidX;
+  u32 param_idx = 0;
+
+  /// Ordered scoreboard plan, exactly the interpreter's check sequence:
+  /// guard, pred_src, sources in operand order, then the destination.
+  /// The order is behavioural: a stall records the *first* hazarded
+  /// register's release cycle as the warp's wake event.
+  HazPlan hazards[6];
+  u8 n_hazards = 0;
+};
+
+/// A compiled program trace: one SuperOp per pc, plus fused-run and
+/// coverage metadata. Immutable after construction; safely shared across
+/// threads. Holds a reference to its program so the cache key (the program
+/// address) cannot be reused while the trace is alive.
+class CompiledTrace {
+ public:
+  explicit CompiledTrace(isa::ProgramPtr prog);
+
+  const SuperOp& at(isa::Pc pc) const { return sops_[pc]; }
+  u32 size() const { return static_cast<u32>(sops_.size()); }
+
+  /// Basic blocks in the program's CFG (the compilation unit).
+  u32 num_blocks() const { return num_blocks_; }
+  /// Static instructions lowered to superops (non-fallback entries).
+  u32 num_superops() const { return num_superops_; }
+  /// Maximal spans of consecutive superops within one basic block.
+  u32 num_fused_runs() const { return num_fused_runs_; }
+  /// Static superop coverage in percent (rounded down).
+  u32 static_coverage_pct() const {
+    return size() ? num_superops_ * 100 / size() : 0;
+  }
+
+  const isa::KernelProgram& program() const { return *prog_; }
+
+ private:
+  isa::ProgramPtr prog_;
+  std::vector<SuperOp> sops_;
+  u32 num_blocks_ = 0;
+  u32 num_superops_ = 0;
+  u32 num_fused_runs_ = 0;
+};
+
+using TracePtr = std::shared_ptr<const CompiledTrace>;
+
+/// Compiled trace for `prog`, served from the process-wide cache (compiles
+/// on first use). Thread-safe; concurrent campaign workers launching the
+/// same program share one trace.
+TracePtr trace_for(const isa::ProgramPtr& prog);
+
+/// Live entries in the process-wide trace cache (test introspection).
+u64 trace_cache_live();
+
+/// Lane-kernel selector an ALU opcode lowers to.
+VKind vkind_for(isa::Op op);
+
+/// Execute one width-32 lane kernel: for every lane in `mask`,
+/// d[lane] = op(a[lane], b[lane], c[lane]). Bit-identical to calling
+/// sim::eval_alu per lane (the golden-bit contract; see blockexec_test).
+/// `op` is consulted only by the VKind::kGeneric kernel.
+void run_vkernel(VKind k, isa::Op op, u32* d, const u32* a, const u32* b,
+                 const u32* c, u32 mask);
+
+}  // namespace higpu::sim::blockexec

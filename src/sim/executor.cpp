@@ -1,0 +1,33 @@
+#include "sim/executor.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace higpu::sim::detail {
+
+namespace {
+
+[[noreturn]] void die(const char* what, int value) {
+  // One line on stderr, then abort: a bad enum in the functional units means
+  // the instruction stream is corrupt, and silently producing zeros (the old
+  // behaviour) masks exactly the miscompiles/memory bugs this should catch.
+  std::fprintf(stderr, "higpu: fatal: %s (value %d) reached the ALU path\n",
+               what, value);
+  std::abort();
+}
+
+}  // namespace
+
+void unknown_alu_op(isa::Op op) {
+  die("non-ALU opcode", static_cast<int>(op));
+}
+
+void unknown_cmp_op(isa::CmpOp cmp) {
+  die("unknown compare op", static_cast<int>(cmp));
+}
+
+void unknown_cmp_dtype(isa::DType t) {
+  die("unknown compare dtype", static_cast<int>(t));
+}
+
+}  // namespace higpu::sim::detail

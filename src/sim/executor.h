@@ -9,6 +9,50 @@
 
 namespace higpu::sim {
 
+namespace detail {
+/// Hard-error sinks for opcodes/enums that must never reach the functional
+/// units. Logging + abort live in executor.cpp so the hot inline switches
+/// below carry only a cold call on their dead edge.
+[[noreturn]] void unknown_alu_op(isa::Op op);
+[[noreturn]] void unknown_cmp_op(isa::CmpOp cmp);
+[[noreturn]] void unknown_cmp_dtype(isa::DType t);
+}  // namespace detail
+
+/// Canonical quiet-NaN bit pattern. Arithmetic float ops canonicalize every
+/// NaN result (GPU-style): NaN payload propagation through host fma/min/max
+/// is implementation- and codegen-dependent (x86 picks the first source
+/// operand *after* the compiler commuted them), so raw std:: results are not
+/// reproducible across translation units or optimization levels. The
+/// simulator's semantics must be: same inputs, same output bits, everywhere.
+constexpr u32 kCanonNanBits = 0x7FC00000u;
+
+/// Float result -> register bits, NaN canonicalized.
+inline u32 canon_f(float v) { return std::isnan(v) ? kCanonNanBits : f2bits(v); }
+
+/// Deterministic FMIN on register bits. NaN handling follows fminf (a NaN
+/// operand loses), both-NaN canonicalizes, and the +-0 tie — where the
+/// standard leaves the result unspecified — resolves to -0 (IEEE 754-2019
+/// `minimum`). The tie-break is bitwise: operands that compare equal differ
+/// only for +-0, where OR keeps the sign bit.
+inline u32 fmin_bits(u32 a, u32 b) {
+  const float fa = bits2f(a), fb = bits2f(b);
+  if (std::isnan(fa)) return std::isnan(fb) ? kCanonNanBits : b;
+  if (std::isnan(fb)) return a;
+  if (fa < fb) return a;
+  if (fb < fa) return b;
+  return a | b;
+}
+
+/// Deterministic FMAX; the +-0 tie resolves to +0 (AND clears the sign bit).
+inline u32 fmax_bits(u32 a, u32 b) {
+  const float fa = bits2f(a), fb = bits2f(b);
+  if (std::isnan(fa)) return std::isnan(fb) ? kCanonNanBits : b;
+  if (std::isnan(fb)) return a;
+  if (fa > fb) return a;
+  if (fb > fa) return b;
+  return a & b;
+}
+
 /// Evaluate a (non-memory, non-control) ALU/SFU opcode on raw register bits.
 inline u32 eval_alu(isa::Op op, u32 a, u32 b, u32 c) {
   using isa::Op;
@@ -29,21 +73,23 @@ inline u32 eval_alu(isa::Op op, u32 a, u32 b, u32 c) {
     case Op::kShl: return a << (b & 31);
     case Op::kShr: return a >> (b & 31);
     case Op::kSra: return static_cast<u32>(sa >> (b & 31));
-    case Op::kFadd: return f2bits(fa + fb);
-    case Op::kFsub: return f2bits(fa - fb);
-    case Op::kFmul: return f2bits(fa * fb);
-    case Op::kFfma: return f2bits(std::fma(fa, fb, fc));
-    case Op::kFmin: return f2bits(std::fmin(fa, fb));
-    case Op::kFmax: return f2bits(std::fmax(fa, fb));
-    case Op::kFabs: return f2bits(std::fabs(fa));
-    case Op::kFneg: return f2bits(-fa);
-    case Op::kFdiv: return f2bits(fa / fb);
-    case Op::kFsqrt: return f2bits(std::sqrt(fa));
-    case Op::kFrcp: return f2bits(1.0f / fa);
-    case Op::kFexp: return f2bits(std::exp(fa));
-    case Op::kFlog: return f2bits(std::log(fa));
-    case Op::kFsin: return f2bits(std::sin(fa));
-    case Op::kFcos: return f2bits(std::cos(fa));
+    case Op::kFadd: return canon_f(fa + fb);
+    case Op::kFsub: return canon_f(fa - fb);
+    case Op::kFmul: return canon_f(fa * fb);
+    case Op::kFfma: return canon_f(std::fma(fa, fb, fc));
+    case Op::kFmin: return fmin_bits(a, b);
+    case Op::kFmax: return fmax_bits(a, b);
+    // FABS/FNEG are IEEE sign-bit operations, not arithmetic: payloads pass
+    // through untouched, so they stay pure bit manipulation.
+    case Op::kFabs: return a & 0x7FFFFFFFu;
+    case Op::kFneg: return a ^ 0x80000000u;
+    case Op::kFdiv: return canon_f(fa / fb);
+    case Op::kFsqrt: return canon_f(std::sqrt(fa));
+    case Op::kFrcp: return canon_f(1.0f / fa);
+    case Op::kFexp: return canon_f(std::exp(fa));
+    case Op::kFlog: return canon_f(std::log(fa));
+    case Op::kFsin: return canon_f(std::sin(fa));
+    case Op::kFcos: return canon_f(std::cos(fa));
     case Op::kI2f: return f2bits(static_cast<float>(sa));
     case Op::kF2i: {
       // Saturating conversion (CUDA cvt.rzi.s32.f32 semantics): a plain
@@ -53,7 +99,7 @@ inline u32 eval_alu(isa::Op op, u32 a, u32 b, u32 c) {
       if (fa < -2147483648.0f) return 0x80000000u;   // < -2^31 -> INT_MIN
       return static_cast<u32>(static_cast<i32>(fa));
     }
-    default: return 0;
+    default: detail::unknown_alu_op(op);  // memory/control op in the ALU path
   }
 }
 
@@ -70,14 +116,14 @@ inline bool eval_cmp(isa::CmpOp cmp, isa::DType t, u32 a, u32 b) {
       case CmpOp::kEq: return x == y;
       case CmpOp::kNe: return x != y;
     }
-    return false;
+    detail::unknown_cmp_op(cmp);  // out-of-range CmpOp (corrupted encoding)
   };
   switch (t) {
     case DType::kI32: return test(static_cast<i32>(a), static_cast<i32>(b));
     case DType::kU32: return test(a, b);
     case DType::kF32: return test(bits2f(a), bits2f(b));
   }
-  return false;
+  detail::unknown_cmp_dtype(t);  // out-of-range DType (corrupted encoding)
 }
 
 }  // namespace higpu::sim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/blockexec.h"
+
 namespace higpu::sim {
 
 Gpu::Gpu(const GpuParams& params, memsys::GlobalStore* store)
@@ -46,6 +48,7 @@ u32 Gpu::launch(KernelLaunch launch) {
   auto slot = std::make_unique<LaunchSlot>();
   const u32 id = static_cast<u32>(launches_.size());
   slot->launch = std::move(launch);
+  attach_trace(slot->launch);
   slot->state.launch_id = id;
   slot->state.total_blocks = slot->launch.total_blocks();
   last_arrival_ = std::max(cycle_, last_arrival_) + params_.launch_gap_cycles;
@@ -58,6 +61,19 @@ u32 Gpu::launch(KernelLaunch launch) {
 
 bool Gpu::idle() const {
   return kernels_finished_ == launches_.size();
+}
+
+void Gpu::attach_trace(KernelLaunch& launch) {
+  if (params_.exec_mode != ExecMode::kBlock) return;
+  launch.trace = blockexec::trace_for(launch.program);
+  // Compilation statistics come from the (deterministic) trace metadata,
+  // counted once per launch — never from cache misses, whose hit pattern
+  // depends on what else the process ran and would break run-to-run
+  // stat determinism.
+  stats_.add("blocks_compiled", launch.trace->num_blocks());
+  stats_.add("superops_compiled", launch.trace->num_superops());
+  stats_.add("block_fused_runs", launch.trace->num_fused_runs());
+  stats_.add("block_static_insns", launch.trace->size());
 }
 
 void Gpu::step() {
@@ -435,6 +451,12 @@ void Gpu::restore(ckpt::Reader& r,
     l.hints.sm_mask = r.get64();
     l.stream = r.get32();
     l.tag = r.get_string();
+    // Traces are derived state: rebuilt (via the process-wide cache), not
+    // deserialized. The compile-time stats ride in the stats_ snapshot, so
+    // no attach_trace() accounting here. Must happen before the SMs are
+    // restored — they re-derive warp.ctrace from the launch.
+    if (params_.exec_mode == ExecMode::kBlock)
+      l.trace = blockexec::trace_for(l.program);
     KernelState& ks = slot->state;
     ks.launch_id = r.get32();
     ks.arrival = r.get64();

@@ -143,6 +143,9 @@ class Gpu {
 
  private:
   void on_block_done(const BlockRecord& rec);
+  /// ExecMode::kBlock: attach the launch's compiled superinstruction trace
+  /// (from the process-wide cache) and account its compile-time statistics.
+  void attach_trace(KernelLaunch& launch);
   Cycle run_dense(u64 max_cycles);
   Cycle run_event(u64 max_cycles);
   /// Fire the checkpoint hook for every pending target/interval point that

@@ -1,6 +1,7 @@
 // Kernel launch descriptor and scheduling hints.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,10 @@
 #include "isa/program.h"
 
 namespace higpu::sim {
+
+namespace blockexec {
+class CompiledTrace;
+}  // namespace blockexec
 
 struct Dim3 {
   u32 x = 1, y = 1, z = 1;
@@ -41,6 +46,10 @@ struct KernelLaunch {
   u32 stream = 0;
   /// Free-form tag for reporting (e.g. workload + kernel name).
   std::string tag;
+  /// Compiled superinstruction trace (ExecMode::kBlock only). Derived state:
+  /// attached by Gpu::launch from the process-wide cache, never serialized,
+  /// re-attached on snapshot restore.
+  std::shared_ptr<const blockexec::CompiledTrace> trace;
 
   u32 total_blocks() const { return grid.count(); }
   u32 threads_per_block() const { return block.count(); }

@@ -22,8 +22,20 @@ namespace higpu::sim {
 ///   test and as a debugging fallback.
 enum class SimEngine { kEvent, kDense };
 
+/// Instruction-dispatch engine selection (orthogonal to SimEngine).
+///
+/// * kBlock — block-compiled: at launch each program is lowered once into a
+///   pre-decoded superinstruction trace (see sim/blockexec.h) and the issue
+///   stage dispatches through it; memory/control/barrier ops fall back to
+///   the interpreter. Bit-identical results, cycle counts and architectural
+///   statistics to kInterp — only dispatch cost changes.
+/// * kInterp — the original per-instruction interpreter, kept as the
+///   reference for the block/interp equivalence tests and benchmarks.
+enum class ExecMode { kBlock, kInterp };
+
 struct GpuParams {
   SimEngine engine = SimEngine::kEvent;
+  ExecMode exec_mode = ExecMode::kBlock;
 
   u32 num_sms = 6;
   u32 warp_size = 32;

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "memsys/coalescer.h"
+#include "sim/blockexec.h"
 #include "sim/executor.h"
 
 namespace higpu::sim {
@@ -87,6 +88,7 @@ void SmCore::accept_block(const KernelLaunch& launch, u32 launch_id,
     w.block_slot = slot;
     w.warp_in_block = assigned;
     w.prog = prog;
+    w.ctrace = launch.trace.get();  // null in interpreter mode
     const u32 first_thread = assigned * params_.warp_size;
     const u32 lanes = std::min(params_.warp_size, threads - first_thread);
     w.valid_mask = lanes == 32 ? kFullMask : ((1u << lanes) - 1);
@@ -178,6 +180,14 @@ SmCore::IssueOutcome SmCore::try_issue_classified(Warp& w, Cycle now) {
   // cycle, so classes stay constant between events.
   if (w.at_barrier) return stall(w, IssueOutcome::kBarrier, kNeverCycle);
 
+  // Block engine: dispatch through the pre-decoded superop when this pc was
+  // lowered; memory/control/barrier ops fall through to the interpreter.
+  if (w.ctrace != nullptr) {
+    const blockexec::SuperOp& sop = w.ctrace->at(w.pc());
+    if (sop.kind != blockexec::SopKind::kFallback)
+      return issue_superop(w, sop, now);
+  }
+
   const Instruction& ins = w.prog->at(w.pc());
 
   // Scoreboard hazards (RAW on sources/guard, WAW on destination).
@@ -226,6 +236,12 @@ SmCore::IssueOutcome SmCore::try_issue_classified(Warp& w, Cycle now) {
                    w.instructions, sm_id_, now);
   }
   execute(w, ins, guard_mask, now);
+  if (w.ctrace != nullptr) ++block_fallback_exits_;
+  post_issue(w, now);
+  return IssueOutcome::kIssued;
+}
+
+void SmCore::post_issue(Warp& w, Cycle now) {
   ++w.instructions;
   if (warp_policy_ == WarpSchedPolicy::kLrr) {
     // Refresh recency: the warp becomes the youngest of its scheduler.
@@ -239,7 +255,144 @@ SmCore::IssueOutcome SmCore::try_issue_classified(Warp& w, Cycle now) {
 
   // A warp whose last instruction was EXIT completes immediately.
   if (!w.refresh_stack()) complete_warp(w, now);
+}
+
+SmCore::IssueOutcome SmCore::issue_superop(Warp& w,
+                                           const blockexec::SuperOp& sop,
+                                           Cycle now) {
+  // Scoreboard: the compiled hazard plan replays the interpreter's check
+  // sequence (guard, pred_src, sources in order, destination), so the first
+  // hazarded register — and with it the recorded wake cycle — is identical.
+  for (u8 i = 0; i < sop.n_hazards; ++i) {
+    const blockexec::HazPlan& h = sop.hazards[i];
+    if (w.hazard(h.reg, h.is_pred, now))
+      return stall(w, IssueOutcome::kScoreboard,
+                   w.release_cycle(h.reg, h.is_pred, now));
+  }
+
+  // Structural: only the SFU can block a lowered op (memory ops fall back).
+  if (sop.is_sfu && now < sfu_free_)
+    return stall(w, IssueOutcome::kStructural, sfu_free_);
+
+  // Guard mask over the effective lanes.
+  const u32 eff = w.effective_mask();
+  u32 guard_mask = eff;
+  if (sop.guard != isa::kNoPred) {
+    guard_mask = 0;
+    const u8* gp = w.pred_row(sop.guard);
+    for (u32 m = eff; m != 0; m &= m - 1) {
+      const u32 lane = static_cast<u32>(std::countr_zero(m));
+      if ((gp[lane] != 0) != sop.guard_neg) guard_mask |= 1u << lane;
+    }
+  }
+
+  if (trace_ != nullptr && sop.is_datapath) {
+    const ResidentBlock& b = blocks_[w.block_slot];
+    trace_->record(b.launch_id, b.block_linear, w.warp_in_block,
+                   w.instructions, sm_id_, now);
+  }
+  exec_superop(w, sop, guard_mask, now);
+  ++block_exec_hits_;
+  post_issue(w, now);
   return IssueOutcome::kIssued;
+}
+
+namespace {
+
+/// Per-lane source value from a pre-decoded operand plan.
+inline u32 src_value(const Warp& w, const blockexec::SrcPlan& s, u32 lane) {
+  return s.is_imm ? s.imm : w.reg_at(s.reg, lane);
+}
+
+}  // namespace
+
+void SmCore::exec_superop(Warp& w, const blockexec::SuperOp& sop,
+                          u32 guard_mask, Cycle now) {
+  StackEntry& top = w.stack.back();
+  const Cycle ready =
+      now + (sop.is_sfu ? params_.sfu_latency : params_.sp_latency);
+  if (sop.is_sfu) sfu_free_ = now + params_.sfu_interval;
+
+  switch (sop.kind) {
+    case blockexec::SopKind::kAlu: {
+      if (fault_ != nullptr && fault_->armed()) {
+        // Fault window open: keep the scalar per-lane loop in ascending lane
+        // order — corrupt_alu consumes injector state per call, so the call
+        // count and order are behavioural (bit-identical to the interpreter).
+        for (u32 m = guard_mask; m != 0; m &= m - 1) {
+          const u32 lane = static_cast<u32>(std::countr_zero(m));
+          const u32 a = src_value(w, sop.a, lane);
+          const u32 bv = src_value(w, sop.b, lane);
+          const u32 c = src_value(w, sop.c, lane);
+          w.reg_at(sop.dst, lane) =
+              fault_->corrupt_alu(sm_id_, now, eval_alu(sop.op, a, bv, c));
+        }
+        break;
+      }
+      // Vector path: hand whole SoA rows to the width-32 lane kernel.
+      // Immediates splat into scratch rows; register sources alias the
+      // register file directly (in-place d == a is safe: elementwise).
+      auto row = [&w](const blockexec::SrcPlan& s, u32* scratch) -> const u32* {
+        if (!s.is_imm) return w.reg_row(s.reg);
+        for (u32 i = 0; i < kWarpSize; ++i) scratch[i] = s.imm;
+        return scratch;
+      };
+      blockexec::run_vkernel(sop.vkind, sop.op, w.reg_row(sop.dst),
+                             row(sop.a, splat_a_), row(sop.b, splat_b_),
+                             row(sop.c, splat_c_), guard_mask);
+      break;
+    }
+    case blockexec::SopKind::kSetp: {
+      u8* dp = w.pred_row(static_cast<i16>(sop.dst));
+      for (u32 m = guard_mask; m != 0; m &= m - 1) {
+        const u32 lane = static_cast<u32>(std::countr_zero(m));
+        const u32 a = src_value(w, sop.a, lane);
+        const u32 bv = src_value(w, sop.b, lane);
+        bool res = eval_cmp(sop.cmp, sop.dtype, a, bv);
+        if (sop.pred_src != isa::kNoPred)  // setp.and
+          res = res && w.pred_at(sop.pred_src, lane) != 0;
+        dp[lane] = res ? 1 : 0;
+      }
+      break;
+    }
+    case blockexec::SopKind::kSelp: {
+      const u8* pp = w.pred_row(sop.pred_src);
+      u32* dp = w.reg_row(sop.dst);
+      for (u32 m = guard_mask; m != 0; m &= m - 1) {
+        const u32 lane = static_cast<u32>(std::countr_zero(m));
+        dp[lane] = src_value(w, pp[lane] != 0 ? sop.a : sop.b, lane);
+      }
+      break;
+    }
+    case blockexec::SopKind::kS2r: {
+      u32* dp = w.reg_row(sop.dst);
+      for (u32 m = guard_mask; m != 0; m &= m - 1) {
+        const u32 lane = static_cast<u32>(std::countr_zero(m));
+        dp[lane] = sreg_value(w, sop.sreg, lane);
+      }
+      break;
+    }
+    case blockexec::SopKind::kLdp: {
+      const ResidentBlock& b = blocks_[w.block_slot];
+      assert(sop.param_idx < b.launch->params.size() &&
+             "kernel parameter out of range");
+      const u32 v = b.launch->params[sop.param_idx];
+      u32* dp = w.reg_row(sop.dst);
+      for (u32 m = guard_mask; m != 0; m &= m - 1)
+        dp[static_cast<u32>(std::countr_zero(m))] = v;
+      break;
+    }
+    case blockexec::SopKind::kFallback:
+      assert(false && "fallback superop reached exec_superop");
+      break;
+  }
+
+  if (sop.writes_gpr)
+    w.pending.push_back(Warp::Pending{sop.dst, false, ready});
+  else if (sop.writes_pred)
+    w.pending.push_back(Warp::Pending{sop.dst, true, ready});
+
+  top.pc += 1;
 }
 
 StatSet SmCore::snapshot_stats() const {
@@ -260,6 +413,8 @@ StatSet SmCore::snapshot_stats() const {
   put("global_atomics", global_atomics_);
   put("global_load_transactions", global_load_transactions_);
   put("global_store_transactions", global_store_transactions_);
+  put("block_exec_hits", block_exec_hits_);
+  put("block_fallback_exits", block_fallback_exits_);
   s.add("issue_attempts_issued", issued_attempts_);
   s.add("issue_stall_scoreboard", stall_scoreboard_);
   s.add("issue_stall_barrier", stall_barrier_);
@@ -650,7 +805,7 @@ void SmCore::save(ckpt::Writer& w) const {
                 smem_accesses_, smem_bank_conflicts_, global_atomics_,
                 global_load_transactions_, global_store_transactions_,
                 stall_scoreboard_, stall_barrier_, stall_structural_,
-                issued_attempts_})
+                issued_attempts_, block_exec_hits_, block_fallback_exits_})
     w.put64(c);
 }
 
@@ -710,6 +865,9 @@ void SmCore::restore(
     warp.block_slot = r.get32();
     warp.warp_in_block = r.get32();
     warp.prog = blocks_[warp.block_slot].launch->program.get();
+    // Derived state: the restoring GPU attached traces to its launches (or
+    // left them null in interpreter mode) before restoring the SMs.
+    warp.ctrace = blocks_[warp.block_slot].launch->trace.get();
     warp.valid_mask = r.get32();
     warp.exited = r.get32();
     warp.stack.resize(static_cast<size_t>(r.get64()));
@@ -736,7 +894,7 @@ void SmCore::restore(
                  &smem_accesses_, &smem_bank_conflicts_, &global_atomics_,
                  &global_load_transactions_, &global_store_transactions_,
                  &stall_scoreboard_, &stall_barrier_, &stall_structural_,
-                 &issued_attempts_})
+                 &issued_attempts_, &block_exec_hits_, &block_fallback_exits_})
     *c = r.get64();
 }
 

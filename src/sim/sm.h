@@ -20,6 +20,10 @@
 
 namespace higpu::sim {
 
+namespace blockexec {
+struct SuperOp;
+}  // namespace blockexec
+
 /// A thread block resident on an SM.
 struct ResidentBlock {
   bool active = false;
@@ -137,6 +141,16 @@ class SmCore {
     kStructural,
   };
   IssueOutcome try_issue_classified(Warp& w, Cycle now);
+  /// Block-engine fast path: issue one pre-decoded superop. Same scoreboard /
+  /// structural / guard semantics as the interpreter path, dispatched through
+  /// the compiled hazard plan and lane-vector kernels.
+  IssueOutcome issue_superop(Warp& w, const blockexec::SuperOp& sop, Cycle now);
+  void exec_superop(Warp& w, const blockexec::SuperOp& sop, u32 guard_mask,
+                    Cycle now);
+  /// Post-issue bookkeeping shared by both dispatch paths: per-warp
+  /// instruction count, LRR recency refresh, SM instruction counter, and
+  /// completion of a warp whose last instruction was EXIT.
+  void post_issue(Warp& w, Cycle now);
   bool try_issue(Warp& w, Cycle now);
   /// Record a failed issue attempt: remembers the warp's stall class and
   /// wake time — the earliest cycle the blocking condition can clear — and
@@ -221,6 +235,10 @@ class SmCore {
   // Scratch buffers reused across cycles.
   std::vector<u64> addr_scratch_;
   std::vector<u64> line_scratch_;
+  // Immediate-splat rows for the lane-vector kernels (one per source slot).
+  u32 splat_a_[kWarpSize];
+  u32 splat_b_[kWarpSize];
+  u32 splat_c_[kWarpSize];
 
   BlockDoneFn on_block_done_;
 
@@ -244,6 +262,11 @@ class SmCore {
   u64 stall_barrier_ = 0;
   u64 stall_structural_ = 0;
   u64 issued_attempts_ = 0;
+
+  // Block-dispatch counters (ExecMode::kBlock only; both count *issued*
+  // instructions, so hits + fallbacks == instructions in block mode).
+  u64 block_exec_hits_ = 0;        // issued through a compiled superop
+  u64 block_fallback_exits_ = 0;   // exited the block path to the interpreter
 };
 
 }  // namespace higpu::sim

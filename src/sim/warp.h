@@ -9,6 +9,10 @@
 
 namespace higpu::sim {
 
+namespace blockexec {
+class CompiledTrace;
+}  // namespace blockexec
+
 constexpr u32 kWarpSize = 32;
 constexpr u32 kFullMask = 0xFFFFFFFFu;
 
@@ -29,9 +33,17 @@ struct Warp {
 
   // ---- Program state ----
   const isa::KernelProgram* prog = nullptr;
+  /// Compiled superinstruction trace for `prog` (null in interpreter mode).
+  /// Derived state: set alongside `prog` on block acceptance and on snapshot
+  /// restore, never serialized. Owned by the KernelLaunch.
+  const blockexec::CompiledTrace* ctrace = nullptr;
   u32 valid_mask = 0;                 // lanes that exist (partial last warp)
   u32 exited = 0;                     // lanes that executed EXIT
   std::vector<StackEntry> stack;
+  // Struct-of-arrays register files: one contiguous kWarpSize-lane row per
+  // architectural register, `regs[r * kWarpSize + lane]`. The row layout is
+  // what lets the block engine hand whole rows to width-32 lane kernels
+  // (see reg_row / blockexec::run_vkernel).
   std::vector<u32> regs;              // num_regs x kWarpSize, lane-major per reg
   std::vector<u8> preds;              // num_preds x kWarpSize
 
@@ -51,6 +63,12 @@ struct Warp {
   u32 reg_at(u16 r, u32 lane) const { return regs[static_cast<size_t>(r) * kWarpSize + lane]; }
   u8& pred_at(i16 p, u32 lane) { return preds[static_cast<size_t>(p) * kWarpSize + lane]; }
   u8 pred_at(i16 p, u32 lane) const { return preds[static_cast<size_t>(p) * kWarpSize + lane]; }
+
+  /// Contiguous 32-lane SoA row of GPR `r` / predicate `p`.
+  u32* reg_row(u16 r) { return regs.data() + static_cast<size_t>(r) * kWarpSize; }
+  const u32* reg_row(u16 r) const { return regs.data() + static_cast<size_t>(r) * kWarpSize; }
+  u8* pred_row(i16 p) { return preds.data() + static_cast<size_t>(p) * kWarpSize; }
+  const u8* pred_row(i16 p) const { return preds.data() + static_cast<size_t>(p) * kWarpSize; }
 
   /// Drop finished/empty stack entries. Returns false when the warp has
   /// fully completed (stack empty or all lanes exited).

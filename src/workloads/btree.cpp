@@ -46,6 +46,10 @@ isa::ProgramPtr build_point_query(u32 fanout, u32 depth) {
   // node index within its level.
   Reg node = kb.reg(), child = kb.reg(), key = kb.reg(), one = kb.reg(),
       base = kb.reg(), lin = kb.reg();
+  // One predicate reused across every separator test: each setp is consumed
+  // by the selp right after it, and allocating depth*(fanout-1) fresh
+  // predicates would blow the 8-register predicate file.
+  PredReg ge = kb.pred();
   kb.movi(node, 0);
   for (u32 level = 0; level < depth; ++level) {
     const u32 level_off = level_node_offset(fanout, level) * (fanout - 1);
@@ -58,7 +62,6 @@ isa::ProgramPtr build_point_query(u32 fanout, u32 depth) {
     kb.iadd(addr, base, keys);
     for (u32 s = 0; s + 1 < fanout; ++s) {
       kb.ldg(key, addr, static_cast<i32>(s * 4));
-      PredReg ge = kb.pred();
       kb.setp(ge, CmpOp::kGe, DType::kI32, q, key);
       kb.selp(one, imm(1), imm(0), ge);
       kb.iadd(child, child, one);
@@ -105,6 +108,8 @@ isa::ProgramPtr build_range_query(u32 fanout, u32 depth) {
   // Descend for the lower bound.
   Reg node = kb.reg(), child = kb.reg(), key = kb.reg(), one = kb.reg(),
       base = kb.reg(), lin = kb.reg();
+  // Reused separator-test predicate; see build_point_query.
+  PredReg ge = kb.pred();
   kb.movi(node, 0);
   for (u32 level = 0; level < depth; ++level) {
     const u32 level_off = level_node_offset(fanout, level) * (fanout - 1);
@@ -115,7 +120,6 @@ isa::ProgramPtr build_range_query(u32 fanout, u32 depth) {
     kb.iadd(addr, base, keys);
     for (u32 s = 0; s + 1 < fanout; ++s) {
       kb.ldg(key, addr, static_cast<i32>(s * 4));
-      PredReg ge = kb.pred();
       kb.setp(ge, CmpOp::kGe, DType::kI32, q, key);
       kb.selp(one, imm(1), imm(0), ge);
       kb.iadd(child, child, one);

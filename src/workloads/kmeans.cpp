@@ -40,6 +40,10 @@ isa::ProgramPtr build_kmeans_assign(u32 dims, u32 clusters) {
       cv = kb.reg();
   kb.movf(best_d, 1e30f);
   kb.movi(best_c, 0);
+  // One predicate reused across cluster iterations: each setp is consumed by
+  // the selp pair right after it, and `clusters` fresh allocations would
+  // blow the 8-register predicate file.
+  PredReg closer = kb.pred();
   for (u32 c = 0; c < clusters; ++c) {
     kb.movf(dist, 0.0f);
     for (u32 d = 0; d < dims; ++d) {
@@ -47,7 +51,6 @@ isa::ProgramPtr build_kmeans_assign(u32 dims, u32 clusters) {
       kb.fsub(diff, p[d], cv);
       kb.ffma(dist, diff, diff, dist);
     }
-    PredReg closer = kb.pred();
     kb.setp(closer, CmpOp::kLt, DType::kF32, dist, best_d);
     kb.selp(best_d, dist, best_d, closer);
     kb.selp(best_c, imm(static_cast<i32>(c)), best_c, closer);

@@ -54,10 +54,13 @@ isa::ProgramPtr build_lavamd_kernel(u32 particles, u32 neighbors) {
       oy = kb.reg(), oz = kb.reg(), oq = kb.reg(), dx = kb.reg(),
       dy = kb.reg(), dz = kb.reg(), r2 = kb.reg(), e = kb.reg(),
       t = kb.reg();
+  // Both predicates are reused across neighbour iterations: each setp is
+  // consumed by the guarded branch right after it, and 2*neighbors fresh
+  // allocations would blow the 8-register predicate file.
+  PredReg invalid = kb.pred(), done_p = kb.pred();
   for (u32 k = 0; k < neighbors; ++k) {
     Label skip = kb.label();
     kb.ldg(nb, nb_base, static_cast<i32>(k * 4));
-    PredReg invalid = kb.pred();
     kb.setp(invalid, CmpOp::kLt, DType::kI32, nb, imm(0));
     kb.bra(skip).guard_if(invalid);
 
@@ -66,7 +69,6 @@ isa::ProgramPtr build_lavamd_kernel(u32 particles, u32 neighbors) {
     kb.iadd(jend, j, imm(static_cast<i32>(particles)));
     Label loop = kb.label(), loop_end = kb.label();
     kb.bind(loop);
-    PredReg done_p = kb.pred();
     kb.setp(done_p, CmpOp::kGe, DType::kI32, j, jend);
     kb.bra(loop_end).guard_if(done_p);
 

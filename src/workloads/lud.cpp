@@ -76,11 +76,13 @@ isa::ProgramPtr build_lud_diagonal() {
 
   Reg l = kb.reg(), u = kb.reg(), mine = kb.reg(), prod = kb.reg(),
       piv = kb.reg(), a_l = kb.reg(), a_u = kb.reg();
+  // All three predicates are reused across the unrolled pivot iterations:
+  // each is fully consumed within its iteration, and 3*(kT-1) fresh
+  // allocations would blow the 8-register predicate file.
+  PredReg p_row = kb.pred(), p_l = kb.pred(), p_in = kb.pred();
   for (u32 i = 0; i + 1 < kT; ++i) {
-    PredReg p_row = kb.pred();
     kb.setp(p_row, CmpOp::kGt, DType::kI32, ty, imm(static_cast<i32>(i)));
     // L column: threads (ty>i, tx==i) divide by the pivot.
-    PredReg p_l = kb.pred();
     kb.setp_and(p_l, CmpOp::kEq, DType::kI32, tx, imm(static_cast<i32>(i)),
                 p_row);
     kb.lds(piv, imm(static_cast<i32>((i * kT + i) * 4)));
@@ -89,7 +91,6 @@ isa::ProgramPtr build_lud_diagonal() {
     kb.sts(my_sh, mine).guard_if(p_l);
     kb.bar();
     // Trailing update: threads (ty>i, tx>i).
-    PredReg p_in = kb.pred();
     kb.setp_and(p_in, CmpOp::kGt, DType::kI32, tx, imm(static_cast<i32>(i)),
                 p_row);
     kb.imad(a_l, ty, imm(static_cast<i32>(kT * 4)),
@@ -138,8 +139,9 @@ isa::ProgramPtr build_lud_row_perimeter() {
 
   Reg l = kb.reg(), u = kb.reg(), mine = kb.reg(), prod = kb.reg(),
       a_l = kb.reg();
+  // Reused per-iteration predicate; see build_lud_diagonal.
+  PredReg p = kb.pred();
   for (u32 i = 0; i + 1 < kT; ++i) {
-    PredReg p = kb.pred();
     kb.setp(p, CmpOp::kGt, DType::kI32, ty, imm(static_cast<i32>(i)));
     kb.imad(a_l, ty, imm(static_cast<i32>(kT * 4)),
             imm(static_cast<i32>(i * 4)));
@@ -188,12 +190,12 @@ isa::ProgramPtr build_lud_col_perimeter() {
   kb.imad(my_sh, lin, imm(4), imm(static_cast<i32>(kTileBytes)));
 
   Reg xj = kb.reg(), u = kb.reg(), mine = kb.reg(), prod = kb.reg(),
-      a_x = kb.reg(), a_u = kb.reg();
+      a_x = kb.reg(), a_u = kb.reg(), piv = kb.reg();
+  // Reused per-iteration predicates; see build_lud_diagonal.
+  PredReg p_div = kb.pred(), p_upd = kb.pred();
   for (u32 jcol = 0; jcol < kT; ++jcol) {
     // Divide column jcol by U[j][j].
-    PredReg p_div = kb.pred();
     kb.setp(p_div, CmpOp::kEq, DType::kI32, tx, imm(static_cast<i32>(jcol)));
-    Reg piv = kb.reg();
     kb.lds(piv, imm(static_cast<i32>((jcol * kT + jcol) * 4)));
     kb.lds(mine, my_sh).guard_if(p_div);
     kb.fdiv(mine, mine, piv).guard_if(p_div);
@@ -201,7 +203,6 @@ isa::ProgramPtr build_lud_col_perimeter() {
     kb.bar();
     if (jcol + 1 == kT) break;
     // Update columns tx > jcol: a[ty][tx] -= a[ty][jcol] * U[jcol][tx].
-    PredReg p_upd = kb.pred();
     kb.setp(p_upd, CmpOp::kGt, DType::kI32, tx, imm(static_cast<i32>(jcol)));
     kb.imad(a_x, ty, imm(static_cast<i32>(kT * 4)),
             imm(static_cast<i32>(kTileBytes + jcol * 4)));
