@@ -1,0 +1,164 @@
+// Serving-mode benchmark: BENCH_serve.json.
+//
+// Two measurements, matching what a deployment has to know before turning
+// continuous operation on:
+//
+//  1. Sustained throughput and the p99-vs-offered-load curve — Poisson
+//     traffic swept from well under to well past the measured single-
+//     request capacity. Below the knee p99 tracks the service time; past
+//     it, queueing blows the tail up and the overload machinery (degrade +
+//     shedding) bounds it instead of letting latency diverge.
+//
+//  2. One overload -> degrade -> recover trajectory — a saturating burst
+//     followed by a relaxed tail, with every ladder transition recorded.
+//     The exit code asserts the trajectory: the engine must provably enter
+//     degraded mode under the burst and walk back to full redundancy on
+//     the tail.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "serve/engine.h"
+
+namespace {
+
+using namespace higpu;
+
+serve::TenantSpec dcls_tenant(u64 deadline_ns) {
+  serve::TenantSpec t;
+  t.name = "camera";
+  t.workload = "nn";
+  t.redundancy = core::RedundancySpec::dcls();
+  t.deadline_ns = deadline_ns;
+  return t;
+}
+
+/// Idle-device service time of one request (calibrates the sweep).
+u64 measure_service_ns(const serve::TenantSpec& tenant) {
+  serve::TrafficSpec t;
+  t.pattern = serve::TrafficSpec::Pattern::kTrace;
+  t.tenants = {tenant};
+  t.trace = {{0, 0, 1000, 0}};
+  serve::ServeSpec s;
+  s.traffic = t;
+  const serve::ServeResult r = serve::run_serve(s);
+  return r.completions.at(0).finish_ns - r.completions.at(0).start_ns;
+}
+
+}  // namespace
+
+int main() {
+  JsonWriter jw;
+  jw.begin_object();
+  jw.field("schema", std::string("higpu.bench.serve/1"));
+
+  // ---- 1. Throughput / p99 vs offered load --------------------------------
+  const u64 service = measure_service_ns(dcls_tenant(1));
+  const double capacity_rps = 1e9 / static_cast<double>(service);
+  jw.field("service_ns", service);
+  jw.field("capacity_rps", capacity_rps);
+
+  bool all_ok = true;
+  jw.key("load_sweep");
+  jw.begin_array();
+  for (const double frac : {0.25, 0.5, 0.75, 0.9, 1.1, 1.5, 2.0}) {
+    serve::ServeSpec s;
+    s.traffic.pattern = serve::TrafficSpec::Pattern::kPoisson;
+    s.traffic.seed = 2019;
+    s.traffic.offered_rps = capacity_rps * frac;
+    s.traffic.duration_ns = 0;
+    s.traffic.max_requests = 48;
+    // Deadline sized for moderate queueing: overload runs will shed/degrade.
+    s.traffic.tenants = {dcls_tenant(4 * service)};
+    const serve::ServeResult r = serve::run_serve(s);
+    all_ok &= r.verify_failures == 0;
+
+    const serve::TenantStats& t = r.tenants.at(0);
+    jw.begin_object();
+    jw.field("offered_frac", frac);
+    jw.field("offered_rps", s.traffic.offered_rps);
+    jw.field("sustained_rps", r.sustained_rps());
+    jw.field("utilization", r.utilization());
+    jw.field("served", r.served);
+    jw.field("dropped", r.dropped);
+    jw.field("deadline_misses", r.deadline_misses);
+    jw.field("degrade_transitions", static_cast<u64>(r.transitions.size()));
+    jw.field("p50_ns", t.response_ns.p50());
+    jw.field("p95_ns", t.response_ns.p95());
+    jw.field("p99_ns", t.response_ns.p99());
+    jw.field("p999_ns", t.response_ns.p999());
+    jw.end_object();
+    std::printf("load %.2fx: sustained %.1f/s util %.0f%% p99 %.3f ms "
+                "(%llu dropped)\n",
+                frac, r.sustained_rps(), r.utilization() * 100.0,
+                static_cast<double>(t.response_ns.p99()) / 1e6,
+                static_cast<unsigned long long>(r.dropped));
+  }
+  jw.end_array();
+
+  // ---- 2. Overload -> degrade -> recover trajectory ------------------------
+  serve::TenantSpec planner;
+  planner.name = "planner";
+  planner.workload = "nn";
+  planner.redundancy = core::RedundancySpec::tmr();
+  planner.deadline_ns = 1;
+  const u64 tmr_service = measure_service_ns(planner);
+  planner.deadline_ns = 5 * tmr_service / 2;
+
+  serve::ServeSpec s;
+  s.traffic.pattern = serve::TrafficSpec::Pattern::kTrace;
+  s.traffic.tenants = {planner};
+  for (u32 i = 0; i < 12; ++i)
+    s.traffic.trace.push_back({0, 0, static_cast<u64>(1000 + i), 0});
+  const u64 tail = 20 * tmr_service;
+  for (u32 i = 0; i < 12; ++i)
+    s.traffic.trace.push_back({0, 0, tail + i * 4 * tmr_service, 0});
+  s.overload.recover_after = 3;
+  const serve::ServeResult r = serve::run_serve(s);
+  all_ok &= r.verify_failures == 0;
+
+  bool entered = false, recovered_to_full = false;
+  u32 level = 0;
+  for (const serve::DegradeTransition& tr : r.transitions) {
+    if (tr.to_level > tr.from_level) entered = true;
+    level = tr.to_level;
+  }
+  recovered_to_full = entered && level == 0;
+
+  jw.key("trajectory");
+  jw.begin_object();
+  jw.field("tmr_service_ns", tmr_service);
+  jw.field("served", r.served);
+  jw.field("dropped", r.dropped);
+  jw.field("deadline_misses", r.deadline_misses);
+  jw.field("entered_degrade", entered);
+  jw.field("recovered_to_full", recovered_to_full);
+  jw.key("transitions");
+  jw.begin_array();
+  for (const serve::DegradeTransition& tr : r.transitions) {
+    jw.begin_object();
+    jw.field("t_ns", tr.t_ns);
+    jw.field("from_level", tr.from_level);
+    jw.field("to_level", tr.to_level);
+    jw.field("reason", std::string(serve::degrade_reason_name(tr.reason)));
+    jw.field("queue_depth", tr.queue_depth);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.end_object();
+  jw.end_object();
+
+  FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::fputs((jw.str() + "\n").c_str(), f);
+  std::fclose(f);
+  std::printf("wrote BENCH_serve.json (entered_degrade=%s, "
+              "recovered_to_full=%s)\n",
+              entered ? "true" : "false",
+              recovered_to_full ? "true" : "false");
+  return all_ok && entered && recovered_to_full ? 0 : 1;
+}

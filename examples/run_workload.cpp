@@ -15,6 +15,7 @@
 
 #include "common/table.h"
 #include "exp/campaign.h"
+#include "serve/engine.h"
 
 namespace {
 
@@ -49,6 +50,18 @@ int usage() {
       "                               0 = all hardware threads)\n"
       "  --json=PATH                  write the JSON campaign report\n"
       "  --csv=PATH                   write the CSV campaign report\n"
+      "continuous-serving mode (each <name> becomes one tenant):\n"
+      "  --serve                      serve a request stream instead of a\n"
+      "                               one-shot campaign (EDF dispatch,\n"
+      "                               overload degrade ladder, percentile\n"
+      "                               telemetry; --json/--csv emit the\n"
+      "                               higpu.serve/1 report)\n"
+      "  --serve-pattern=periodic|poisson|bursty   arrivals (default poisson)\n"
+      "  --serve-rps=R                offered load, requests/s (default 100)\n"
+      "  --serve-duration-ms=N        traffic horizon (default 500)\n"
+      "  --serve-max-requests=N       hard request cap (default 64)\n"
+      "  --serve-deadline-ms=N        per-request deadline (default 50)\n"
+      "  --serve-bist-ms=N            scheduler BIST period (default off)\n"
       "memory-system options (reflected in scenario labels):\n"
       "  --mem-write=wb|wt            L1 write policy (default: wb)\n"
       "  --mem-alloc=wa|nwa           L1 write-miss allocation (default: wa)\n"
@@ -186,6 +199,24 @@ void print_detailed(const exp::ScenarioResult& r) {
               r.stats.ratio("l2_hits", "l2_misses") * 100.0);
 }
 
+serve::TrafficSpec::Pattern parse_serve_pattern(const std::string& s) {
+  if (s == "periodic") return serve::TrafficSpec::Pattern::kPeriodic;
+  if (s == "poisson") return serve::TrafficSpec::Pattern::kPoisson;
+  if (s == "bursty") return serve::TrafficSpec::Pattern::kBursty;
+  throw std::invalid_argument("unknown serve pattern '" + s +
+                              "'; valid: periodic poisson bursty");
+}
+
+double parse_rps(const std::string& s) {
+  try {
+    const double v = std::stod(s);
+    if (v > 0.0) return v;
+  } catch (const std::exception&) {
+  }
+  throw std::invalid_argument("bad value '" + s +
+                              "' for --serve-rps: expected a positive rate");
+}
+
 bool write_file(const std::string& path, const std::string& content) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -210,6 +241,14 @@ int main(int argc, char** argv) {
   bool compare_explicit = false;
   u32 jobs = 1;
   std::string json_path, csv_path;
+  bool serve_mode = false;
+  serve::TrafficSpec::Pattern serve_pattern =
+      serve::TrafficSpec::Pattern::kPoisson;
+  double serve_rps = 100.0;
+  u64 serve_duration_ms = 500;
+  u64 serve_max_requests = 64;
+  u64 serve_deadline_ms = 50;
+  u64 serve_bist_ms = 0;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -268,6 +307,21 @@ int main(int argc, char** argv) {
       } else if (arg.rfind("--mem-row-bytes=", 0) == 0) {
         proto.gpu.mem.dram_row_bytes =
             static_cast<u32>(parse_number("--mem-row-bytes", arg.substr(16)));
+      } else if (arg == "--serve") {
+        serve_mode = true;
+      } else if (arg.rfind("--serve-pattern=", 0) == 0) {
+        serve_pattern = parse_serve_pattern(arg.substr(16));
+      } else if (arg.rfind("--serve-rps=", 0) == 0) {
+        serve_rps = parse_rps(arg.substr(12));
+      } else if (arg.rfind("--serve-duration-ms=", 0) == 0) {
+        serve_duration_ms = parse_number("--serve-duration-ms", arg.substr(20));
+      } else if (arg.rfind("--serve-max-requests=", 0) == 0) {
+        serve_max_requests =
+            parse_number("--serve-max-requests", arg.substr(21));
+      } else if (arg.rfind("--serve-deadline-ms=", 0) == 0) {
+        serve_deadline_ms = parse_number("--serve-deadline-ms", arg.substr(20));
+      } else if (arg.rfind("--serve-bist-ms=", 0) == 0) {
+        serve_bist_ms = parse_number("--serve-bist-ms", arg.substr(16));
       } else if (arg == "--sweep-mem-policies") {
         sweep_mem_policies = true;
       } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -291,6 +345,59 @@ int main(int argc, char** argv) {
     // override an explicit --compare choice, whatever the flag order.
     if (!compare_explicit && proto.redundancy.n_copies >= 3)
       proto.redundancy.compare = core::RedundancySpec::Compare::kMajorityVote;
+
+    if (serve_mode) {
+      // Each workload name is one tenant; the redundancy/policy/scale flags
+      // apply to all of them (per-tenant variation lives in the API).
+      serve::ServeSpec spec;
+      spec.traffic.pattern = serve_pattern;
+      spec.traffic.seed = proto.seed;
+      spec.traffic.offered_rps = serve_rps;
+      spec.traffic.duration_ns = serve_duration_ms * 1'000'000;
+      spec.traffic.max_requests = static_cast<u32>(serve_max_requests);
+      for (const std::string& n : names) {
+        serve::TenantSpec t;
+        t.name = n;
+        t.workload = n;
+        t.scale = proto.scale;
+        t.redundancy = proto.redundancy;
+        t.deadline_ns = serve_deadline_ms * 1'000'000;
+        spec.traffic.tenants.push_back(std::move(t));
+      }
+      spec.gpu = proto.gpu;
+      spec.policy = proto.policy;
+      spec.bist_interval_ns = serve_bist_ms * 1'000'000;
+      spec.ckpt_interval_cycles =
+          proto.ckpt.kind == ckpt::CheckpointPolicy::Kind::kInterval
+              ? proto.ckpt.interval_cycles
+              : 0;
+
+      const serve::ServeResult r = serve::run_serve(spec);
+      TextTable table({"tenant", "offered", "served", "dropped", "misses",
+                       "degraded", "p50(ms)", "p99(ms)"});
+      for (const serve::TenantStats& t : r.tenants)
+        table.add_row(
+            {t.name, std::to_string(t.offered), std::to_string(t.served),
+             std::to_string(t.dropped_expired + t.dropped_overflow),
+             std::to_string(t.deadline_misses),
+             std::to_string(t.degraded_served),
+             TextTable::fmt(static_cast<double>(t.response_ns.p50()) / 1e6, 3),
+             TextTable::fmt(static_cast<double>(t.response_ns.p99()) / 1e6,
+                            3)});
+      std::printf("%s\n", table.render().c_str());
+      std::printf("%llu served, %llu dropped, %llu misses, %zu degrade "
+                  "transitions; sustained %.1f req/s at %.0f%% utilization\n",
+                  static_cast<unsigned long long>(r.served),
+                  static_cast<unsigned long long>(r.dropped),
+                  static_cast<unsigned long long>(r.deadline_misses),
+                  r.transitions.size(), r.sustained_rps(),
+                  r.utilization() * 100.0);
+      bool io_ok = true;
+      if (!json_path.empty())
+        io_ok &= write_file(json_path, r.to_json(spec) + "\n");
+      if (!csv_path.empty()) io_ok &= write_file(csv_path, r.to_csv());
+      return r.verify_failures == 0 && r.bist_failures == 0 && io_ok ? 0 : 1;
+    }
 
     exp::ScenarioSet set = exp::ScenarioSet::for_workloads(names, proto);
     if (sweep_policies)

@@ -1,0 +1,64 @@
+#include "common/percentiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace higpu {
+
+void Percentiles::sample(i64 v) {
+  samples_.push_back(v);
+  sorted_.clear();
+}
+
+void Percentiles::merge(const Percentiles& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_.clear();
+}
+
+void Percentiles::ensure_sorted() const {
+  if (sorted_.size() == samples_.size()) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+i64 Percentiles::min() const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  return sorted_.front();
+}
+
+i64 Percentiles::max() const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  return sorted_.back();
+}
+
+i64 Percentiles::sum() const {
+  i64 s = 0;
+  for (i64 v : samples_) s += v;
+  return s;
+}
+
+double Percentiles::mean() const {
+  return samples_.empty()
+             ? 0.0
+             : static_cast<double>(sum()) / static_cast<double>(count());
+}
+
+i64 Percentiles::percentile(double p) const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  if (p <= 0.0) return sorted_.front();
+  if (p >= 100.0) return sorted_.back();
+  // Nearest rank: ceil(p/100 * N), 1-based. ceil on the exact product keeps
+  // the rank deterministic (no epsilon fudging); the clamp guards the
+  // p == 100 boundary against floating rounding.
+  const double n = static_cast<double>(sorted_.size());
+  u64 rank = static_cast<u64>(std::ceil(p / 100.0 * n));
+  if (rank < 1) rank = 1;
+  if (rank > sorted_.size()) rank = sorted_.size();
+  return sorted_[rank - 1];
+}
+
+}  // namespace higpu

@@ -1,0 +1,60 @@
+// Exact streaming percentile accumulator for latency/FTTI telemetry.
+//
+// The serving-mode telemetry (src/serve) reports p50/p95/p99/p99.9 of
+// response times and FTTI slack per tenant and per degrade mode. Those
+// numbers are part of the determinism contract — the same TrafficSpec seed
+// must reproduce them bit-identically — so the accumulator is *exact*: it
+// keeps every sample and answers queries with the nearest-rank method over
+// the sorted sample set (a returned percentile is always one of the
+// samples, never an interpolated value). Sample counts in a serve session
+// are bounded by the request count (thousands), so exactness is cheap;
+// components needing O(1) memory keep using RunningStat.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace higpu {
+
+/// Exact percentile accumulator over signed 64-bit samples (response times
+/// are non-negative, FTTI slack may be negative). Queries sort lazily and
+/// cache the sorted order until the next sample() call.
+class Percentiles {
+ public:
+  void sample(i64 v);
+  /// Merge all samples of `other` into this accumulator.
+  void merge(const Percentiles& other);
+
+  u64 count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  i64 min() const;
+  i64 max() const;
+  double mean() const;
+  /// Sum of all samples (exact; callers derive rates from it).
+  i64 sum() const;
+
+  /// Nearest-rank percentile: the smallest sample s such that at least
+  /// p percent of all samples are <= s (p in [0, 100]; p = 50 is the
+  /// median). Returns 0 on an empty accumulator.
+  i64 percentile(double p) const;
+
+  i64 p50() const { return percentile(50.0); }
+  i64 p95() const { return percentile(95.0); }
+  i64 p99() const { return percentile(99.0); }
+  i64 p999() const { return percentile(99.9); }
+
+  /// Exact sample-for-sample equality (determinism checks). Order-sensitive:
+  /// two accumulators fed the same values in the same order compare equal.
+  bool operator==(const Percentiles& other) const {
+    return samples_ == other.samples_;
+  }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<i64> samples_;
+  mutable std::vector<i64> sorted_;  // lazy cache; cleared by sample()
+};
+
+}  // namespace higpu

@@ -162,7 +162,7 @@ safety::Asil RedundancySpec::achieved_asil(sched::Policy policy) const {
 
 ExecSession::ExecSession(runtime::Device& dev, Config cfg)
     : dev_(dev), cfg_(std::move(cfg)), num_sms_(dev.gpu().num_sms()) {
-  dev_.set_kernel_scheduler(sched::make_scheduler(cfg_.policy));
+  install_scheduler();
   if (cfg_.redundancy.recovery == RedundancySpec::Recovery::kRollback) {
     record_rollback_state_ = true;
     // Rollback needs at least the pre-kernel anchors; an explicitly
@@ -422,7 +422,13 @@ void ExecSession::reset_compare_counters() {
 void ExecSession::reset_attempt() {
   reset_compare_counters();
   // Fresh scheduler state per attempt, exactly as a fresh session would get.
-  dev_.set_kernel_scheduler(sched::make_scheduler(cfg_.policy));
+  install_scheduler();
+}
+
+void ExecSession::install_scheduler() {
+  dev_.set_kernel_scheduler(cfg_.scheduler_factory
+                                ? cfg_.scheduler_factory()
+                                : sched::make_scheduler(cfg_.policy));
 }
 
 bool ExecSession::rollback_once(const ckpt::Snapshot& snap) {

@@ -173,6 +173,15 @@ class ExecSession {
   struct Config {
     sched::Policy policy = sched::Policy::kSrrs;
     RedundancySpec redundancy;
+    /// Optional kernel-scheduler override. When set, the session installs
+    /// scheduler_factory() instead of sched::make_scheduler(policy) — at
+    /// construction AND at the start of every recovery attempt (each attempt
+    /// gets fresh scheduler state, exactly as a fresh session would). The
+    /// factory must produce schedulers that honour the policy's placement
+    /// contract; the serve engine uses it to keep its deadline-aware EDF
+    /// scheduler installed across attempts. `policy` still drives the
+    /// per-copy SchedHints (SRRS starts / HALF masks) and ASIL accounting.
+    std::function<std::unique_ptr<sim::IKernelScheduler>()> scheduler_factory;
   };
 
   /// Everything a recovery-wrapped execution reports: the fail-operational
@@ -305,6 +314,7 @@ class ExecSession {
  private:
   sim::SchedHints hints_for_copy(u32 c) const;
   void reset_attempt();
+  void install_scheduler();
   void reset_compare_counters();
   bool rollback_once(const ckpt::Snapshot& snap);
   CompareVerdict vote_words(const std::vector<const u8*>& host, u64 bytes,

@@ -1,0 +1,75 @@
+#include "sched/edf.h"
+
+namespace higpu::sched {
+
+void EdfKernelScheduler::dispatch(sim::Gpu& gpu) {
+  const auto& states = gpu.kernel_states();
+  // The finished prefix only grows; skip it in amortized O(1) so long-running
+  // serve sessions (thousands of retired launches) stay cheap per cycle.
+  while (first_unfinished_ < states.size() &&
+         states[first_unfinished_]->finished())
+    ++first_unfinished_;
+
+  if (placement_ == Placement::kSrrs) {
+    // Serialized placement: at most one kernel is in flight. If a started
+    // kernel still has undispatched blocks it MUST keep dispatching —
+    // preferring a newer, earlier-deadline kernel here would deadlock (the
+    // newcomer cannot start until the GPU drains, which needs the started
+    // kernel's remaining blocks placed).
+    for (u32 k = first_unfinished_; k < states.size(); ++k) {
+      sim::KernelState* ks = states[k];
+      if (ks->finished() || !ks->started()) continue;
+      if (ks->fully_dispatched()) return;  // draining: nobody else may start
+      const sim::KernelLaunch& launch = gpu.launch_of(ks->launch_id);
+      const u32 target =
+          (launch.hints.start_sm + ks->blocks_dispatched) % gpu.num_sms();
+      if (gpu.sm_can_accept(target, launch))
+        gpu.try_dispatch_block(*ks, target);
+      return;
+    }
+  }
+
+  // EDF selection over the pending kernels: earliest stream deadline first,
+  // launch order breaking ties (and ordering the no-deadline tail).
+  sim::KernelState* best = nullptr;
+  u64 best_deadline = kNoDeadline;
+  for (u32 k = first_unfinished_; k < states.size(); ++k) {
+    sim::KernelState* ks = states[k];
+    if (ks->finished() || ks->fully_dispatched() || !ks->arrived(gpu.now()))
+      continue;
+    if (!ks->started() && !gpu.stream_ready(*ks)) continue;
+    const u64 d = stream_deadline(gpu.launch_of(ks->launch_id).stream);
+    if (best == nullptr || d < best_deadline) {
+      best = ks;
+      best_deadline = d;
+    }
+  }
+  if (best == nullptr) return;
+
+  const sim::KernelLaunch& launch = gpu.launch_of(best->launch_id);
+  if (placement_ == Placement::kSrrs) {
+    // Nothing is started (handled above): EDF picks who starts next, but the
+    // SRRS rule still holds — a kernel starts only on an idle GPU.
+    if (!gpu.all_sms_drained()) return;
+    const u32 target =
+        (launch.hints.start_sm + best->blocks_dispatched) % gpu.num_sms();
+    if (gpu.sm_can_accept(target, launch))
+      gpu.try_dispatch_block(*best, target);
+    return;
+  }
+
+  // Greedy masked placement (Default-scheduler behaviour) for the selected
+  // kernel only: EDF owns kernel order, the cursor owns SM fairness.
+  const u32 n = gpu.num_sms();
+  for (u32 i = 0; i < n; ++i) {
+    const u32 sm = (rr_cursor_ + i) % n;
+    if (!launch.hints.sm_allowed(sm)) continue;
+    if (!gpu.sm_can_accept(sm, launch)) continue;
+    if (gpu.try_dispatch_block(*best, sm)) {
+      rr_cursor_ = (sm + 1) % n;
+      return;  // one block per cycle GPU-wide
+    }
+  }
+}
+
+}  // namespace higpu::sched

@@ -1,0 +1,183 @@
+// Continuous-operation serving engine (deadline-aware, fail-degraded).
+//
+// Runs a TrafficSpec against one persistent runtime::Device: requests are
+// admitted as the host timeline reaches their arrival, queued, and served
+// in EDF order — both at the request queue (earliest absolute deadline
+// next) and at block-dispatch granularity (the session installs a
+// sched::EdfKernelScheduler carrying the request's per-stream deadlines).
+//
+// Overload is handled explicitly instead of letting latency collapse:
+//   * degrade ladder — when the predicted completion of the next request
+//     would miss its deadline (or a session reports Recovery::kDegrade),
+//     the engine drops one redundancy level: TMR -> DCLS -> baseline.
+//     Recovery is hysteretic: only after `recover_after` consecutive
+//     on-time completions with a near-empty queue does the level step back
+//     up, so the engine cannot flap at the overload boundary.
+//   * load shedding — requests whose deadline already passed while queued
+//     are dropped (they could only waste capacity), and the queue depth is
+//     capped; every drop is accounted per tenant and per reason.
+//
+// Safety cadence between requests: a periodic scheduler BIST (paper §IV.C)
+// and, when configured, an interval CheckpointPolicy so kRollback tenants
+// always have fresh restore points mid-stream.
+//
+// Determinism: the device timeline, the arrival stream, the EDF order, the
+// degrade ladder and every percentile are functions of (spec, seed) only —
+// the same spec reproduces bit-identical results under both sim engines
+// and both exec modes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/percentiles.h"
+#include "runtime/device.h"
+#include "serve/traffic.h"
+
+namespace higpu::serve {
+
+/// What to do when demand exceeds capacity.
+struct OverloadPolicy {
+  /// Walk the redundancy ladder down under deadline pressure (and on
+  /// session-reported kDegrade). Off = keep full redundancy, shed instead.
+  bool enable_degrade = true;
+  /// Drop queued requests whose absolute deadline has already passed.
+  bool shed_expired = true;
+  /// Hard cap on queued requests; the latest-deadline entries are shed
+  /// first when it overflows. 0 = unbounded.
+  u32 max_queue_depth = 64;
+  /// Hysteresis: consecutive on-time completions (with the queue at or
+  /// below low_watermark) required before stepping one level back up.
+  u32 recover_after = 4;
+  u32 low_watermark = 1;
+};
+
+struct ServeSpec {
+  TrafficSpec traffic;
+  sim::GpuParams gpu;
+  runtime::PlatformParams platform;
+  /// Placement policy for every session (also the BIST policy); the EDF
+  /// scheduler keeps this policy's placement contract.
+  sched::Policy policy = sched::Policy::kSrrs;
+  OverloadPolicy overload;
+  /// Period of the scheduler BIST cadence (0 = no BIST).
+  u64 bist_interval_ns = 0;
+  /// Interval CheckpointPolicy installed on the device (0 = none); gives
+  /// kRollback tenants mid-stream restore points.
+  u64 ckpt_interval_cycles = 0;
+
+  void validate() const;
+  std::string label() const;
+};
+
+/// Why a degrade-ladder transition happened.
+enum class DegradeReason : u8 {
+  kDeadlinePressure,  // predicted completion past the deadline
+  kSessionDegrade,    // ExecSession reported Recovery::kDegrade
+  kRecovered,         // hysteretic step back up
+};
+const char* degrade_reason_name(DegradeReason r);
+
+struct DegradeTransition {
+  u64 t_ns = 0;
+  u32 from_level = 0;
+  u32 to_level = 0;
+  DegradeReason reason = DegradeReason::kDeadlinePressure;
+  u32 queue_depth = 0;
+
+  bool operator==(const DegradeTransition& other) const = default;
+};
+
+/// One served request, in completion order (the determinism witness).
+struct Completion {
+  u32 request_id = 0;
+  u32 tenant = 0;
+  u32 level = 0;        // degrade level it was served at
+  u64 start_ns = 0;     // dispatch time (queue wait = start - arrival)
+  u64 finish_ns = 0;
+  u64 response_ns = 0;  // finish - arrival
+  bool deadline_met = false;
+
+  bool operator==(const Completion& other) const = default;
+};
+
+/// Per-tenant telemetry.
+struct TenantStats {
+  std::string name;
+  u64 offered = 0;
+  u64 served = 0;
+  u64 dropped_expired = 0;
+  u64 dropped_overflow = 0;
+  u64 deadline_misses = 0;   // served but late
+  u64 degraded_served = 0;   // served at level > 0
+  Percentiles response_ns;
+  Percentiles queue_wait_ns;
+  /// ftti_ns - detect/react response of the session (negative = FTTI bust).
+  Percentiles ftti_slack_ns;
+};
+
+struct ServeResult {
+  std::string label;
+  std::vector<TenantStats> tenants;
+  /// Response-time percentiles split by the degrade level served at.
+  std::vector<Percentiles> by_level;
+  std::vector<DegradeTransition> transitions;
+  std::vector<Completion> completions;
+
+  u64 served = 0;
+  u64 dropped = 0;
+  u64 deadline_misses = 0;
+  u64 verify_failures = 0;
+  u64 max_queue_depth = 0;
+  u64 bist_runs = 0;
+  u64 bist_failures = 0;
+  u64 checkpoints_captured = 0;
+  /// Host-timeline span of the whole serving run and the busy part of it.
+  u64 span_ns = 0;
+  u64 busy_ns = 0;
+
+  double utilization() const {
+    return span_ns == 0 ? 0.0
+                        : static_cast<double>(busy_ns) /
+                              static_cast<double>(span_ns);
+  }
+  /// Completed requests per modelled second.
+  double sustained_rps() const {
+    return span_ns == 0 ? 0.0
+                        : static_cast<double>(served) * 1e9 /
+                              static_cast<double>(span_ns);
+  }
+
+  /// Schema "higpu.serve/1".
+  std::string to_json(const ServeSpec& spec) const;
+  /// Per-tenant CSV (one row per tenant).
+  std::string to_csv() const;
+
+  /// The determinism witness: completion order, levels, timings,
+  /// transitions and every percentile sample compare exactly.
+  bool operator==(const ServeResult& other) const {
+    if (completions != other.completions) return false;
+    if (transitions != other.transitions) return false;
+    if (tenants.size() != other.tenants.size()) return false;
+    for (size_t i = 0; i < tenants.size(); ++i) {
+      if (tenants[i].response_ns != other.tenants[i].response_ns ||
+          tenants[i].ftti_slack_ns != other.tenants[i].ftti_slack_ns)
+        return false;
+    }
+    return served == other.served && dropped == other.dropped &&
+           deadline_misses == other.deadline_misses;
+  }
+};
+
+/// Run the serving loop to completion (every generated request served or
+/// dropped) and return the telemetry.
+ServeResult run_serve(const ServeSpec& spec);
+
+/// The effective redundancy of `base` at degrade `level`: each level strips
+/// one copy (TMR -> DCLS -> baseline), majority vote falls back to bitwise
+/// below 3 copies, recovery falls back to kNone at 1 copy, and explicit
+/// SRRS starts are cleared (the even auto-spread re-derives diversity for
+/// the reduced copy count).
+core::RedundancySpec degrade(const core::RedundancySpec& base, u32 level);
+
+}  // namespace higpu::serve

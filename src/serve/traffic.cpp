@@ -1,0 +1,201 @@
+#include "serve/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace higpu::serve {
+
+const char* pattern_name(TrafficSpec::Pattern p) {
+  switch (p) {
+    case TrafficSpec::Pattern::kPeriodic: return "periodic";
+    case TrafficSpec::Pattern::kPoisson: return "poisson";
+    case TrafficSpec::Pattern::kBursty: return "bursty";
+    case TrafficSpec::Pattern::kTrace: return "trace";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Exponential inter-arrival draw at `rate_rps`, in whole nanoseconds.
+/// next_float() is in [0, 1), so 1 - u is in (0, 1] and log() never sees 0.
+u64 exp_gap_ns(Rng& rng, double rate_rps) {
+  const double u = 1.0 - static_cast<double>(rng.next_float());
+  const double gap = -std::log(u) / rate_rps * 1e9;
+  return static_cast<u64>(gap);
+}
+
+/// Weighted tenant draw (weights are small integers; total fits u64).
+u32 pick_tenant(Rng& rng, const std::vector<TenantSpec>& tenants) {
+  u64 total = 0;
+  for (const TenantSpec& t : tenants) total += t.weight;
+  u64 r = rng.next_below(total);
+  for (u32 i = 0; i < tenants.size(); ++i) {
+    const u64 w = tenants[i].weight;
+    if (r < w) return i;
+    r -= w;
+  }
+  return static_cast<u32>(tenants.size() - 1);
+}
+
+}  // namespace
+
+void TrafficSpec::validate() const {
+  if (tenants.empty())
+    throw std::invalid_argument("TrafficSpec: tenants must not be empty");
+  std::set<std::string> names;
+  for (const TenantSpec& t : tenants) {
+    if (t.name.empty())
+      throw std::invalid_argument("TenantSpec: name must not be empty");
+    if (!names.insert(t.name).second)
+      throw std::invalid_argument("TenantSpec: duplicate tenant name '" +
+                                  t.name + "'");
+    if (!workloads::is_known(t.workload))
+      throw std::invalid_argument(
+          workloads::unknown_workload_message(t.workload));
+    if (t.weight == 0)
+      throw std::invalid_argument("TenantSpec '" + t.name +
+                                  "': weight must be > 0");
+    if (t.deadline_ns == 0)
+      throw std::invalid_argument("TenantSpec '" + t.name +
+                                  "': deadline_ns must be > 0");
+  }
+  if (pattern == Pattern::kTrace) {
+    for (const Request& r : trace)
+      if (r.tenant >= tenants.size())
+        throw std::invalid_argument(
+            "TrafficSpec: trace tenant index out of range");
+    return;
+  }
+  if (!(offered_rps > 0.0))
+    throw std::invalid_argument("TrafficSpec: offered_rps must be > 0");
+  if (duration_ns == 0 && max_requests == 0)
+    throw std::invalid_argument(
+        "TrafficSpec: need duration_ns or max_requests");
+  if (pattern == Pattern::kBursty) {
+    if (!(burst_factor > 1.0))
+      throw std::invalid_argument("TrafficSpec: burst_factor must be > 1");
+    if (!(burst_fraction > 0.0) || !(burst_fraction < 1.0))
+      throw std::invalid_argument(
+          "TrafficSpec: burst_fraction must be in (0, 1)");
+  }
+}
+
+std::vector<Request> TrafficSpec::generate() const {
+  validate();
+
+  std::vector<Request> out;
+  if (pattern == Pattern::kTrace) {
+    out = trace;
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Request& a, const Request& b) {
+                       return a.arrival_ns < b.arrival_ns;
+                     });
+    for (u32 i = 0; i < out.size(); ++i) {
+      out[i].id = i;
+      out[i].deadline_ns =
+          out[i].arrival_ns + tenants[out[i].tenant].deadline_ns;
+    }
+    return out;
+  }
+
+  Rng rng(seed ^ 0x5EB7E5EEDull);
+  const u64 period_ns = static_cast<u64>(1e9 / offered_rps);
+  // kBursty alternates deterministic hot/quiet phases; phase lengths are
+  // fixed by the spec, only arrivals within a phase are random.
+  const u64 phase_ns = std::max<u64>(1, duration_ns == 0
+                                            ? period_ns * 16
+                                            : duration_ns / 8);
+  const u64 hot_ns = static_cast<u64>(static_cast<double>(phase_ns) *
+                                      burst_fraction);
+
+  u64 t = 0;
+  while (true) {
+    switch (pattern) {
+      case Pattern::kPeriodic:
+        t += period_ns;
+        break;
+      case Pattern::kPoisson:
+        t += exp_gap_ns(rng, offered_rps);
+        break;
+      case Pattern::kBursty: {
+        const bool hot = (t % phase_ns) < hot_ns;
+        t += exp_gap_ns(rng, hot ? offered_rps * burst_factor
+                                 : offered_rps / burst_factor);
+        break;
+      }
+      case Pattern::kTrace:
+        break;  // unreachable (handled above)
+    }
+    if (duration_ns != 0 && t > duration_ns) break;
+    if (max_requests != 0 && out.size() >= max_requests) break;
+    Request r;
+    r.id = static_cast<u32>(out.size());
+    r.tenant = tenants.size() == 1 ? 0 : pick_tenant(rng, tenants);
+    r.arrival_ns = t;
+    r.deadline_ns = t + tenants[r.tenant].deadline_ns;
+    out.push_back(r);
+    if (max_requests != 0 && out.size() >= max_requests) break;
+  }
+  return out;
+}
+
+std::string TrafficSpec::label() const {
+  std::ostringstream os;
+  os << pattern_name(pattern);
+  if (pattern != Pattern::kTrace)
+    os << ":rps" << static_cast<u64>(offered_rps);
+  os << ":seed" << seed << ":t" << tenants.size();
+  return os.str();
+}
+
+std::string TrafficSpec::format_trace(
+    const std::vector<Request>& requests) const {
+  std::ostringstream os;
+  os << "# higpu serve trace: arrival_ns tenant_name\n";
+  for (const Request& r : requests)
+    os << r.arrival_ns << ' ' << tenants[r.tenant].name << '\n';
+  return os.str();
+}
+
+std::vector<Request> TrafficSpec::parse_trace(const std::string& text) const {
+  std::vector<Request> out;
+  std::istringstream is(text);
+  std::string line;
+  u32 lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    u64 arrival = 0;
+    std::string name;
+    if (!(ls >> arrival >> name))
+      throw std::invalid_argument("trace line " + std::to_string(lineno) +
+                                  ": expected 'arrival_ns tenant_name'");
+    u32 tenant = static_cast<u32>(tenants.size());
+    for (u32 i = 0; i < tenants.size(); ++i)
+      if (tenants[i].name == name) tenant = i;
+    if (tenant == tenants.size())
+      throw std::invalid_argument("trace line " + std::to_string(lineno) +
+                                  ": unknown tenant '" + name + "'");
+    Request r;
+    r.id = static_cast<u32>(out.size());
+    r.tenant = tenant;
+    r.arrival_ns = arrival;
+    r.deadline_ns = arrival + tenants[tenant].deadline_ns;
+    out.push_back(r);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival_ns < b.arrival_ns;
+                   });
+  for (u32 i = 0; i < out.size(); ++i) out[i].id = i;
+  return out;
+}
+
+}  // namespace higpu::serve

@@ -1,0 +1,95 @@
+// Deterministic multi-tenant traffic generation for continuous serving.
+//
+// A continuous-operation deployment of the paper's offload model (an ADAS
+// domain controller serving camera/radar/planning items) is driven by a
+// *request stream*, not a one-shot campaign. TrafficSpec describes that
+// stream as a value: a seeded arrival process (periodic / Poisson / bursty,
+// or a replayable trace) over a set of tenants, where each tenant binds a
+// workload + scale to a RedundancySpec and a relative deadline. generate()
+// expands the spec into a fully materialized, sorted request list — the same
+// seed and spec always produce the identical list, so every downstream
+// serving result (completion order, percentiles, degrade transitions) is
+// reproducible bit-for-bit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/exec.h"
+#include "workloads/workload.h"
+
+namespace higpu::serve {
+
+/// One logical client class: what it runs, how redundantly, and how fast it
+/// needs the answer back (relative deadline per request).
+struct TenantSpec {
+  std::string name;
+  std::string workload = "nn";
+  workloads::Scale scale = workloads::Scale::kTest;
+  /// Redundancy at degrade level 0; the overload ladder strips copies off
+  /// this spec (TMR -> DCLS -> baseline) one level at a time.
+  core::RedundancySpec redundancy = core::RedundancySpec::dcls();
+  /// Relative deadline: a request arriving at t must finish by t + this.
+  u64 deadline_ns = 50'000'000;
+  /// Relative share of the arrival stream (weighted tenant draw).
+  u32 weight = 1;
+};
+
+/// One materialized request of the stream.
+struct Request {
+  u32 id = 0;         // position in arrival order (ties broken by id)
+  u32 tenant = 0;     // index into TrafficSpec::tenants
+  u64 arrival_ns = 0; // host-timeline arrival
+  /// Absolute deadline: arrival_ns + tenants[tenant].deadline_ns.
+  u64 deadline_ns = 0;
+
+  bool operator==(const Request& other) const = default;
+};
+
+struct TrafficSpec {
+  enum class Pattern : u8 {
+    kPeriodic,  // fixed inter-arrival 1e9 / offered_rps
+    kPoisson,   // exponential inter-arrivals at rate offered_rps
+    kBursty,    // Poisson, alternating hot (x burst_factor) / quiet phases
+    kTrace,     // replay `trace` verbatim (offered_rps ignored)
+  };
+
+  Pattern pattern = Pattern::kPeriodic;
+  u64 seed = 2019;
+  /// Offered load, requests per second (arrival process intensity).
+  double offered_rps = 100.0;
+  /// Generation stops at the first arrival past this horizon...
+  u64 duration_ns = 1'000'000'000;
+  /// ...or after this many requests, whichever comes first (0 = no cap).
+  u32 max_requests = 0;
+  /// kBursty: hot-phase rate multiplier (quiet phases run at offered_rps /
+  /// burst_factor, so the long-run average stays near offered_rps).
+  double burst_factor = 4.0;
+  /// kBursty: fraction of the horizon spent in hot phases, in (0, 1).
+  double burst_fraction = 0.25;
+  /// kTrace: explicit arrivals to replay (tenant indices must be valid).
+  std::vector<Request> trace;
+
+  std::vector<TenantSpec> tenants;
+
+  /// Expand into the sorted request list (stable: arrival, then id).
+  /// Deterministic for a fixed spec+seed.
+  std::vector<Request> generate() const;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+
+  /// Stable identity fragment, e.g. "poisson:rps100:seed2019:t2".
+  std::string label() const;
+
+  /// Render `requests` as a replayable trace ("arrival_ns tenant_name" per
+  /// line); parse_trace() inverts it against the same tenant set.
+  std::string format_trace(const std::vector<Request>& requests) const;
+  /// Parse a trace produced by format_trace (or written by hand). Throws
+  /// std::invalid_argument on malformed lines or unknown tenant names.
+  std::vector<Request> parse_trace(const std::string& text) const;
+};
+
+const char* pattern_name(TrafficSpec::Pattern p);
+
+}  // namespace higpu::serve

@@ -6,7 +6,9 @@
 #include <map>
 #include <set>
 
+#include "ckpt/serial.h"
 #include "memsys/global_store.h"
+#include "sched/edf.h"
 #include "sched/policies.h"
 #include "sim/gpu.h"
 #include "tests/test_kernels.h"
@@ -62,6 +64,16 @@ TEST(SmRangeMask, BuildsExpectedBits) {
   EXPECT_EQ(sm_range_mask(0, 3), 0b111u);
   EXPECT_EQ(sm_range_mask(3, 6), 0b111000u);
   EXPECT_EQ(sm_range_mask(2, 2), 0u);
+}
+
+TEST(SmRangeMask, EdgeWidthsAreWellDefined) {
+  // hi == 64 must fill the whole mask without a 64-bit shift (UB); the
+  // widest single shift the implementation performs is 1ull << 63.
+  EXPECT_EQ(sm_range_mask(0, 64), ~0ull);
+  EXPECT_EQ(sm_range_mask(63, 64), 1ull << 63);
+  // Empty ranges at both extremes are exactly zero.
+  EXPECT_EQ(sm_range_mask(0, 0), 0u);
+  EXPECT_EQ(sm_range_mask(64, 64), 0u);
 }
 
 TEST(SchedHints, MaskSemantics) {
@@ -186,6 +198,118 @@ TEST(Srrs, HonoursLaunchGapBeforeStart) {
   const u32 id = gpu.launch(std::move(l));
   gpu.run_until_idle(10'000'000);
   EXPECT_GE(gpu.kernel_state(id).first_dispatch_cycle, p.launch_gap_cycles);
+}
+
+// ---- EDF-over-streams (serving mode) ---------------------------------------
+
+TEST(Edf, NoDeadlinesDegeneratesToLaunchOrder) {
+  GpuParams p;
+  memsys::GlobalStore store;
+  Gpu gpu(p, &store);
+  gpu.set_kernel_scheduler(std::make_unique<EdfKernelScheduler>(
+      EdfKernelScheduler::Placement::kSrrs));
+
+  isa::ProgramPtr prog = make_spin_kernel(200);
+  std::vector<u32> ids;
+  for (u32 s = 0; s < 3; ++s) {
+    KernelLaunch l =
+        make_launch(prog, 768, 128, {store.alloc(768 * 4), 768});
+    l.stream = s;
+    ids.push_back(gpu.launch(std::move(l)));
+  }
+  gpu.run_until_idle(200'000'000);
+  EXPECT_LT(gpu.kernel_state(ids[0]).done_cycle,
+            gpu.kernel_state(ids[1]).first_dispatch_cycle);
+  EXPECT_LT(gpu.kernel_state(ids[1]).done_cycle,
+            gpu.kernel_state(ids[2]).first_dispatch_cycle);
+}
+
+TEST(Edf, DeadlineBeatsLaunchOrderUnderSrrsPlacement) {
+  // Three serialized kernels with deadlines *reversed* against launch
+  // order. The first kernel starts alone (launch-gap staggering makes it
+  // the only arrived one); by the time it drains, both later kernels are
+  // visible and EDF must pick the latest-launched, earliest-deadline one.
+  GpuParams p;
+  memsys::GlobalStore store;
+  Gpu gpu(p, &store);
+  auto edf = std::make_unique<EdfKernelScheduler>(
+      EdfKernelScheduler::Placement::kSrrs);
+  edf->set_stream_deadline(0, 9'000'000);
+  edf->set_stream_deadline(1, 5'000'000);
+  edf->set_stream_deadline(2, 1'000'000);
+  gpu.set_kernel_scheduler(std::move(edf));
+
+  isa::ProgramPtr prog = make_spin_kernel(4000);
+  std::vector<u32> ids;
+  for (u32 s = 0; s < 3; ++s) {
+    KernelLaunch l =
+        make_launch(prog, 768, 128, {store.alloc(768 * 4), 768});
+    l.stream = s;
+    ids.push_back(gpu.launch(std::move(l)));
+  }
+  gpu.run_until_idle(500'000'000);
+
+  const Cycle d0 = gpu.kernel_state(ids[0]).first_dispatch_cycle;
+  const Cycle d1 = gpu.kernel_state(ids[1]).first_dispatch_cycle;
+  const Cycle d2 = gpu.kernel_state(ids[2]).first_dispatch_cycle;
+  EXPECT_LT(d0, d2);  // k0 was alone when it started
+  EXPECT_LT(d2, d1);  // then deadline order wins: k2 (1ms) before k1 (5ms)
+  // SRRS placement contract still holds: serialized, round-robin mapping.
+  for (const BlockRecord& r : gpu.block_records())
+    EXPECT_EQ(r.sm, r.block_linear % gpu.num_sms());
+}
+
+TEST(Edf, DeadlineBeatsLaunchOrderUnderGreedyPlacement) {
+  // A wide long-running kernel saturates every SM slot; a later, smaller
+  // kernel with an earlier deadline must overtake the backlog as slots
+  // free up, finishing first despite launching second.
+  GpuParams p;
+  memsys::GlobalStore store;
+  Gpu gpu(p, &store);
+  auto edf = std::make_unique<EdfKernelScheduler>(
+      EdfKernelScheduler::Placement::kGreedy);
+  edf->set_stream_deadline(0, 9'000'000);
+  edf->set_stream_deadline(1, 1'000'000);
+  gpu.set_kernel_scheduler(std::move(edf));
+
+  isa::ProgramPtr prog = make_spin_kernel(5000);
+  KernelLaunch big =
+      make_launch(prog, 128 * 120, 128, {store.alloc(128 * 120 * 4), 128 * 120});
+  big.stream = 0;
+  KernelLaunch small =
+      make_launch(prog, 128 * 6, 128, {store.alloc(128 * 6 * 4), 128 * 6});
+  small.stream = 1;
+  const u32 id_big = gpu.launch(std::move(big));
+  const u32 id_small = gpu.launch(std::move(small));
+  gpu.run_until_idle(500'000'000);
+
+  EXPECT_LT(gpu.kernel_state(id_small).done_cycle,
+            gpu.kernel_state(id_big).done_cycle);
+}
+
+TEST(Edf, StateSurvivesCheckpointRoundtrip) {
+  EdfKernelScheduler a(EdfKernelScheduler::Placement::kSrrs);
+  a.set_stream_deadline(0, 111);
+  a.set_stream_deadline(7, 42);
+  ckpt::Writer w;
+  a.save_state(w);
+  const std::vector<u8> blob = w.blob();
+  const std::vector<ckpt::Section> sections;  // raw stream, no sections
+  ckpt::Reader r(blob, sections);
+  EdfKernelScheduler b;
+  b.restore_state(r);
+  EXPECT_EQ(b.stream_deadline(0), 111u);
+  EXPECT_EQ(b.stream_deadline(7), 42u);
+  EXPECT_EQ(b.stream_deadline(3), EdfKernelScheduler::kNoDeadline);
+}
+
+TEST(Edf, PlacementForPolicy) {
+  EXPECT_EQ(EdfKernelScheduler::placement_for(Policy::kSrrs),
+            EdfKernelScheduler::Placement::kSrrs);
+  EXPECT_EQ(EdfKernelScheduler::placement_for(Policy::kDefault),
+            EdfKernelScheduler::Placement::kGreedy);
+  EXPECT_EQ(EdfKernelScheduler::placement_for(Policy::kHalf),
+            EdfKernelScheduler::Placement::kGreedy);
 }
 
 }  // namespace
