@@ -67,7 +67,9 @@ struct CheckpointPolicy {
 class Snapshot {
  public:
   /// Bump on any change to the blob layout.
-  static constexpr u32 kVersion = 1;
+  /// v2: SmCore serializes the smem_oob_wraps counter (the always-on
+  ///     replacement for the NDEBUG-only shared-memory bounds assert).
+  static constexpr u32 kVersion = 2;
   static constexpr u64 kMagic = 0x48474355434B5054ull;  // "HGPUCKPT"
 
   // ---- Capture metadata (duplicated from the blob for cheap access) -------

@@ -1,5 +1,6 @@
 #include "isa/builder.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -14,12 +15,17 @@ constexpr Pc kUnbound = 0xFFFFFFFF;
 KernelBuilder::KernelBuilder(std::string name) : name_(std::move(name)) {}
 
 Reg KernelBuilder::reg() {
-  assert(next_reg_ < 255 && "register budget exceeded");
+  // Always-on budget check (formerly an NDEBUG-masked assert): handing out
+  // an over-budget handle would silently corrupt a neighboring thread's
+  // register file at runtime — the PR-6 masked-assert defect class.
+  if (next_reg_ >= 255)
+    throw std::logic_error("kernel '" + name_ + "': register budget exceeded");
   return Reg{next_reg_++};
 }
 
 PredReg KernelBuilder::pred() {
-  assert(next_pred_ < 8 && "predicate budget exceeded");
+  if (next_pred_ >= 8)
+    throw std::logic_error("kernel '" + name_ + "': predicate budget exceeded");
   return PredReg{next_pred_++};
 }
 
@@ -266,8 +272,28 @@ ProgramPtr KernelBuilder::build() {
       ins.reconv_pc = cfg.reconv_pc_for_branch(pc);
   }
 
-  const u16 num_preds = static_cast<u16>(next_pred_ > 0 ? next_pred_ : 1);
-  return std::make_shared<KernelProgram>(name_, std::move(code_), next_reg_,
+  // Accurate register-file sizes: the allocation counters, raised to cover
+  // any index an instruction actually references — call sites can hand-edit
+  // emitted Instructions through the returned references, and the verifier
+  // and per-thread register-file allocation both trust these counts.
+  u32 regs = next_reg_;
+  u32 preds = next_pred_ > 0 ? static_cast<u32>(next_pred_) : 0;
+  for (const Instruction& ins : code_) {
+    if (writes_gpr(ins.op) && ins.dst != kNoReg)
+      regs = std::max(regs, static_cast<u32>(ins.dst) + 1);
+    for (const Operand& o : ins.src)
+      if (o.is_reg() && o.reg != kNoReg)
+        regs = std::max(regs, static_cast<u32>(o.reg) + 1);
+    if (writes_pred(ins.op) && ins.dst != static_cast<u16>(kNoPred))
+      preds = std::max(preds, static_cast<u32>(ins.dst) + 1);
+    if (ins.guard != kNoPred)
+      preds = std::max(preds, static_cast<u32>(ins.guard) + 1);
+    if ((ins.op == Op::kSelp || ins.op == Op::kSetp) && ins.pred_src != kNoPred)
+      preds = std::max(preds, static_cast<u32>(ins.pred_src) + 1);
+  }
+  const u16 num_regs = static_cast<u16>(regs);
+  const u16 num_preds = static_cast<u16>(std::max<u32>(preds, 1));
+  return std::make_shared<KernelProgram>(name_, std::move(code_), num_regs,
                                          num_preds, shared_bytes_, max_param_);
 }
 

@@ -24,10 +24,18 @@ class KernelBuilder {
   explicit KernelBuilder(std::string name);
 
   // ---- Resource allocation -------------------------------------------------
-  /// Allocate a fresh general-purpose register.
+  /// Allocate a fresh general-purpose register. Throws std::logic_error
+  /// when the 255-register budget is exhausted (always-on: an overflowing
+  /// handle would silently corrupt a neighboring thread's registers).
   Reg reg();
-  /// Allocate a fresh predicate register.
+  /// Allocate a fresh predicate register. Throws std::logic_error when the
+  /// 8-predicate budget is exhausted.
   PredReg pred();
+  /// Registers allocated so far. build() raises the program's num_regs
+  /// above this only if an emitted instruction references a higher index.
+  u16 reg_count() const { return next_reg_; }
+  /// Predicates allocated so far (see reg_count()).
+  u16 pred_count() const { return static_cast<u16>(next_pred_); }
   /// Create an unbound label.
   Label label();
   /// Bind `l` to the next emitted instruction.

@@ -34,9 +34,48 @@ void Device::memcpy_d2h(void* dst, DevPtr src, u64 bytes) {
 }
 
 u32 Device::launch(sim::KernelLaunch launch, u32 stream) {
+  verify_launch(launch);
   now_ns_ += platform_.launch_ns;
   launch.stream = stream;
   return gpu_->launch(std::move(launch));
+}
+
+void Device::verify_launch(const sim::KernelLaunch& launch) {
+  const sim::LaunchVerify mode = gpu_->params().verify;
+  if (mode == sim::LaunchVerify::kOff || launch.program == nullptr) return;
+
+  // Memo: one analysis per (program, grid, block) for the Device's
+  // lifetime, trace-cache-style — steady-state launches only pay this scan
+  // over a handful of distinct kernels. Verification is a pure function of
+  // the key (parameters stay symbolic), so replaying the recorded verdict
+  // is exact.
+  auto same_dim = [](const sim::Dim3& a, const sim::Dim3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  };
+  const isa::verify::Result* result = nullptr;
+  for (const VerifyRecord& rec : verify_reports_) {
+    if (rec.program == launch.program.get() &&
+        same_dim(rec.grid, launch.grid) && same_dim(rec.block, launch.block)) {
+      verify_memo_hits_ += 1;
+      result = &rec.result;
+      break;
+    }
+  }
+  if (result == nullptr) {
+    isa::verify::LaunchBounds lb;
+    lb.ntid_x = launch.block.x;
+    lb.ntid_y = launch.block.y;
+    lb.ntid_z = launch.block.z;
+    lb.nctaid_x = launch.grid.x;
+    lb.nctaid_y = launch.grid.y;
+    lb.nctaid_z = launch.grid.z;
+    verify_reports_.push_back(VerifyRecord{
+        launch.program.get(), launch.grid, launch.block,
+        isa::verify::verify(*launch.program, lb)});
+    result = &verify_reports_.back().result;
+  }
+  if (mode == sim::LaunchVerify::kEnforce && !result->ok())
+    throw isa::verify::VerifyError(*result);
 }
 
 Cycle Device::synchronize() {
@@ -148,6 +187,8 @@ u64 Device::params_fingerprint() const {
   // exec_mode is deliberately NOT part of the fingerprint: the block engine
   // is bit-identical to the interpreter and its traces are derived state
   // rebuilt on restore, so snapshots are interchangeable across exec modes.
+  // `verify` stays out for the same reason: the launch gate never changes
+  // what a valid program computes, and its memo is derived state.
   w.put8(static_cast<u8>(g.engine));
   for (u32 v : {g.num_sms, g.warp_size, g.max_warps_per_sm,
                 g.max_blocks_per_sm, g.regfile_per_sm, g.shared_per_sm,

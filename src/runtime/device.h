@@ -30,6 +30,7 @@
 
 #include "ckpt/snapshot.h"
 #include "common/types.h"
+#include "isa/verify/verify.h"
 #include "memsys/global_store.h"
 #include "runtime/platform.h"
 #include "sim/gpu.h"
@@ -60,7 +61,31 @@ class Device {
   // ---- Execution ---------------------------------------------------------------
   /// Asynchronous launch on `stream`. Kernels on the same stream serialize;
   /// different streams may overlap (subject to the kernel scheduler policy).
+  ///
+  /// Launch gate: under GpuParams::verify == kEnforce (the default) the
+  /// program is statically verified on its first launch per
+  /// (program, grid, block); an error-severity diagnostic refuses the
+  /// launch by throwing isa::verify::VerifyError with the full report.
+  /// Repeat launches hit a memo and pay no analysis cost. Parameters stay
+  /// symbolic in the analysis so the memoized verdict is sound for every
+  /// parameter assignment.
   u32 launch(sim::KernelLaunch launch, u32 stream = 0);
+
+  // ---- Launch-gate verification reports -----------------------------------
+  /// One record per analysis actually run (memo misses), in first-launch
+  /// order. Derived state: never serialized into snapshots.
+  struct VerifyRecord {
+    const isa::KernelProgram* program;
+    sim::Dim3 grid, block;
+    isa::verify::Result result;
+  };
+  const std::vector<VerifyRecord>& verify_reports() const {
+    return verify_reports_;
+  }
+  /// Static analyses executed (== verify_reports().size()).
+  u64 verify_runs() const { return verify_reports_.size(); }
+  /// Launches answered from the memo without re-analysis.
+  u64 verify_memo_hits() const { return verify_memo_hits_; }
 
   /// Block until all launched work completed (cudaDeviceSynchronize).
   /// Returns the GPU cycles consumed by this synchronization.
@@ -141,6 +166,7 @@ class Device {
   double sim_wall_seconds() const { return sim_wall_sec_; }
 
  private:
+  void verify_launch(const sim::KernelLaunch& launch);
   void on_gpu_checkpoint(Cycle nominal, bool is_target);
   void push_checkpoint(ckpt::SnapshotPtr snap, bool anchor);
   ckpt::SnapshotPtr capture(Cycle nominal);
@@ -163,6 +189,9 @@ class Device {
   std::vector<ckpt::SnapshotPtr> checkpoints_;    // policy captures, in order
   std::vector<u8> checkpoint_is_anchor_;          // parallel: 1 = pre-kernel
   ckpt::SnapshotPtr resume_;
+
+  std::vector<VerifyRecord> verify_reports_;
+  u64 verify_memo_hits_ = 0;
 };
 
 }  // namespace higpu::runtime

@@ -13,6 +13,9 @@ namespace {
 
 /// Lowered operand plan for one instruction source. Absent sources fold to
 /// immediate 0, exactly like the interpreter's missing-operand default.
+/// Register indices are baked into the trace unchecked: the launch gate
+/// (isa/verify resource pass) proves every static index inside the
+/// program's declared register/predicate files before a trace can run.
 SrcPlan lower_src(const isa::Operand& o) {
   SrcPlan s;
   if (o.is_reg()) {

@@ -1,5 +1,10 @@
 // Scalar functional semantics of the ISA, shared by the SM datapath and by
 // unit tests. All values are 32-bit register bit patterns.
+//
+// Nothing here touches a register file: callers pass operand *values* and
+// store results themselves, so there are no indices to bounds-check (the
+// launch gate's resource pass validates every static register index before
+// a program reaches these functions).
 #pragma once
 
 #include <cmath>

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "sim/blockexec.h"
 
@@ -36,14 +38,25 @@ void Gpu::set_warp_sched_policy(WarpSchedPolicy p) {
 }
 
 u32 Gpu::launch(KernelLaunch launch) {
-  assert(ksched_ != nullptr && "set a kernel scheduler before launching");
-  assert(launch.program != nullptr);
-  assert(launch.total_blocks() > 0 && launch.threads_per_block() > 0);
-  assert(launch.threads_per_block() <=
-             params_.max_warps_per_sm * params_.warp_size &&
-         "thread block larger than an SM");
-  assert(launch.params.size() >= launch.program->num_params() &&
-         "missing kernel parameters");
+  // Always-on launch validation (formerly NDEBUG-masked asserts): these are
+  // host-API usage errors, not program defects, so the static verifier
+  // cannot prove them away — a release build must refuse them too.
+  if (ksched_ == nullptr)
+    throw std::invalid_argument("set a kernel scheduler before launching");
+  if (launch.program == nullptr)
+    throw std::invalid_argument("kernel launch has no program");
+  if (launch.total_blocks() == 0 || launch.threads_per_block() == 0)
+    throw std::invalid_argument("kernel '" + launch.program->name() +
+                                "': empty grid or block");
+  if (launch.threads_per_block() >
+      params_.max_warps_per_sm * params_.warp_size)
+    throw std::invalid_argument("kernel '" + launch.program->name() +
+                                "': thread block larger than an SM");
+  if (launch.params.size() < launch.program->num_params())
+    throw std::invalid_argument(
+        "kernel '" + launch.program->name() + "': launch passes " +
+        std::to_string(launch.params.size()) + " parameter(s), program "
+        "declares " + std::to_string(launch.program->num_params()));
 
   auto slot = std::make_unique<LaunchSlot>();
   const u32 id = static_cast<u32>(launches_.size());

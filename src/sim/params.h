@@ -33,9 +33,24 @@ enum class SimEngine { kEvent, kDense };
 ///   reference for the block/interp equivalence tests and benchmarks.
 enum class ExecMode { kBlock, kInterp };
 
+/// Launch-time static verification (see isa/verify/verify.h).
+///
+/// * kEnforce — every program is verified on its first launch per
+///   (program, grid, block); error-severity diagnostics refuse the launch
+///   with an isa::verify::VerifyError carrying the structured report.
+///   Subsequent launches of the same program hit a memo and pay nothing
+///   (trace-cache-style, like blockexec compilation).
+/// * kWarn — verify and record the report, but launch regardless.
+/// * kOff — skip verification entirely.
+///
+/// Like ExecMode, this never changes what a *valid* program computes, so it
+/// is excluded from the snapshot parameter fingerprint.
+enum class LaunchVerify { kEnforce, kWarn, kOff };
+
 struct GpuParams {
   SimEngine engine = SimEngine::kEvent;
   ExecMode exec_mode = ExecMode::kBlock;
+  LaunchVerify verify = LaunchVerify::kEnforce;
 
   u32 num_sms = 6;
   u32 warp_size = 32;

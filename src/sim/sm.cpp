@@ -374,6 +374,11 @@ void SmCore::exec_superop(Warp& w, const blockexec::SuperOp& sop,
     }
     case blockexec::SopKind::kLdp: {
       const ResidentBlock& b = blocks_[w.block_slot];
+      // Guaranteed by the launch gate: the verifier's structural pass
+      // rejects any ldp index >= num_params (bad-param-index) and
+      // Gpu::launch refuses launches with fewer params than the program
+      // declares, so the index is in range in every build. Faults never
+      // corrupt it either: param_idx is trace metadata, not machine state.
       assert(sop.param_idx < b.launch->params.size() &&
              "kernel parameter out of range");
       const u32 v = b.launch->params[sop.param_idx];
@@ -410,6 +415,7 @@ StatSet SmCore::snapshot_stats() const {
   put("barriers", barriers_);
   put("smem_accesses", smem_accesses_);
   put("smem_bank_conflicts", smem_bank_conflicts_);
+  put("smem_oob_wraps", smem_oob_wraps_);
   put("global_atomics", global_atomics_);
   put("global_load_transactions", global_load_transactions_);
   put("global_store_transactions", global_store_transactions_);
@@ -527,6 +533,8 @@ void SmCore::execute(Warp& w, const Instruction& ins, u32 guard_mask, Cycle now)
       case Op::kLdp: {
         const ResidentBlock& b = blocks_[w.block_slot];
         const u32 idx = ins.src[0].imm;
+        // In range by the launch gate (verifier bad-param-index check +
+        // Gpu::launch param-count validation); see exec_superop's kLdp.
         assert(idx < b.launch->params.size() && "kernel parameter out of range");
         w.reg_at(ins.dst, lane) = b.launch->params[idx];
         break;
@@ -656,13 +664,18 @@ void SmCore::exec_shared_mem(Warp& w, const Instruction& ins, u32 guard_mask,
     const u32 lane = static_cast<u32>(std::countr_zero(m));
     u64 addr = static_cast<u64>(operand_value(w, ins.src[0], lane)) +
                static_cast<u64>(static_cast<i64>(ins.mem_offset));
-    // Fault-free kernels stay in bounds by construction; an injected fault
-    // can corrupt an address computation, and the corrupted access must
-    // stay deterministic (and memory-safe) — wrap it into the block's
-    // shared segment, like hardware wrapping into its SRAM banks.
-    assert((fault_ != nullptr && fault_->armed()) ||
-           addr + 4 <= b.shared.size());
-    if (addr + 4 > b.shared.size()) addr = (addr % (b.shared.size() - 3)) & ~u64{3};
+    // The static verifier proves fault-free addresses in bounds where the
+    // interval analysis is precise enough, but it cannot see through
+    // data-dependent indexing — and an injected fault can corrupt any
+    // address computation at runtime. The corrupted access must stay
+    // deterministic (and memory-safe) in every build: wrap it into the
+    // block's shared segment, like hardware wrapping into its SRAM banks,
+    // and count the wrap so campaigns can observe the corruption class.
+    // (Always-on checked wrap; this was an NDEBUG-masked assert.)
+    if (addr + 4 > b.shared.size()) {
+      addr = (addr % (b.shared.size() - 3)) & ~u64{3};
+      smem_oob_wraps_ += 1;
+    }
     addr_scratch_.push_back(addr);
   }
 
@@ -695,7 +708,12 @@ void SmCore::exec_shared_mem(Warp& w, const Instruction& ins, u32 guard_mask,
 
 void SmCore::exec_barrier(Warp& w) {
   ResidentBlock& b = blocks_[w.block_slot];
-  // CUDA requires barriers in uniform control flow.
+  // CUDA requires barriers in uniform control flow. The verifier's barrier
+  // pass refuses programs whose kBar is control-dependent on a
+  // tid/laneid/atomic-tainted branch (barrier-divergence), so fault-free
+  // launches cannot trip this; a fault-corrupted guard still can, and then
+  // the warp arrives as a whole (barrier_count is per warp), keeping the
+  // simulation deterministic rather than deadlocked.
   assert(w.effective_mask() == (w.valid_mask & ~w.exited) &&
          "barrier executed in divergent control flow");
   w.at_barrier = true;
@@ -802,7 +820,8 @@ void SmCore::save(ckpt::Writer& w) const {
 
   for (u64 c : {blocks_accepted_, blocks_completed_, active_cycles_,
                 instructions_, divergent_branches_, barriers_,
-                smem_accesses_, smem_bank_conflicts_, global_atomics_,
+                smem_accesses_, smem_bank_conflicts_, smem_oob_wraps_,
+                global_atomics_,
                 global_load_transactions_, global_store_transactions_,
                 stall_scoreboard_, stall_barrier_, stall_structural_,
                 issued_attempts_, block_exec_hits_, block_fallback_exits_})
@@ -891,7 +910,8 @@ void SmCore::restore(
 
   for (u64* c : {&blocks_accepted_, &blocks_completed_, &active_cycles_,
                  &instructions_, &divergent_branches_, &barriers_,
-                 &smem_accesses_, &smem_bank_conflicts_, &global_atomics_,
+                 &smem_accesses_, &smem_bank_conflicts_, &smem_oob_wraps_,
+                 &global_atomics_,
                  &global_load_transactions_, &global_store_transactions_,
                  &stall_scoreboard_, &stall_barrier_, &stall_structural_,
                  &issued_attempts_, &block_exec_hits_, &block_fallback_exits_})

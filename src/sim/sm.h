@@ -253,6 +253,10 @@ class SmCore {
   u64 barriers_ = 0;
   u64 smem_accesses_ = 0;
   u64 smem_bank_conflicts_ = 0;
+  // Shared accesses whose (fault-corrupted) address fell outside the block's
+  // segment and was wrapped back in — the always-on replacement for the
+  // old NDEBUG-only bounds assert.
+  u64 smem_oob_wraps_ = 0;
   u64 global_atomics_ = 0;
   u64 global_load_transactions_ = 0;
   u64 global_store_transactions_ = 0;

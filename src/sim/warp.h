@@ -59,6 +59,11 @@ struct Warp {
   // ---- Stats ----
   u64 instructions = 0;
 
+  // Indexing is deliberately unchecked on this hot path: register and
+  // predicate indices are static program fields proven in range by the
+  // launch gate (isa/verify resource pass: reg-out-of-range /
+  // pred-out-of-range) before any warp executes, and fault injection
+  // corrupts register *values*, never the decoded indices.
   u32& reg_at(u16 r, u32 lane) { return regs[static_cast<size_t>(r) * kWarpSize + lane]; }
   u32 reg_at(u16 r, u32 lane) const { return regs[static_cast<size_t>(r) * kWarpSize + lane]; }
   u8& pred_at(i16 p, u32 lane) { return preds[static_cast<size_t>(p) * kWarpSize + lane]; }

@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "isa/builder.h"
+#include "isa/verify/verify.h"
 #include "memsys/global_store.h"
 #include "sched/policies.h"
 #include "sim/gpu.h"
@@ -290,6 +291,12 @@ TEST_P(FuzzExec, SimMatchesReferenceInterpreter) {
   const memsys::DevPtr out = store.alloc(kThreads * kDataRegs * 4);
   sim::KernelLaunch launch;
   launch.program = build_kernel(prog);
+  // Static-verifier oracle: every generated program must analyze clean.
+  // This launch goes straight to Gpu::launch, bypassing the Device gate,
+  // so the fuzzer exercises the verifier explicitly — a false positive
+  // here means the analysis would refuse a legal program.
+  const isa::verify::Result vr = isa::verify::verify(*launch.program);
+  ASSERT_TRUE(vr.ok()) << "seed " << GetParam() << ":\n" << vr.to_string();
   launch.grid = {1, 1, 1};
   launch.block = {kThreads, 1, 1};
   launch.params = {out};
