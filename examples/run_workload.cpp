@@ -355,8 +355,10 @@ int main(int argc, char** argv) {
 
     if (verify_only) {
       // Static verification only: run each workload once in warn mode (so
-      // defective kernels yield a full report instead of aborting the run)
-      // and emit the per-kernel diagnostic list as JSON.
+      // merely-wrong kernels yield a full report instead of aborting the
+      // run; memory-unsafe defect classes are refused even here, surfacing
+      // as a failed scenario) and emit the per-kernel diagnostic list as
+      // JSON.
       proto.gpu.verify = sim::LaunchVerify::kWarn;
       u32 errors = 0, warnings = 0;
       std::string out = "[";

@@ -36,8 +36,8 @@ int usage() {
   return 2;
 }
 
-/// A verify report detached from the device that produced it (the program
-/// pointer in Device::VerifyRecord dies with the scenario's device).
+/// A verify report detached from the device that produced it (the pinned
+/// program in Device::VerifyRecord dies with the scenario's device).
 struct KernelReport {
   std::string workload;
   sim::Dim3 grid, block;
@@ -82,8 +82,10 @@ int main(int argc, char** argv) {
       spec.scale = scale;
       spec.seed = seed;
       spec.redundancy = core::RedundancySpec::baseline();
-      // Warn mode: collect the full report for defective kernels instead of
-      // aborting the scenario at the first refused launch.
+      // Warn mode: collect the full report for merely-wrong kernels instead
+      // of aborting the scenario at the first refused launch. (Memory-unsafe
+      // defect classes are refused even under kWarn and surface as a failed
+      // scenario below.)
       spec.gpu.verify = sim::LaunchVerify::kWarn;
 
       const exp::ScenarioResult r = exp::run_scenario(

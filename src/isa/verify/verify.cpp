@@ -66,10 +66,12 @@ class Sink {
 
   void emit(Severity sev, Pc pc, u32 block, Code code, std::string msg,
             std::string hint = "") {
-    // One diagnostic per (pc, code): the same defect re-discovered on
-    // another path or lane adds noise, not information.
+    // One diagnostic per (pc, code, message): the same defect re-discovered
+    // on another path or lane adds noise, not information — but distinct
+    // defects sharing a code at one pc (say, two missing source operands)
+    // must both surface, and the message carries that discriminator.
     for (const Diag& d : *out_)
-      if (d.pc == pc && d.code == code) return;
+      if (d.pc == pc && d.code == code && d.message == msg) return;
     out_->push_back(Diag{sev, pc, block, code, std::move(msg), std::move(hint)});
   }
 
@@ -766,8 +768,8 @@ void memory_pass(const KernelProgram& prog, const Cfg& cfg,
         sink.emit(Severity::kError, pc, block, Code::kSharedOutOfBounds,
                   at_op(ins) + " address range [" + std::to_string(lo) +
                       ", " + std::to_string(hi + 3) +
-                      "] lies entirely outside the " + std::to_string(size) +
-                      "-byte shared segment",
+                      "]: every possible access falls outside the " +
+                      std::to_string(size) + "-byte shared segment",
                   "declare enough shared memory (set_shared_bytes) or fix "
                   "the address computation");
       } else if (hi + 4 > size || lo < 0) {
@@ -785,7 +787,7 @@ void memory_pass(const KernelProgram& prog, const Cfg& cfg,
         sink.emit(Severity::kError, pc, block, Code::kGlobalOutOfBounds,
                   at_op(ins) + " address range [" + std::to_string(lo) +
                       ", " + std::to_string(hi + 3) +
-                      "] lies entirely beyond the " +
+                      "]: every possible access overruns the " +
                       std::to_string(lb.global_extent) +
                       "-byte global store");
       }
@@ -830,6 +832,29 @@ const char* severity_name(Severity s) {
 }
 
 bool Result::ok() const { return count(Severity::kError) == 0; }
+
+bool Result::unsafe_to_execute() const {
+  // Exactly the defect classes that reach an unchecked host-memory index at
+  // runtime: out-of-range code fetch (empty program, wild branch target,
+  // fall-off-the-end), out-of-range register-file / parameter-table access
+  // (malformed operands incl. kNoReg sentinels, kLdp index, static indices
+  // past the declared file sizes). Keep in sync with the Warp::reg_at and
+  // LaunchVerify::kWarn contracts.
+  return std::any_of(diags.begin(), diags.end(), [](const Diag& d) {
+    switch (d.code) {
+      case Code::kEmptyProgram:
+      case Code::kBadBranchTarget:
+      case Code::kFallOffEnd:
+      case Code::kBadOperand:
+      case Code::kBadParamIndex:
+      case Code::kRegOutOfRange:
+      case Code::kPredOutOfRange:
+        return true;
+      default:
+        return false;
+    }
+  });
+}
 
 u32 Result::count(Severity s) const {
   u32 n = 0;
@@ -928,9 +953,14 @@ Result verify(const KernelProgram& program, const LaunchBounds& bounds) {
   barrier_pass(program, cfg, sink);
   memory_pass(program, cfg, bounds, sink);
 
-  // Keep reports deterministic and readable: program order, then severity.
+  // Keep reports deterministic and readable: program order, errors before
+  // warnings/notes at the same pc (Severity's enumerator order), emission
+  // order beyond that (stable).
   std::stable_sort(res.diags.begin(), res.diags.end(),
-                   [](const Diag& a, const Diag& b) { return a.pc < b.pc; });
+                   [](const Diag& a, const Diag& b) {
+                     if (a.pc != b.pc) return a.pc < b.pc;
+                     return a.severity < b.severity;
+                   });
   return res;
 }
 

@@ -48,13 +48,15 @@ void Device::verify_launch(const sim::KernelLaunch& launch) {
   // lifetime, trace-cache-style — steady-state launches only pay this scan
   // over a handful of distinct kernels. Verification is a pure function of
   // the key (parameters stay symbolic), so replaying the recorded verdict
-  // is exact.
+  // is exact. Each record pins its program (VerifyRecord::program is a
+  // shared_ptr): the key is the program's address, which must not be
+  // recycled by a later allocation while the verdict is replayable.
   auto same_dim = [](const sim::Dim3& a, const sim::Dim3& b) {
     return a.x == b.x && a.y == b.y && a.z == b.z;
   };
   const isa::verify::Result* result = nullptr;
   for (const VerifyRecord& rec : verify_reports_) {
-    if (rec.program == launch.program.get() &&
+    if (rec.program == launch.program &&
         same_dim(rec.grid, launch.grid) && same_dim(rec.block, launch.block)) {
       verify_memo_hits_ += 1;
       result = &rec.result;
@@ -70,11 +72,16 @@ void Device::verify_launch(const sim::KernelLaunch& launch) {
     lb.nctaid_y = launch.grid.y;
     lb.nctaid_z = launch.grid.z;
     verify_reports_.push_back(VerifyRecord{
-        launch.program.get(), launch.grid, launch.block,
+        launch.program, launch.grid, launch.block,
         isa::verify::verify(*launch.program, lb)});
     result = &verify_reports_.back().result;
   }
-  if (mode == sim::LaunchVerify::kEnforce && !result->ok())
+  // kWarn lets merely-wrong programs run for report-collection flows
+  // (run_workload --verify-only), but a program that would index host
+  // memory out of bounds on the deliberately unchecked fetch/reg_at paths
+  // is refused in every verifying mode — "warn" has no meaning for UB.
+  if (!result->ok() && (mode == sim::LaunchVerify::kEnforce ||
+                        result->unsafe_to_execute()))
     throw isa::verify::VerifyError(*result);
 }
 

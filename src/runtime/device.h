@@ -66,16 +66,22 @@ class Device {
   /// program is statically verified on its first launch per
   /// (program, grid, block); an error-severity diagnostic refuses the
   /// launch by throwing isa::verify::VerifyError with the full report.
-  /// Repeat launches hit a memo and pay no analysis cost. Parameters stay
-  /// symbolic in the analysis so the memoized verdict is sound for every
-  /// parameter assignment.
+  /// kWarn records the report and launches anyway — except programs whose
+  /// defects are unsafe to execute on the simulator's unchecked indexing
+  /// paths (isa::verify::Result::unsafe_to_execute), which every mode but
+  /// kOff refuses. Repeat launches hit a memo and pay no analysis cost.
+  /// Parameters stay symbolic in the analysis so the memoized verdict is
+  /// sound for every parameter assignment.
   u32 launch(sim::KernelLaunch launch, u32 stream = 0);
 
   // ---- Launch-gate verification reports -----------------------------------
   /// One record per analysis actually run (memo misses), in first-launch
-  /// order. Derived state: never serialized into snapshots.
+  /// order. Derived state: never serialized into snapshots. The record owns
+  /// a reference to the program: the memo is keyed on its address, so the
+  /// program must stay alive for the memo's lifetime — otherwise a new
+  /// program allocated at a recycled address would replay a stale verdict.
   struct VerifyRecord {
-    const isa::KernelProgram* program;
+    isa::ProgramPtr program;
     sim::Dim3 grid, block;
     isa::verify::Result result;
   };

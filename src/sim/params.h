@@ -40,8 +40,15 @@ enum class ExecMode { kBlock, kInterp };
 ///   with an isa::verify::VerifyError carrying the structured report.
 ///   Subsequent launches of the same program hit a memo and pay nothing
 ///   (trace-cache-style, like blockexec compilation).
-/// * kWarn — verify and record the report, but launch regardless.
-/// * kOff — skip verification entirely.
+/// * kWarn — verify and record the report, and launch merely-wrong programs
+///   regardless (uninit reads, barrier deadlocks, modelled-memory OOB).
+///   Programs whose defects would index *host* memory out of bounds on the
+///   simulator's unchecked fetch / register-file paths
+///   (isa::verify::Result::unsafe_to_execute) are still refused: there is
+///   no meaningful "warn and run" for UB.
+/// * kOff — skip verification entirely. Unsafe with untrusted programs:
+///   nothing then guards the unchecked indexing paths (Warp::reg_at,
+///   code fetch, parameter loads).
 ///
 /// Like ExecMode, this never changes what a *valid* program computes, so it
 /// is excluded from the snapshot parameter fingerprint.

@@ -60,10 +60,13 @@ struct Warp {
   u64 instructions = 0;
 
   // Indexing is deliberately unchecked on this hot path: register and
-  // predicate indices are static program fields proven in range by the
-  // launch gate (isa/verify resource pass: reg-out-of-range /
-  // pred-out-of-range) before any warp executes, and fault injection
-  // corrupts register *values*, never the decoded indices.
+  // predicate indices are static program fields proven in range before any
+  // warp executes — the launch gate refuses reg-out-of-range /
+  // pred-out-of-range programs under kEnforce AND kWarn (they are in
+  // isa::verify::Result::unsafe_to_execute's class; kWarn only waives
+  // merely-wrong defects) — and fault injection corrupts register
+  // *values*, never the decoded indices. LaunchVerify::kOff disables that
+  // proof and is therefore unsafe with untrusted programs.
   u32& reg_at(u16 r, u32 lane) { return regs[static_cast<size_t>(r) * kWarpSize + lane]; }
   u32 reg_at(u16 r, u32 lane) const { return regs[static_cast<size_t>(r) * kWarpSize + lane]; }
   u8& pred_at(i16 p, u32 lane) { return preds[static_cast<size_t>(p) * kWarpSize + lane]; }

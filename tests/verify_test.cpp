@@ -242,6 +242,18 @@ TEST(VerifyStructural, MissingSourceOperand) {
   EXPECT_TRUE(r.has(Code::kBadOperand));
 }
 
+TEST(VerifyStructural, DistinctDefectsAtOnePcAllSurface) {
+  // A bare iadd has three distinct kBadOperand defects at pc 0: missing
+  // source 0, missing source 1, and no destination. The (pc, code, message)
+  // dedup key must keep them apart instead of collapsing them into one.
+  const Result r = vrun(prog({mk(Op::kIadd), I_exit()}));
+  EXPECT_FALSE(r.ok());
+  u32 bad_operands = 0;
+  for (const Diag& d : r.diags)
+    if (d.pc == 0 && d.code == Code::kBadOperand) ++bad_operands;
+  EXPECT_EQ(bad_operands, 3u);
+}
+
 TEST(VerifyStructural, MissingDestination) {
   Instruction add = mk(Op::kIadd);
   add.src[0] = imm(1);
@@ -325,6 +337,19 @@ TEST(VerifyResource, HighestDeclaredPredicateIsClean) {
       prog({I_setp(1, CmpOp::kEq, imm(0), imm(0)), I_exit()}, 4, /*npreds=*/2));
   EXPECT_TRUE(r.ok());
   EXPECT_FALSE(r.has(Code::kPredOutOfRange));
+}
+
+TEST(VerifyResource, UnsafeToExecuteClassification) {
+  // Reg-file overflow would index host memory out of bounds at runtime
+  // (unchecked Warp::reg_at): unsafe in every build.
+  EXPECT_TRUE(
+      vrun(prog({I_mov(7, imm(0)), I_exit()}, /*nregs=*/4)).unsafe_to_execute());
+  // An uninit read is wrong but executes within bounds (registers are
+  // zero-initialized): merely-wrong, so kWarn may launch it.
+  const Result uninit = vrun(prog({I_mov(0, R(1)), I_exit()}, /*nregs=*/2));
+  EXPECT_FALSE(uninit.ok());
+  EXPECT_FALSE(uninit.unsafe_to_execute());
+  EXPECT_FALSE(vrun(prog({I_mov(0, imm(0)), I_exit()})).unsafe_to_execute());
 }
 
 // ---- Pass 3: dataflow -------------------------------------------------------
@@ -640,6 +665,32 @@ TEST(LaunchGate, MemoizesPerProgramGridBlock) {
   EXPECT_EQ(dev.verify_runs(), 2u);
 }
 
+TEST(LaunchGate, RefusedProgramsStayPinnedByTheMemo) {
+  // The memo is keyed on the program's address, so every record must own a
+  // reference that keeps the program alive: a refused program never reaches
+  // the Gpu, making the record its only owner once the caller lets go. If
+  // the record held a raw pointer instead, the freed address could be
+  // recycled by the next same-size allocation and replay a stale verdict.
+  runtime::Device dev;
+  sim::KernelLaunch l = bad_launch();
+  EXPECT_THROW(dev.launch(l), VerifyError);
+  const KernelProgram* raw = l.program.get();
+  l.program.reset();  // drop the caller's reference
+  ASSERT_EQ(dev.verify_reports().size(), 1u);
+  const runtime::Device::VerifyRecord& rec = dev.verify_reports()[0];
+  ASSERT_EQ(rec.program.get(), raw);
+  EXPECT_EQ(rec.program.use_count(), 1);   // sole owner: lifetime pinned
+  EXPECT_EQ(rec.program->name(), "bad");   // still safely dereferenceable
+
+  // A second, freshly allocated program with identical shape and dims must
+  // get its own analysis — never a replay of the first program's verdict.
+  // (With the first program freed, the allocator would be free to hand its
+  // address to this one; pinning makes that impossible.)
+  EXPECT_THROW(dev.launch(bad_launch()), VerifyError);
+  EXPECT_EQ(dev.verify_runs(), 2u);
+  EXPECT_EQ(dev.verify_memo_hits(), 0u);
+}
+
 TEST(LaunchGate, WarnModeRecordsWithoutRefusing) {
   sim::GpuParams p;
   p.verify = sim::LaunchVerify::kWarn;
@@ -649,6 +700,30 @@ TEST(LaunchGate, WarnModeRecordsWithoutRefusing) {
   dev.synchronize();
   ASSERT_EQ(dev.verify_runs(), 1u);
   EXPECT_FALSE(dev.verify_reports()[0].result.ok());
+}
+
+TEST(LaunchGate, WarnModeStillRefusesMemoryUnsafePrograms) {
+  // kWarn waives merely-wrong programs (see above), not memory-unsafe ones:
+  // mov into r7 with only 2 declared registers would write host memory out
+  // of bounds through the unchecked Warp::reg_at path in every build, so
+  // "warn and launch anyway" is not an option for this defect class.
+  sim::GpuParams p;
+  p.verify = sim::LaunchVerify::kWarn;
+  runtime::Device dev(p);
+  dev.set_kernel_scheduler(sched::make_scheduler(sched::Policy::kDefault));
+  sim::KernelLaunch l;
+  l.program = std::make_shared<KernelProgram>(
+      "oob", std::vector<Instruction>{I_mov(7, imm(0)), I_exit()},
+      /*num_regs=*/2, /*num_preds=*/1, /*shared=*/0, /*num_params=*/0);
+  l.grid = {1, 1, 1};
+  l.block = {32, 1, 1};
+  try {
+    dev.launch(l);
+    FAIL() << "kWarn launched a memory-unsafe program";
+  } catch (const VerifyError& e) {
+    EXPECT_TRUE(e.result().has(Code::kRegOutOfRange));
+    EXPECT_TRUE(e.result().unsafe_to_execute());
+  }
 }
 
 TEST(LaunchGate, OffModeSkipsAnalysisEntirely) {
