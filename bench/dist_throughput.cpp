@@ -1,0 +1,189 @@
+// Distributed campaign throughput: scenarios/sec of dist::run_distributed
+// vs worker-process count, against the in-process CampaignRunner at the
+// same parallelism, on a campaign mixing fault-free singletons with
+// same_but_fault groups (so base snapshots actually ship over the wire).
+// Also reports the snapshot-shipping overhead per shipped unit. Emits
+// BENCH_dist.json so process-fleet scaling and wire overhead are tracked
+// from PR to PR. Determinism is asserted on the way: every worker count
+// must reproduce the jobs=1 results bit-for-bit.
+//
+//   $ ./bench_dist_throughput [--scale=test|bench] [--workers=1,2,4]
+//                             [--out=BENCH_dist.json]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "dist/coordinator.h"
+#include "exp/campaign.h"
+
+namespace {
+
+using namespace higpu;
+
+std::vector<u32> parse_workers_list(const std::string& csv) {
+  std::vector<u32> workers;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    const size_t comma = std::min(csv.find(',', pos), csv.size());
+    const std::string tok = csv.substr(pos, comma - pos);
+    if (tok.empty() || tok.size() > 9 ||
+        tok.find_first_not_of("0123456789") != std::string::npos) {
+      std::fprintf(stderr,
+                   "bad --workers value '%s': expected a comma-separated list "
+                   "of non-negative integers, e.g. --workers=1,2,4\n",
+                   csv.c_str());
+      std::exit(2);
+    }
+    workers.push_back(static_cast<u32>(std::stoul(tok)));
+    pos = comma + 1;
+  }
+  return workers;
+}
+
+/// Fig. 4 subset as fault-free singletons, plus one snapshot-fast-forward
+/// group per workload (clean + two droop windows) so every run ships base
+/// snapshots to the fleet.
+exp::ScenarioSet bench_set(workloads::Scale scale) {
+  exp::ScenarioSpec proto;
+  proto.scale = scale;
+  exp::ScenarioSet singles =
+      exp::ScenarioSet::for_workloads(workloads::fig4_names(), proto);
+  exp::ScenarioSet groups =
+      exp::ScenarioSet::for_workloads(workloads::fig4_names(), proto)
+          .sweep_faults({exp::FaultPlan::none(),
+                         exp::FaultPlan::droop(2000, 50, 2),
+                         exp::FaultPlan::droop(4000, 50, 3)});
+  return singles.append(groups);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workloads::Scale scale = workloads::Scale::kTest;
+  std::vector<u32> workers_list = {1, 2, 4};
+  std::string out_path = "BENCH_dist.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      try {
+        scale = workloads::parse_scale(argv[i] + 8);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0)
+      workers_list = parse_workers_list(argv[i] + 10);
+    else if (std::strncmp(argv[i], "--out=", 6) == 0)
+      out_path = argv[i] + 6;
+  }
+
+  const exp::ScenarioSet set = bench_set(scale);
+  std::printf("campaign: %zu scenarios (fig4 singletons + fault groups, %s "
+              "scale)\n\n",
+              set.size(), workloads::scale_name(scale));
+
+  // The determinism reference and in-process baseline.
+  exp::CampaignRunner::Config ref_cfg;
+  ref_cfg.jobs = 1;
+  const exp::CampaignResult reference = exp::CampaignRunner(ref_cfg).run(set);
+  std::printf("in-process jobs=1: %6.2f s  %7.2f scenarios/s\n",
+              reference.wall_sec, reference.scenarios_per_sec());
+
+  struct Sample {
+    u32 workers = 0;
+    double dist_wall_sec = 0;
+    double dist_rate = 0;
+    double inproc_wall_sec = 0;
+    double inproc_rate = 0;
+    u64 units_shipped = 0;
+    u64 snapshot_bytes_shipped = 0;
+    bool deterministic = true;
+    bool all_passed = false;
+  };
+  std::vector<Sample> samples;
+
+  bool ok = true;
+  for (u32 workers : workers_list) {
+    Sample s;
+    s.workers = workers;
+
+    dist::DistConfig dcfg;
+    dcfg.workers = workers;
+    const dist::DistReport rep = dist::run_distributed(set, dcfg);
+    s.dist_wall_sec = rep.campaign.wall_sec;
+    s.dist_rate = rep.campaign.scenarios_per_sec();
+    s.units_shipped = rep.units_shipped;
+    s.snapshot_bytes_shipped = rep.snapshot_bytes_shipped;
+    s.all_passed = rep.campaign.all_passed();
+    for (size_t i = 0; i < set.size(); ++i)
+      s.deterministic = s.deterministic &&
+                        rep.campaign.results[i].deterministic_fields_equal(
+                            reference.results[i]);
+
+    // The in-process comparison point at the same parallelism.
+    exp::CampaignRunner::Config cfg;
+    cfg.jobs = std::max<u32>(1, workers);
+    const exp::CampaignResult inproc = exp::CampaignRunner(cfg).run(set);
+    s.inproc_wall_sec = inproc.wall_sec;
+    s.inproc_rate = inproc.scenarios_per_sec();
+
+    ok = ok && s.all_passed && s.deterministic;
+    std::printf(
+        "workers=%-3u dist %6.2f s (%7.2f sc/s)  in-process %6.2f s "
+        "(%7.2f sc/s)  %llu units, %.1f KiB snapshots (%.1f KiB/unit)  "
+        "deterministic=%s  passed=%s\n",
+        workers, s.dist_wall_sec, s.dist_rate, s.inproc_wall_sec,
+        s.inproc_rate, static_cast<unsigned long long>(s.units_shipped),
+        static_cast<double>(s.snapshot_bytes_shipped) / 1024.0,
+        s.units_shipped
+            ? static_cast<double>(s.snapshot_bytes_shipped) / 1024.0 /
+                  static_cast<double>(s.units_shipped)
+            : 0.0,
+        s.deterministic ? "yes" : "NO", s.all_passed ? "yes" : "NO");
+    samples.push_back(s);
+  }
+
+  JsonWriter jw;
+  jw.begin_object();
+  jw.field("bench", std::string("dist_throughput"));
+  jw.field("metric", std::string("scenarios_per_sec"));
+  jw.field("scenarios", static_cast<u64>(set.size()));
+  jw.field("scale", std::string(workloads::scale_name(scale)));
+  jw.field("inproc_jobs1_scenarios_per_sec", reference.scenarios_per_sec());
+  jw.key("runs");
+  jw.begin_array();
+  for (const Sample& s : samples) {
+    jw.begin_object();
+    jw.field("workers", s.workers);
+    jw.field("dist_wall_sec", s.dist_wall_sec);
+    jw.field("dist_scenarios_per_sec", s.dist_rate);
+    jw.field("inproc_wall_sec", s.inproc_wall_sec);
+    jw.field("inproc_scenarios_per_sec", s.inproc_rate);
+    jw.field("dist_vs_inproc",
+             s.inproc_rate > 0 ? s.dist_rate / s.inproc_rate : 0.0);
+    jw.field("units_shipped", s.units_shipped);
+    jw.field("snapshot_bytes_shipped", s.snapshot_bytes_shipped);
+    jw.field("snapshot_bytes_per_unit",
+             s.units_shipped ? static_cast<double>(s.snapshot_bytes_shipped) /
+                                   static_cast<double>(s.units_shipped)
+                             : 0.0);
+    jw.field("deterministic", s.deterministic);
+    jw.field("all_passed", s.all_passed);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.end_object();
+
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs((jw.str() + "\n").c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  return ok ? 0 : 1;
+}

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "dist/coordinator.h"
 #include "exp/campaign.h"
 #include "serve/engine.h"
 
@@ -66,6 +67,22 @@ int usage() {
       "  --serve-max-requests=N       hard request cap (default 64)\n"
       "  --serve-deadline-ms=N        per-request deadline (default 50)\n"
       "  --serve-bist-ms=N            scheduler BIST period (default off)\n"
+      "distributed campaign mode (see README 'Distributed campaigns'):\n"
+      "  --distributed=N              run the campaign across N forked\n"
+      "                               campaign_worker processes (0 = inline\n"
+      "                               but still journaled); results are\n"
+      "                               bit-identical to --jobs=1\n"
+      "  --journal=PATH               append-only higpu.campaign.jsonl/1\n"
+      "                               journal, one flushed record per result\n"
+      "  --resume=PATH                scan an existing journal and execute\n"
+      "                               only the scenarios it is missing\n"
+      "  --check-golden               after the distributed run, re-run the\n"
+      "                               campaign in-process (jobs=1) and fail\n"
+      "                               on any deterministic-field difference\n"
+      "  --chaos-kill-after=N         SIGKILL one worker after N worker\n"
+      "                               results (tests death redispatch)\n"
+      "  --stop-after=N               simulate a coordinator crash after N\n"
+      "                               results (resume from the journal)\n"
       "memory-system options (reflected in scenario labels):\n"
       "  --mem-write=wb|wt            L1 write policy (default: wb)\n"
       "  --mem-alloc=wa|nwa           L1 write-miss allocation (default: wa)\n"
@@ -245,6 +262,13 @@ int main(int argc, char** argv) {
   bool compare_explicit = false;
   u32 jobs = 1;
   std::string json_path, csv_path;
+  bool distributed_mode = false;
+  u32 dist_workers = 0;
+  std::string journal_path;
+  bool resume = false;
+  bool check_golden = false;
+  u32 chaos_kill_after = 0;
+  u32 stop_after = 0;
   bool verify_only = false;
   bool serve_mode = false;
   serve::TrafficSpec::Pattern serve_pattern =
@@ -333,6 +357,24 @@ int main(int argc, char** argv) {
         sweep_mem_policies = true;
       } else if (arg.rfind("--jobs=", 0) == 0) {
         jobs = static_cast<u32>(parse_number("--jobs", arg.substr(7)));
+      } else if (arg.rfind("--distributed=", 0) == 0) {
+        distributed_mode = true;
+        dist_workers =
+            static_cast<u32>(parse_number("--distributed", arg.substr(14)));
+      } else if (arg.rfind("--journal=", 0) == 0) {
+        journal_path = arg.substr(10);
+      } else if (arg.rfind("--resume=", 0) == 0) {
+        distributed_mode = true;
+        resume = true;
+        journal_path = arg.substr(9);
+      } else if (arg == "--check-golden") {
+        check_golden = true;
+      } else if (arg.rfind("--chaos-kill-after=", 0) == 0) {
+        chaos_kill_after = static_cast<u32>(
+            parse_number("--chaos-kill-after", arg.substr(19)));
+      } else if (arg.rfind("--stop-after=", 0) == 0) {
+        stop_after =
+            static_cast<u32>(parse_number("--stop-after", arg.substr(13)));
       } else if (arg.rfind("--json=", 0) == 0) {
         json_path = arg.substr(7);
       } else if (arg.rfind("--csv=", 0) == 0) {
@@ -459,15 +501,67 @@ int main(int argc, char** argv) {
     if (sweep_mem_policies) set = set.sweep_write_policies();
     // CampaignRunner::run() validates the whole set before executing.
 
-    exp::CampaignRunner::Config cfg;
-    cfg.jobs = jobs;
-    if (set.size() > 1)
-      cfg.on_result = [](const exp::ScenarioResult& r) {
-        std::printf("  [%3u] %-45s %s\n", r.index, r.label.c_str(),
-                    r.ok ? (r.passed() ? "ok" : "FAIL") : r.error.c_str());
-      };
-    const exp::CampaignResult campaign =
-        exp::CampaignRunner(cfg).run(set);
+    const auto print_result = [](const exp::ScenarioResult& r) {
+      std::printf("  [%3u] %-45s %s\n", r.index, r.label.c_str(),
+                  r.ok ? (r.passed() ? "ok" : "FAIL") : r.error.c_str());
+    };
+
+    exp::CampaignResult campaign;
+    if (distributed_mode || !journal_path.empty()) {
+      set.validate_all();
+      dist::DistConfig dcfg;
+      dcfg.workers = dist_workers;
+      dcfg.journal_path = journal_path;
+      dcfg.resume = resume;
+      dcfg.chaos_kill_after = chaos_kill_after;
+      dcfg.stop_after_results = stop_after;
+      if (set.size() > 1) dcfg.on_result = print_result;
+      const dist::DistReport rep = dist::run_distributed(set, dcfg);
+      std::printf("distributed: %u workers, %llu units shipped, %llu "
+                  "resumed, %llu executed, %llu workers died, %.1f KiB of "
+                  "snapshots shipped\n",
+                  dcfg.workers,
+                  static_cast<unsigned long long>(rep.units_shipped),
+                  static_cast<unsigned long long>(rep.resumed),
+                  static_cast<unsigned long long>(rep.executed),
+                  static_cast<unsigned long long>(rep.workers_died),
+                  static_cast<double>(rep.snapshot_bytes_shipped) / 1024.0);
+      if (rep.stopped_early) {
+        // A deliberate --stop-after "crash" did what was asked; the journal
+        // holds everything accepted so far for a later --resume.
+        std::printf("campaign stopped early after %llu results; resume "
+                    "with --resume=%s\n",
+                    static_cast<unsigned long long>(rep.executed),
+                    journal_path.c_str());
+        return 0;
+      }
+      campaign = rep.campaign;
+      if (check_golden) {
+        exp::CampaignRunner::Config golden_cfg;
+        golden_cfg.jobs = 1;
+        const exp::CampaignResult golden =
+            exp::CampaignRunner(golden_cfg).run(set);
+        u32 mismatches = 0;
+        for (size_t i = 0; i < golden.results.size(); ++i)
+          if (!campaign.results[i].deterministic_fields_equal(
+                  golden.results[i])) {
+            ++mismatches;
+            std::fprintf(stderr,
+                         "GOLDEN MISMATCH at scenario %zu (%s): distributed "
+                         "result differs from jobs=1\n",
+                         i, golden.results[i].label.c_str());
+          }
+        if (mismatches > 0) return 1;
+        std::printf("golden check: all %zu distributed results bit-identical "
+                    "to jobs=1\n",
+                    golden.results.size());
+      }
+    } else {
+      exp::CampaignRunner::Config cfg;
+      cfg.jobs = jobs;
+      if (set.size() > 1) cfg.on_result = print_result;
+      campaign = exp::CampaignRunner(cfg).run(set);
+    }
 
     if (campaign.results.size() == 1) {
       print_detailed(campaign.results[0]);

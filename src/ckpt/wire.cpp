@@ -1,0 +1,229 @@
+#include "ckpt/wire.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "isa/instruction.h"
+
+namespace higpu::ckpt {
+
+namespace {
+
+void put_operand(Writer& w, const isa::Operand& o) {
+  w.put8(static_cast<u8>(o.kind));
+  w.put16(o.reg);
+  w.put32(o.imm);
+}
+
+isa::Operand get_operand(Reader& r) {
+  isa::Operand o;
+  o.kind = static_cast<isa::OperandKind>(r.get8());
+  o.reg = r.get16();
+  o.imm = r.get32();
+  return o;
+}
+
+void put_program(Writer& w, const isa::KernelProgram& p) {
+  w.put_string(p.name());
+  w.put16(p.num_regs());
+  w.put16(p.num_preds());
+  w.put32(p.shared_bytes());
+  w.put32(p.num_params());
+  w.put64(p.code().size());
+  for (const isa::Instruction& ins : p.code()) {
+    w.put16(static_cast<u16>(ins.op));
+    w.put16(static_cast<u16>(ins.guard));
+    w.putb(ins.guard_neg);
+    w.put16(ins.dst);
+    for (const isa::Operand& o : ins.src) put_operand(w, o);
+    w.put8(static_cast<u8>(ins.cmp));
+    w.put8(static_cast<u8>(ins.dtype));
+    w.put16(static_cast<u16>(ins.pred_src));
+    w.put8(static_cast<u8>(ins.sreg));
+    w.put32(ins.target);
+    w.put32(ins.reconv_pc);
+    w.put32(static_cast<u32>(ins.mem_offset));
+  }
+}
+
+isa::ProgramPtr get_program(Reader& r) {
+  std::string name = r.get_string();
+  const u16 num_regs = r.get16();
+  const u16 num_preds = r.get16();
+  const u32 shared_bytes = r.get32();
+  const u32 num_params = r.get32();
+  const u64 n = r.get64();
+  std::vector<isa::Instruction> code;
+  code.reserve(static_cast<size_t>(n));
+  for (u64 i = 0; i < n; ++i) {
+    isa::Instruction ins;
+    ins.op = static_cast<isa::Op>(r.get16());
+    ins.guard = static_cast<i16>(r.get16());
+    ins.guard_neg = r.getb();
+    ins.dst = r.get16();
+    for (isa::Operand& o : ins.src) o = get_operand(r);
+    ins.cmp = static_cast<isa::CmpOp>(r.get8());
+    ins.dtype = static_cast<isa::DType>(r.get8());
+    ins.pred_src = static_cast<i16>(r.get16());
+    ins.sreg = static_cast<isa::SReg>(r.get8());
+    ins.target = r.get32();
+    ins.reconv_pc = r.get32();
+    ins.mem_offset = static_cast<i32>(r.get32());
+    code.push_back(ins);
+  }
+  return std::make_shared<const isa::KernelProgram>(
+      std::move(name), std::move(code), num_regs, num_preds, shared_bytes,
+      num_params);
+}
+
+}  // namespace
+
+std::vector<u8> encode_snapshot(const Snapshot& snap) {
+  Writer w;
+  w.put64(kWireMagic);
+  w.put32(kWireVersion);
+  w.put32(Snapshot::kVersion);
+
+  // Capture metadata (mirrors the cheap-access copies on Snapshot).
+  w.put64(snap.cycle);
+  w.put64(snap.sync_seq);
+  w.put64(snap.launch_count);
+  w.put64(static_cast<u64>(snap.now_ns));
+  w.put64(snap.target);
+
+  w.put64(snap.sections.size());
+  for (const Section& s : snap.sections) {
+    w.put_string(s.name);
+    w.put64(s.offset);
+    w.put64(s.len);
+    w.put64(s.record_size);
+    w.put64(s.hash);
+  }
+
+  w.put64(snap.blob.size());
+  w.put_bytes(snap.blob.data(), snap.blob.size());
+
+  w.put64(snap.programs.size());
+  for (const isa::ProgramPtr& p : snap.programs) put_program(w, *p);
+
+  // Trailing checksum over everything framed so far: a truncated or
+  // bit-flipped stream fails before any of it is interpreted as state.
+  std::vector<u8> out = w.take_blob();
+  const u64 checksum = fnv1a(out.data(), out.size());
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<u8>(checksum >> (8 * i)));
+  return out;
+}
+
+SnapshotPtr decode_snapshot(const std::vector<u8>& bytes) {
+  if (bytes.size() < 8 + 8)
+    throw SnapshotError("snapshot frame truncated: " +
+                        std::to_string(bytes.size()) + " bytes");
+  u64 stored = 0;
+  for (int i = 0; i < 8; ++i)
+    stored |= static_cast<u64>(bytes[bytes.size() - 8 + static_cast<size_t>(i)])
+              << (8 * i);
+  const u64 actual = fnv1a(bytes.data(), bytes.size() - 8);
+  if (stored != actual) {
+    char buf[80];
+    std::snprintf(buf, sizeof(buf),
+                  "snapshot frame checksum mismatch (stored %016llx, "
+                  "computed %016llx)",
+                  static_cast<unsigned long long>(stored),
+                  static_cast<unsigned long long>(actual));
+    throw SnapshotError(buf);
+  }
+
+  // The frame body is one unnamed stream; reuse Reader's bounds-checked
+  // primitives with an empty section table.
+  const std::vector<u8> body(bytes.begin(), bytes.end() - 8);
+  const std::vector<Section> no_sections;
+  Reader r(body, no_sections);
+
+  if (r.get64() != kWireMagic)
+    throw SnapshotError("not a framed snapshot (bad wire magic)");
+  const u32 wire_version = r.get32();
+  if (wire_version != kWireVersion)
+    throw SnapshotError("snapshot frame v" + std::to_string(wire_version) +
+                        " != supported v" + std::to_string(kWireVersion));
+  const u32 snap_version = r.get32();
+  if (snap_version != Snapshot::kVersion)
+    throw SnapshotError("snapshot format v" + std::to_string(snap_version) +
+                        " != supported v" +
+                        std::to_string(Snapshot::kVersion));
+
+  auto snap = std::make_shared<Snapshot>();
+  snap->cycle = r.get64();
+  snap->sync_seq = r.get64();
+  snap->launch_count = r.get64();
+  snap->now_ns = static_cast<NanoSec>(r.get64());
+  snap->target = r.get64();
+
+  const u64 num_sections = r.get64();
+  snap->sections.reserve(static_cast<size_t>(num_sections));
+  for (u64 i = 0; i < num_sections; ++i) {
+    Section s;
+    s.name = r.get_string();
+    s.offset = static_cast<size_t>(r.get64());
+    s.len = static_cast<size_t>(r.get64());
+    s.record_size = r.get64();
+    s.hash = r.get64();
+    snap->sections.push_back(std::move(s));
+  }
+
+  const u64 blob_len = r.get64();
+  snap->blob.resize(static_cast<size_t>(blob_len));
+  r.get_bytes(snap->blob.data(), snap->blob.size());
+
+  // Per-section integrity: recompute each section's hash over the received
+  // blob. The frame checksum already rules out transport corruption; this
+  // catches a frame assembled from a blob that was corrupted *before*
+  // encoding, and names the damaged component either way.
+  for (const Section& s : snap->sections) {
+    if (s.offset + s.len > snap->blob.size())
+      throw SnapshotError("snapshot section '" + s.name +
+                          "' extends past the end of the blob");
+    if (fnv1a(snap->blob.data() + s.offset, s.len) != s.hash)
+      throw SnapshotError("snapshot section '" + s.name +
+                          "' corrupted in transit (stored hash does not "
+                          "match its contents)");
+  }
+
+  const u64 num_programs = r.get64();
+  snap->programs.reserve(static_cast<size_t>(num_programs));
+  for (u64 i = 0; i < num_programs; ++i) snap->programs.push_back(get_program(r));
+  return snap;
+}
+
+void write_snapshot_file(const std::string& path, const Snapshot& snap) {
+  const std::vector<u8> bytes = encode_snapshot(snap);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr)
+    throw std::runtime_error("cannot write snapshot file '" + path +
+                             "': " + std::strerror(errno));
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != bytes.size() || !flushed)
+    throw std::runtime_error("short write to snapshot file '" + path + "'");
+}
+
+SnapshotPtr read_snapshot_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    throw std::runtime_error("cannot read snapshot file '" + path +
+                             "': " + std::strerror(errno));
+  std::vector<u8> bytes;
+  u8 buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    bytes.insert(bytes.end(), buf, buf + n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error)
+    throw std::runtime_error("error reading snapshot file '" + path + "'");
+  return decode_snapshot(bytes);
+}
+
+}  // namespace higpu::ckpt

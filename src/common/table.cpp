@@ -107,6 +107,7 @@ void JsonWriter::pre_value() {
 }
 
 void JsonWriter::newline_indent() {
+  if (compact_) return;
   out_ += '\n';
   out_.append(2 * needs_comma_.size(), ' ');
 }
@@ -143,7 +144,7 @@ void JsonWriter::key(const std::string& name) {
   newline_indent();
   out_ += '"';
   out_ += json_escape(name);
-  out_ += "\": ";
+  out_ += compact_ ? "\":" : "\": ";
   pending_key_ = true;
 }
 
@@ -173,6 +174,13 @@ void JsonWriter::value(double v) {
   pre_value();
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+}
+
+void JsonWriter::value_exact(double v) {
+  pre_value();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
   out_ += buf;
 }
 

@@ -50,8 +50,19 @@ std::string json_escape(const std::string& s);
 ///   ...
 ///   jw.end_array(); jw.end_object();
 ///   std::string out = jw.str();
+///
+/// Compact mode (JsonWriter::compact()) emits the same document with no
+/// newlines or indentation — the single-line form JSONL records require.
 class JsonWriter {
  public:
+  JsonWriter() = default;
+  /// A writer that emits everything on one line (for JSONL records).
+  static JsonWriter compact() {
+    JsonWriter jw;
+    jw.compact_ = true;
+    return jw;
+  }
+
   void begin_object();
   void end_object();
   void begin_array();
@@ -68,6 +79,14 @@ class JsonWriter {
   void value(u32 v) { value(static_cast<u64>(v)); }
   void value(i32 v) { value(static_cast<i64>(v)); }
   void value(double v);
+  /// Emit a double with enough digits (%.17g) to round-trip bit-exactly
+  /// through a parse, instead of the human-friendly %.6g of value(double).
+  void value_exact(double v);
+  template <typename T>
+  void field_exact(const std::string& name, const T& v) {
+    key(name);
+    value_exact(v);
+  }
 
   template <typename T>
   void field(const std::string& name, const T& v) {
@@ -84,6 +103,7 @@ class JsonWriter {
   std::string out_;
   std::vector<bool> needs_comma_;  // one level per open container
   bool pending_key_ = false;
+  bool compact_ = false;  // single-line output (JSONL records)
 };
 
 }  // namespace higpu

@@ -1,0 +1,480 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dist/journal.h"
+#include "dist/protocol.h"
+#include "exp/result_io.h"
+#include "exp/units.h"
+
+namespace higpu::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One shippable scenario: index into the set plus the snapshots its kWork
+/// frame carries (null for run-from-scratch).
+struct Task {
+  u64 unit_id = 0;
+  u32 index = 0;
+  ckpt::SnapshotPtr resume;
+  ckpt::SnapshotPtr divergence_ref;
+};
+
+struct WorkerProc {
+  pid_t pid = -1;
+  int fd = -1;
+  u32 id = 0;
+  bool alive = false;
+  bool ready = false;  // Hello received
+  bool busy = false;
+  Task inflight;
+  Clock::time_point last_heard;
+};
+
+/// Shared mutable campaign state; the base-run thread pool and the poll
+/// loop both funnel accepted results through here.
+struct Progress {
+  const DistConfig* cfg = nullptr;
+  std::mutex mu;
+  std::map<u32, exp::ScenarioResult> results;
+  std::optional<Journal> journal;
+  u64 executed = 0;   // results accepted this run (not resumed)
+  bool stopped = false;  // stop_after_results tripped
+
+  /// Record one result: journal it, count it, surface it. Duplicate
+  /// indices (a result that raced a redispatch) are dropped silently —
+  /// determinism makes the copies identical, and the journal scan enforces
+  /// that on the next resume.
+  void accept(const exp::ScenarioResult& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto [it, inserted] = results.emplace(r.index, r);
+    (void)it;
+    if (!inserted) return;
+    if (journal) journal->add(r);
+    ++executed;
+    if (cfg->on_result) cfg->on_result(r);
+    if (cfg->stop_after_results > 0 && executed >= cfg->stop_after_results)
+      stopped = true;
+  }
+
+  bool done(size_t total) {
+    std::lock_guard<std::mutex> lock(mu);
+    return results.size() >= total;
+  }
+  bool stopped_now() {
+    std::lock_guard<std::mutex> lock(mu);
+    return stopped;
+  }
+};
+
+void run_task_inline(const exp::ScenarioSet& set, const Task& t,
+                     Progress& progress) {
+  exp::SnapshotIo io;
+  io.resume = t.resume;
+  io.divergence_ref = t.divergence_ref;
+  progress.accept(
+      exp::run_scenario(set[t.index], t.index, nullptr, nullptr, &io));
+}
+
+/// Fork one worker connected over an AF_UNIX socketpair; the child sees its
+/// end as fd 3.
+WorkerProc spawn_worker(const std::string& exe, u32 id,
+                        int heartbeat_interval_ms) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0)
+    throw std::runtime_error("socketpair failed for worker " +
+                             std::to_string(id));
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    throw std::runtime_error("fork failed for worker " + std::to_string(id));
+  }
+  if (pid == 0) {
+    // Child. dup2 clears CLOEXEC on the worker's end; the parent's end and
+    // every other inherited CLOEXEC fd close at exec.
+    ::dup2(sv[1], 3);
+    const std::string id_arg = "--id=" + std::to_string(id);
+    const std::string hb_arg =
+        "--heartbeat-ms=" + std::to_string(heartbeat_interval_ms);
+    ::execl(exe.c_str(), "campaign_worker", "--fd=3", id_arg.c_str(),
+            hb_arg.c_str(), static_cast<char*>(nullptr));
+    ::_exit(127);  // exec failed; parent sees immediate EOF
+  }
+  ::close(sv[1]);
+  WorkerProc w;
+  w.pid = pid;
+  w.fd = sv[0];
+  w.id = id;
+  w.alive = true;
+  w.last_heard = Clock::now();
+  return w;
+}
+
+void reap(WorkerProc& w) {
+  if (w.fd >= 0) ::close(w.fd);
+  w.fd = -1;
+  if (w.pid > 0) {
+    int status = 0;
+    ::waitpid(w.pid, &status, 0);
+    w.pid = -1;
+  }
+  w.alive = false;
+}
+
+}  // namespace
+
+std::string default_worker_exe() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return "./campaign_worker";
+  buf[n] = '\0';
+  std::string path(buf);
+  const size_t slash = path.rfind('/');
+  return (slash == std::string::npos ? std::string(".")
+                                     : path.substr(0, slash)) +
+         "/campaign_worker";
+}
+
+DistReport run_distributed(const exp::ScenarioSet& set,
+                           const DistConfig& config) {
+  if (set.empty())
+    throw std::invalid_argument("run_distributed: empty scenario set");
+  if (config.resume && config.journal_path.empty())
+    throw std::invalid_argument(
+        "run_distributed: --resume requires a journal path");
+
+  const auto t0 = Clock::now();
+  const u64 fingerprint = campaign_fingerprint(set);
+  DistReport report;
+  Progress progress;
+  progress.cfg = &config;
+
+  if (!config.journal_path.empty()) {
+    if (config.resume) {
+      const Scan scan = scan_journal(config.journal_path);
+      if (scan.fingerprint != fingerprint)
+        throw JournalError(
+            "journal '" + config.journal_path + "' was written for a "
+            "different campaign (fingerprint " +
+            std::to_string(scan.fingerprint) + ", this campaign is " +
+            std::to_string(fingerprint) + "); refusing to resume");
+      if (scan.scenarios != set.size())
+        throw JournalError("journal '" + config.journal_path + "' records " +
+                           std::to_string(scan.scenarios) +
+                           " scenarios, this campaign has " +
+                           std::to_string(set.size()));
+      progress.results = scan.results;
+      report.resumed = scan.results.size();
+      progress.journal = Journal::append_to(config.journal_path);
+    } else {
+      progress.journal =
+          Journal::create(config.journal_path, fingerprint, set.size());
+    }
+  }
+
+  // ---- Plan: decompose into units, decide which groups get a shared base
+  // run and which scenarios ship as standalone tasks. On resume only
+  // *missing* scenarios execute: a group whose journal already holds every
+  // member is skipped outright, and a group whose clean member is journaled
+  // runs its pending forks from scratch rather than re-simulating the base
+  // (bit-identical either way — forking is purely an acceleration).
+  const std::vector<exp::WorkUnit> units =
+      plan_units(set, config.snapshot_fast_forward);
+
+  std::vector<std::vector<size_t>> base_groups;  // pending members per group
+  std::vector<Task> tasks;
+  u64 next_unit_id = 0;
+  for (const exp::WorkUnit& unit : units) {
+    std::vector<size_t> pending;
+    for (size_t m : unit.members)
+      if (!progress.results.count(static_cast<u32>(m))) pending.push_back(m);
+    if (pending.empty()) continue;
+    size_t pending_faults = 0;
+    for (size_t m : pending)
+      if (set[m].fault.active()) ++pending_faults;
+    if (pending.size() >= 2 && pending_faults >= 2) {
+      base_groups.push_back(std::move(pending));
+    } else {
+      for (size_t m : pending) {
+        Task t;
+        t.unit_id = next_unit_id++;
+        t.index = static_cast<u32>(m);
+        tasks.push_back(std::move(t));
+      }
+    }
+  }
+
+  // ---- Base runs: local, on a small thread pool. Each completed base
+  // contributes its clean result (when that scenario is pending) and turns
+  // its fault members into snapshot-carrying tasks.
+  if (!base_groups.empty() && !progress.stopped_now()) {
+    std::mutex task_mu;
+    std::atomic<size_t> next{0};
+    const size_t pool =
+        std::min<size_t>(base_groups.size(),
+                         std::max<u32>(1, config.workers ? config.workers
+                                                         : 2));
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (size_t p = 0; p < pool; ++p) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const size_t g = next.fetch_add(1);
+          if (g >= base_groups.size() || progress.stopped_now()) return;
+          const std::vector<size_t>& members = base_groups[g];
+          const exp::GroupBase base = exp::run_group_base(set, members);
+          if (base.result_index != exp::GroupBase::kSynthetic)
+            progress.accept(base.result);
+          std::lock_guard<std::mutex> lock(task_mu);
+          for (size_t m : members) {
+            if (m == base.result_index) continue;
+            Task t;
+            t.unit_id = 0;  // renumbered below, after deterministic sort
+            t.index = static_cast<u32>(m);
+            if (set[m].fault.active() && base.ok()) {
+              t.resume = base.snapshot_for(set[m].fault.start);
+              t.divergence_ref = base.final_state;
+            }
+            tasks.push_back(std::move(t));
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    // Pool completion order is nondeterministic; re-sort so sharding (and
+    // therefore which worker runs what) depends only on the campaign.
+    std::sort(tasks.begin(), tasks.end(),
+              [](const Task& a, const Task& b) { return a.index < b.index; });
+  }
+  for (size_t i = 0; i < tasks.size(); ++i) tasks[i].unit_id = i;
+
+  // ---- Dispatch. Zero workers (or a fully dead fleet, below) degrades to
+  // inline execution on the coordinator.
+  const bool want_fleet = config.workers > 0 && !tasks.empty();
+  if (!want_fleet) {
+    for (const Task& t : tasks) {
+      if (progress.stopped_now()) break;
+      run_task_inline(set, t, progress);
+    }
+  } else {
+    const std::string exe =
+        config.worker_exe.empty() ? default_worker_exe() : config.worker_exe;
+    std::vector<WorkerProc> fleet;
+    std::vector<std::deque<Task>> shards(config.workers);
+    for (size_t i = 0; i < tasks.size(); ++i)
+      shards[i % config.workers].push_back(tasks[i]);
+    for (u32 i = 0; i < config.workers; ++i)
+      fleet.push_back(spawn_worker(exe, i, config.heartbeat_interval_ms));
+
+    u64 accepted_before_chaos = 0;
+    bool chaos_done = config.chaos_kill_after == 0;
+
+    auto pop_task = [&](size_t self) -> std::optional<Task> {
+      if (!shards[self].empty()) {
+        Task t = shards[self].front();
+        shards[self].pop_front();
+        return t;
+      }
+      // Steal from the largest remaining shard (back end, so the victim's
+      // own front-of-shard order is preserved).
+      size_t victim = shards.size();
+      size_t best = 0;
+      for (size_t s = 0; s < shards.size(); ++s)
+        if (shards[s].size() > best) {
+          best = shards[s].size();
+          victim = s;
+        }
+      if (victim == shards.size()) return std::nullopt;
+      Task t = shards[victim].back();
+      shards[victim].pop_back();
+      return t;
+    };
+
+    auto mark_dead = [&](WorkerProc& w) {
+      if (!w.alive) return;
+      if (w.pid > 0) ::kill(w.pid, SIGKILL);
+      reap(w);
+      ++report.workers_died;
+      if (w.busy) {
+        // Its in-flight unit is unaccounted for — put it back at the front
+        // of that worker's shard so a surviving worker steals it.
+        shards[w.id % shards.size()].push_front(w.inflight);
+        w.busy = false;
+      }
+    };
+
+    auto dispatch = [&](WorkerProc& w) {
+      if (!w.alive || !w.ready || w.busy) return;
+      const std::optional<Task> t = pop_task(w.id % shards.size());
+      if (!t) return;
+      WorkItem item;
+      item.unit_id = t->unit_id;
+      item.index = t->index;
+      item.spec = set[t->index];
+      item.resume = t->resume;
+      item.divergence_ref = t->divergence_ref;
+      const std::vector<u8> payload = encode_work(item);
+      try {
+        send_frame(w.fd, Msg::kWork, payload);
+      } catch (const WireError&) {
+        shards[w.id % shards.size()].push_front(*t);
+        mark_dead(w);
+        return;
+      }
+      w.busy = true;
+      w.inflight = *t;
+      ++report.units_shipped;
+      if (t->resume || t->divergence_ref)
+        report.snapshot_bytes_shipped += payload.size();
+    };
+
+    auto handle_frame = [&](WorkerProc& w, const Frame& frame) {
+      w.last_heard = Clock::now();
+      switch (frame.type) {
+        case Msg::kHello:
+          decode_hello(frame.payload);
+          w.ready = true;
+          dispatch(w);
+          break;
+        case Msg::kHeartbeat:
+          break;
+        case Msg::kResult: {
+          const ResultMsg msg = decode_result(frame.payload);
+          // A malformed record here throws (WireError path below): a
+          // worker that returns garbage is a dead worker, and its unit is
+          // re-dispatched.
+          const exp::ScenarioResult r = exp::result_from_jsonl(msg.jsonl);
+          if (r.index != msg.index)
+            throw WireError("worker result indices disagree (frame says " +
+                            std::to_string(msg.index) + ", record says " +
+                            std::to_string(r.index) + ")");
+          w.busy = false;
+          ++accepted_before_chaos;
+          progress.accept(r);
+          dispatch(w);
+          break;
+        }
+        default:
+          break;  // kWork/kShutdown are coordinator->worker only
+      }
+    };
+
+    while (!progress.done(set.size()) && !progress.stopped_now()) {
+      // Chaos: SIGKILL one live worker once enough results have landed.
+      if (!chaos_done && accepted_before_chaos >= config.chaos_kill_after) {
+        for (WorkerProc& w : fleet)
+          if (w.alive) {
+            ::kill(w.pid, SIGKILL);  // death surfaces as EOF below
+            chaos_done = true;
+            break;
+          }
+      }
+
+      std::vector<pollfd> pfds;
+      std::vector<size_t> owner;
+      for (size_t i = 0; i < fleet.size(); ++i)
+        if (fleet[i].alive) {
+          pfds.push_back({fleet[i].fd, POLLIN, 0});
+          owner.push_back(i);
+        }
+      if (pfds.empty()) {
+        // Whole fleet is gone: finish the campaign inline rather than
+        // abandoning it.
+        for (std::deque<Task>& shard : shards)
+          while (!shard.empty() && !progress.stopped_now()) {
+            run_task_inline(set, shard.front(), progress);
+            shard.pop_front();
+          }
+        break;
+      }
+      ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 50);
+
+      for (size_t p = 0; p < pfds.size(); ++p) {
+        WorkerProc& w = fleet[owner[p]];
+        if (!w.alive) continue;
+        if (pfds[p].revents & POLLIN) {
+          try {
+            Frame frame;
+            if (!recv_frame(w.fd, &frame)) {
+              mark_dead(w);
+              continue;
+            }
+            handle_frame(w, frame);
+          } catch (const std::exception&) {
+            mark_dead(w);  // torn frame / garbage / bad record
+          }
+        } else if (pfds[p].revents & (POLLHUP | POLLERR | POLLNVAL)) {
+          mark_dead(w);
+        }
+      }
+
+      const auto deadline =
+          std::chrono::milliseconds(config.heartbeat_timeout_ms);
+      const auto now = Clock::now();
+      for (WorkerProc& w : fleet)
+        if (w.alive && config.heartbeat_timeout_ms > 0 &&
+            now - w.last_heard > deadline)
+          mark_dead(w);  // hung or wedged: heartbeats stopped
+
+      // Idle-but-ready workers pick up stolen work freed by deaths.
+      for (WorkerProc& w : fleet) dispatch(w);
+    }
+
+    const bool crashed = progress.stopped_now();
+    for (WorkerProc& w : fleet) {
+      if (!w.alive) continue;
+      if (crashed) {
+        ::kill(w.pid, SIGKILL);  // simulated coordinator crash: no goodbyes
+      } else {
+        try {
+          send_frame(w.fd, Msg::kShutdown, {});
+        } catch (const WireError&) {
+        }
+      }
+      reap(w);
+    }
+  }
+
+  // ---- Assemble the campaign view (set order).
+  report.stopped_early = progress.stopped_now();
+  report.executed = progress.executed;
+  report.campaign.jobs = std::max<u32>(1, config.workers);
+  report.campaign.results.reserve(set.size());
+  for (u32 i = 0; i < set.size(); ++i) {
+    const auto it = progress.results.find(i);
+    if (it != progress.results.end()) {
+      report.campaign.results.push_back(it->second);
+    } else {
+      exp::ScenarioResult r;
+      r.index = i;
+      r.workload = set[i].workload;
+      r.label = set[i].label();
+      r.ok = false;
+      r.error = "not executed (campaign stopped early)";
+      report.campaign.results.push_back(std::move(r));
+    }
+  }
+  report.campaign.wall_sec =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return report;
+}
+
+}  // namespace higpu::dist

@@ -1,0 +1,92 @@
+#include "dist/worker.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "dist/protocol.h"
+#include "exp/campaign.h"
+#include "exp/result_io.h"
+
+namespace higpu::dist {
+
+namespace {
+
+/// Serializes frame writes: the heartbeat thread and the result path share
+/// one socket, and an interleaved frame would desynchronize the stream.
+class FrameSender {
+ public:
+  explicit FrameSender(int fd) : fd_(fd) {}
+  void send(Msg type, const std::vector<u8>& payload) {
+    std::lock_guard<std::mutex> lock(mu_);
+    send_frame(fd_, type, payload);
+  }
+
+ private:
+  int fd_;
+  std::mutex mu_;
+};
+
+exp::ScenarioResult run_work(const WorkItem& item) {
+  exp::SnapshotIo io;
+  io.resume = item.resume;
+  io.divergence_ref = item.divergence_ref;
+  return exp::run_scenario(item.spec, item.index, nullptr, nullptr, &io);
+}
+
+}  // namespace
+
+int worker_main(int fd, u32 worker_id, int heartbeat_interval_ms) {
+  FrameSender sender(fd);
+  sender.send(Msg::kHello, encode_hello(worker_id));
+
+  std::atomic<bool> stop{false};
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  std::thread heartbeat;
+  if (heartbeat_interval_ms > 0) {
+    heartbeat = std::thread([&] {
+      std::unique_lock<std::mutex> lock(hb_mu);
+      while (!stop.load()) {
+        hb_cv.wait_for(lock, std::chrono::milliseconds(heartbeat_interval_ms));
+        if (stop.load()) break;
+        try {
+          sender.send(Msg::kHeartbeat, {});
+        } catch (const WireError&) {
+          return;  // coordinator gone; main loop will see it too
+        }
+      }
+    });
+  }
+
+  int exit_code = 0;
+  try {
+    Frame frame;
+    // EOF without kShutdown = coordinator died; exiting quietly is right
+    // either way.
+    while (recv_frame(fd, &frame)) {
+      if (frame.type == Msg::kShutdown) break;
+      if (frame.type != Msg::kWork) continue;  // kHeartbeat etc.: ignore
+      const WorkItem item = decode_work(frame.payload);
+      const exp::ScenarioResult result = run_work(item);
+      ResultMsg msg;
+      msg.unit_id = item.unit_id;
+      msg.index = item.index;
+      msg.jsonl = exp::result_to_jsonl(result);
+      sender.send(Msg::kResult, encode_result(msg));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_worker %u: %s\n", worker_id, e.what());
+    exit_code = 1;
+  }
+
+  stop.store(true);
+  hb_cv.notify_all();
+  if (heartbeat.joinable()) heartbeat.join();
+  return exit_code;
+}
+
+}  // namespace higpu::dist

@@ -1,0 +1,27 @@
+// The worker side of the distributed campaign service.
+//
+// A worker is a child process holding one end of an AF_UNIX socketpair. Its
+// loop is deliberately dumb: say Hello, then for every kWork frame decode
+// the ScenarioSpec (and base/divergence snapshots when shipped), run the
+// scenario through the exact same exp::run_scenario / SnapshotIo resume
+// path the in-process CampaignRunner uses, and stream the result back as a
+// higpu.campaign.jsonl/1 record. All policy — sharding, stealing, retry,
+// journaling — lives in the coordinator; determinism lives in the
+// simulator. A background thread emits kHeartbeat frames so the
+// coordinator can distinguish "busy simulating" from "dead".
+//
+// A scenario that throws is not a worker crash: the worker reports it as a
+// failed ScenarioResult (ok=false, error set), same as CampaignRunner.
+#pragma once
+
+#include "common/types.h"
+
+namespace higpu::dist {
+
+/// Run the worker protocol loop over `fd` until kShutdown or EOF.
+/// `worker_id` is echoed in the Hello frame. `heartbeat_interval_ms` <= 0
+/// disables the heartbeat thread (useful under test).
+/// Returns the process exit code (0 on clean shutdown).
+int worker_main(int fd, u32 worker_id, int heartbeat_interval_ms = 200);
+
+}  // namespace higpu::dist

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/table.h"
+#include "exp/units.h"
 
 namespace higpu::exp {
 
@@ -244,58 +245,25 @@ std::string CampaignResult::to_csv() const {
 
 namespace {
 
-/// Execute one fault-sweep group with a shared clean base run. `members`
-/// are scenario indices that differ only in their fault plan; the clean
-/// base is simulated once with a snapshot captured at every member's
-/// injection cycle, then each faulted member forks from the snapshot
-/// covering its own injection point. Members whose snapshot is unavailable
-/// (the base finished before the target, or the base itself failed) fall
-/// back to from-scratch execution, so fast-forward is purely an
-/// acceleration: per-scenario results never depend on it.
+/// Execute one fault-sweep group with a shared clean base run, via the
+/// exp/units.h helpers also used by the distributed coordinator. Members
+/// whose snapshot is unavailable (the base finished before the target, or
+/// the base itself failed) fall back to from-scratch execution, so
+/// fast-forward is purely an acceleration: per-scenario results never
+/// depend on it.
 void run_ff_group(const ScenarioSet& set, const std::vector<size_t>& members,
                   const std::function<void(const ScenarioResult&)>& report,
                   std::vector<ScenarioResult>& results) {
-  std::vector<size_t> forks;
-  std::vector<size_t> nofault;
-  SnapshotIo base_io;
+  const GroupBase base = run_group_base(set, members);
+  if (base.result_index != GroupBase::kSynthetic) {
+    results[base.result_index] = base.result;
+    report(results[base.result_index]);
+  }
   for (size_t i : members) {
-    if (set[i].fault.active()) {
-      forks.push_back(i);
-      base_io.capture_targets.push_back(set[i].fault.start);
-    } else {
-      nofault.push_back(i);
-    }
-  }
-
-  // The clean base: reuse the group's own fault-free member if it has one
-  // (captures are free and invisible, so its result doubles as the base's),
-  // otherwise synthesize one whose result is discarded.
-  ScenarioSpec base_spec = set[members[0]];
-  base_spec.fault = FaultPlan::none();
-  const size_t base_index = nofault.empty() ? members[0] : nofault[0];
-  ScenarioResult base_r =
-      run_scenario(nofault.empty() ? base_spec : set[nofault[0]],
-                   static_cast<u32>(base_index), nullptr, nullptr, &base_io);
-  for (size_t i : nofault) {
-    results[i] = (i == nofault[0])
-                     ? base_r
+    if (i == base.result_index) continue;
+    results[i] = set[i].fault.active()
+                     ? run_fork(set, i, base)
                      : run_scenario(set[i], static_cast<u32>(i));
-    report(results[i]);
-  }
-
-  for (size_t i : forks) {
-    SnapshotIo fork_io;
-    if (base_r.ok) {
-      const auto& targets = base_io.capture_targets;  // sorted + deduped
-      const auto it = std::lower_bound(targets.begin(), targets.end(),
-                                       set[i].fault.start);
-      if (it != targets.end() && *it == set[i].fault.start)
-        fork_io.resume =
-            base_io.captured[static_cast<size_t>(it - targets.begin())];
-      fork_io.divergence_ref = base_io.final_state;
-    }
-    results[i] =
-        run_scenario(set[i], static_cast<u32>(i), nullptr, nullptr, &fork_io);
     report(results[i]);
   }
 }
@@ -318,25 +286,8 @@ CampaignResult CampaignRunner::run(const ScenarioSet& set) const {
   // base run worthwhile). Unit discovery is deterministic, and results are
   // stored at each scenario's index, so campaign output remains
   // bit-identical regardless of jobs or fast-forward.
-  std::vector<std::vector<size_t>> units;
-  if (cfg_.snapshot_fast_forward) {
-    std::vector<bool> grouped(set.size(), false);
-    for (size_t i = 0; i < set.size(); ++i) {
-      if (grouped[i]) continue;
-      std::vector<size_t> unit{i};
-      grouped[i] = true;
-      for (size_t j = i + 1; j < set.size(); ++j) {
-        if (!grouped[j] && set[i].same_but_fault(set[j])) {
-          unit.push_back(j);
-          grouped[j] = true;
-        }
-      }
-      units.push_back(std::move(unit));
-    }
-  } else {
-    units.reserve(set.size());
-    for (size_t i = 0; i < set.size(); ++i) units.push_back({i});
-  }
+  const std::vector<WorkUnit> units =
+      plan_units(set, cfg_.snapshot_fast_forward);
 
   const auto t0 = Clock::now();
   std::atomic<size_t> next{0};
@@ -352,15 +303,12 @@ CampaignResult CampaignRunner::run(const ScenarioSet& set) const {
   auto worker = [&] {
     for (size_t u = next.fetch_add(1); u < units.size();
          u = next.fetch_add(1)) {
-      const std::vector<size_t>& unit = units[u];
-      size_t fault_members = 0;
-      for (size_t i : unit)
-        if (set[i].fault.active()) ++fault_members;
-      if (unit.size() >= 2 && fault_members >= 2) {
-        run_ff_group(set, unit, report, out.results);
+      const WorkUnit& unit = units[u];
+      if (unit.worth_base_run()) {
+        run_ff_group(set, unit.members, report, out.results);
         continue;
       }
-      for (size_t i : unit) {
+      for (size_t i : unit.members) {
         ScenarioResult r = run_scenario(set[i], static_cast<u32>(i));
         report(r);
         out.results[i] = std::move(r);

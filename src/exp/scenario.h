@@ -108,6 +108,10 @@ struct ScenarioSpec {
   /// that sweep those axes should also sweep `seed` or distinguish rows by
   /// index.
   std::string label() const;
+
+  /// Field-for-field equality (every member already defines ==); what the
+  /// wire-serialization round-trip tests assert.
+  bool operator==(const ScenarioSpec& other) const = default;
 };
 
 /// An ordered list of scenarios plus the sweep builders that grow it.

@@ -1,0 +1,89 @@
+#include "exp/units.h"
+
+#include <algorithm>
+
+namespace higpu::exp {
+
+std::vector<WorkUnit> plan_units(const ScenarioSet& set, bool group_faults) {
+  std::vector<WorkUnit> units;
+  if (!group_faults) {
+    units.reserve(set.size());
+    for (size_t i = 0; i < set.size(); ++i) {
+      WorkUnit u;
+      u.members.push_back(i);
+      u.fault_members = set[i].fault.active() ? 1 : 0;
+      units.push_back(std::move(u));
+    }
+    return units;
+  }
+  std::vector<bool> grouped(set.size(), false);
+  for (size_t i = 0; i < set.size(); ++i) {
+    if (grouped[i]) continue;
+    WorkUnit u;
+    u.members.push_back(i);
+    grouped[i] = true;
+    for (size_t j = i + 1; j < set.size(); ++j) {
+      if (!grouped[j] && set[i].same_but_fault(set[j])) {
+        u.members.push_back(j);
+        grouped[j] = true;
+      }
+    }
+    for (size_t m : u.members)
+      if (set[m].fault.active()) ++u.fault_members;
+    units.push_back(std::move(u));
+  }
+  return units;
+}
+
+ckpt::SnapshotPtr GroupBase::snapshot_for(Cycle c) const {
+  // A failed base run leaves `snapshots` empty while `targets` still holds
+  // the requested cycles; treat any shape mismatch as "no snapshot".
+  if (snapshots.size() != targets.size()) return nullptr;
+  const auto it = std::lower_bound(targets.begin(), targets.end(), c);
+  if (it == targets.end() || *it != c) return nullptr;
+  return snapshots[static_cast<size_t>(it - targets.begin())];
+}
+
+GroupBase run_group_base(const ScenarioSet& set,
+                         const std::vector<size_t>& members) {
+  SnapshotIo io;
+  size_t nofault = GroupBase::kSynthetic;
+  for (size_t i : members) {
+    if (set[i].fault.active())
+      io.capture_targets.push_back(set[i].fault.start);
+    else if (nofault == GroupBase::kSynthetic)
+      nofault = i;
+  }
+
+  // The clean base: reuse the group's own fault-free member if it has one
+  // (captures are free and invisible, so its result doubles as the base's),
+  // otherwise synthesize one whose result is discarded.
+  GroupBase base;
+  if (nofault != GroupBase::kSynthetic) {
+    base.result_index = nofault;
+    base.result =
+        run_scenario(set[nofault], static_cast<u32>(nofault), nullptr,
+                     nullptr, &io);
+  } else {
+    ScenarioSpec spec = set[members[0]];
+    spec.fault = FaultPlan::none();
+    base.result = run_scenario(spec, static_cast<u32>(members[0]), nullptr,
+                               nullptr, &io);
+  }
+  base.targets = std::move(io.capture_targets);  // canonical sorted order
+  base.snapshots = std::move(io.captured);
+  base.final_state = std::move(io.final_state);
+  return base;
+}
+
+ScenarioResult run_fork(const ScenarioSet& set, size_t i,
+                        const GroupBase& base) {
+  SnapshotIo io;
+  if (base.ok()) {
+    io.resume = base.snapshot_for(set[i].fault.start);
+    io.divergence_ref = base.final_state;
+  }
+  return run_scenario(set[i], static_cast<u32>(i), nullptr, nullptr, &io);
+}
+
+}  // namespace higpu::exp

@@ -1,0 +1,78 @@
+// Work-unit planning and shared-base execution for campaign backends.
+//
+// Both campaign executors — the in-process CampaignRunner thread pool and
+// the dist:: coordinator/worker service — decompose a ScenarioSet the same
+// way: scenarios that are the same experiment under different fault plans
+// (ScenarioSpec::same_but_fault) form one *group* that can share a single
+// clean base run; everything else is a singleton unit. The group's base run
+// is simulated once with snapshots captured at every member's injection
+// cycle, and each faulted member then forks from the snapshot covering its
+// own injection point (runtime::Device::arm_resume) instead of re-simulating
+// the common prefix. Forking is purely an acceleration: per-scenario results
+// are bit-identical to from-scratch execution (pinned by tests/ckpt_test.cpp
+// and tests/dist_test.cpp), so any executor may group or not, locally or
+// across processes, without changing campaign output.
+#pragma once
+
+#include <vector>
+
+#include "exp/campaign.h"
+
+namespace higpu::exp {
+
+/// One unit of campaign work: scenario indices that may share a base run.
+struct WorkUnit {
+  std::vector<size_t> members;
+  /// Number of members with an active fault plan. A unit is worth a shared
+  /// base run when it has >= 2 of them (see worth_base_run()).
+  size_t fault_members = 0;
+
+  bool worth_base_run() const {
+    return members.size() >= 2 && fault_members >= 2;
+  }
+};
+
+/// Decompose `set` into work units. With `group_faults` set, scenarios
+/// related by same_but_fault coalesce into one unit (first-seen order,
+/// deterministic); otherwise every scenario is its own unit. Indices
+/// 0..set.size()-1 appear exactly once across all units.
+std::vector<WorkUnit> plan_units(const ScenarioSet& set, bool group_faults);
+
+/// The product of one group's clean base run: snapshots covering each
+/// fault member's injection cycle, the clean final state for divergence
+/// diagnosis, and the base's own ScenarioResult (which doubles as the
+/// result of the group's fault-free member when it has one).
+struct GroupBase {
+  static constexpr size_t kSynthetic = static_cast<size_t>(-1);
+
+  ScenarioResult result;
+  /// Scenario index `result` belongs to, or kSynthetic when the group has
+  /// no fault-free member and the base run was fabricated (result discarded).
+  size_t result_index = kSynthetic;
+  /// Sorted, deduplicated capture cycles with their snapshots (parallel;
+  /// null where the base run finished before the target).
+  std::vector<Cycle> targets;
+  std::vector<ckpt::SnapshotPtr> snapshots;
+  /// Clean final device state (divergence reference for forks).
+  ckpt::SnapshotPtr final_state;
+
+  bool ok() const { return result.ok; }
+  /// Snapshot covering injection cycle `c`, or null.
+  ckpt::SnapshotPtr snapshot_for(Cycle c) const;
+};
+
+/// Run the clean base scenario of one group on the calling thread,
+/// capturing a snapshot at every fault member's injection cycle. The base
+/// spec is the group's fault-free member if it has one, else members[0]
+/// with the fault stripped.
+GroupBase run_group_base(const ScenarioSet& set,
+                         const std::vector<size_t>& members);
+
+/// Run one fork scenario (index `i` of `set`) against a completed base:
+/// resumes from the snapshot covering its injection cycle when available
+/// (from scratch otherwise — missing snapshots degrade to correctness, not
+/// failure) and diffs its final state against the clean run's.
+ScenarioResult run_fork(const ScenarioSet& set, size_t i,
+                        const GroupBase& base);
+
+}  // namespace higpu::exp
