@@ -1,0 +1,188 @@
+// Tracing overhead and host wall-clock phase split. Runs representative
+// workloads with the obs::Tracer detached and attached, reports the sim-loop
+// slowdown (target: <= 5%), and emits the measured host phase split
+// (simulate / snapshot / restore / other) that ROADMAP.md's Amdahl argument
+// points at. Emits BENCH_obs.json so both numbers are tracked from PR to PR.
+//
+//   $ ./bench_obs_overhead [--scale=test|bench] [--out=BENCH_obs.json]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace higpu;
+
+struct ObsRun {
+  double wall_sec = 0;    // device construction through teardown probe
+  double sim_sec = 0;     // inside the simulation engine (Device counter)
+  Cycle sim_cycles = 0;
+  u64 events_recorded = 0;
+  u64 events_dropped = 0;
+  obs::HostPhases phases;
+  bool ok = false;
+};
+
+/// One scenario run, optionally traced. DCLS redundancy plus pre-kernel
+/// checkpointing so the snapshot phase in the Amdahl split is exercised, not
+/// structurally zero.
+ObsRun run_once(const std::string& name, workloads::Scale scale,
+                obs::Tracer* tracer) {
+  exp::ScenarioSpec spec;
+  spec.workload = name;
+  spec.scale = scale;
+  spec.seed = 2019;
+  spec.policy = sched::Policy::kSrrs;
+  spec.redundancy = core::RedundancySpec::dcls();
+  spec.ckpt = ckpt::CheckpointPolicy::pre_kernel();
+
+  ObsRun r;
+  const auto t0 = std::chrono::steady_clock::now();
+  const exp::ScenarioResult res = exp::run_scenario(
+      spec, 0,
+      [&](runtime::Device& dev, workloads::Workload&, core::ExecSession&) {
+        r.wall_sec =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        r.sim_cycles = dev.gpu().now();
+        r.phases = dev.host_phases();
+      },
+      [&](runtime::Device& dev, workloads::Workload&, core::ExecSession&) {
+        if (tracer != nullptr) dev.set_tracer(tracer);
+      });
+  r.sim_sec = res.sim_wall_sec;
+  r.ok = res.ok && res.verified;
+  if (tracer != nullptr) {
+    r.events_recorded = tracer->events_recorded();
+    r.events_dropped = tracer->events_dropped();
+  }
+  return r;
+}
+
+/// Best-of-N for both arms, interleaved (off, on, off, on, ...) so clock
+/// drift and scheduler noise hit both sides equally — at test scale a run
+/// is a few ms, so back-to-back pairing matters more than rep count. The
+/// traced runs get a fresh Tracer each rep (ring state must not carry
+/// over); its event counts are deterministic, so any rep's numbers serve.
+void best_of_pair(const std::string& name, workloads::Scale scale, int reps,
+                  ObsRun* off, ObsRun* on) {
+  for (int i = 0; i < reps; ++i) {
+    ObsRun r_off = run_once(name, scale, nullptr);
+    obs::Tracer tracer;
+    ObsRun r_on = run_once(name, scale, &tracer);
+    if (i == 0 || r_off.sim_sec < off->sim_sec) *off = r_off;
+    if (i == 0 || r_on.sim_sec < on->sim_sec) *on = r_on;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workloads::Scale scale = workloads::Scale::kTest;
+  std::string out_path = "BENCH_obs.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale=bench") == 0)
+      scale = workloads::Scale::kBench;
+    else if (std::strcmp(argv[i], "--scale=test") == 0)
+      scale = workloads::Scale::kTest;
+    else if (std::strncmp(argv[i], "--out=", 6) == 0)
+      out_path = argv[i] + 6;
+  }
+
+  // hotspot: compute-regular, few stalls — near-zero trace traffic.
+  // bfs: memory-stalled — the stall-classifier emits on most cycles, so this
+  // is the tracer's worst case. streamcluster: the longest-running workload
+  // in the suite, so the host-phase split is dominated by steady state.
+  const std::vector<std::string> names = {"hotspot", "bfs", "streamcluster"};
+  const int reps = 7;
+
+  obs::HostPhases total;
+  double total_wall = 0.0;
+  double total_off = 0.0, total_on = 0.0;
+  bool all_ok = true;
+
+  std::string json = "{\n  \"bench\": \"obs_overhead\",\n  \"metric\": "
+                     "\"trace_overhead_pct\",\n  \"target_max_overhead_pct\": "
+                     "5.0,\n  \"workloads\": [\n";
+  for (size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    ObsRun off, on;
+    best_of_pair(name, scale, reps, &off, &on);
+    const u64 recorded = on.events_recorded;
+    const u64 dropped = on.events_dropped;
+    const double overhead_pct =
+        off.sim_sec > 0 ? 100.0 * (on.sim_sec - off.sim_sec) / off.sim_sec
+                        : 0.0;
+    all_ok = all_ok && off.ok && on.ok;
+    total_off += off.sim_sec;
+    total_on += on.sim_sec;
+    total.sim_s += on.phases.sim_s;
+    total.snapshot_s += on.phases.snapshot_s;
+    total.restore_s += on.phases.restore_s;
+    total_wall += on.wall_sec;
+
+    std::printf("%-13s cycles=%-9llu off=%.4fs on=%.4fs overhead=%+.2f%% "
+                "events=%llu dropped=%llu%s\n",
+                name.c_str(), static_cast<unsigned long long>(on.sim_cycles),
+                off.sim_sec, on.sim_sec, overhead_pct,
+                static_cast<unsigned long long>(recorded),
+                static_cast<unsigned long long>(dropped),
+                off.ok && on.ok ? "" : "  [RUN FAILED]");
+
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"name\": \"%s\", \"sim_cycles\": %llu, "
+        "\"untraced_sim_sec\": %.6f, \"traced_sim_sec\": %.6f, "
+        "\"overhead_pct\": %.3f, \"events_recorded\": %llu, "
+        "\"events_dropped\": %llu, \"verified\": %s}%s\n",
+        name.c_str(), static_cast<unsigned long long>(on.sim_cycles),
+        off.sim_sec, on.sim_sec, overhead_pct,
+        static_cast<unsigned long long>(recorded),
+        static_cast<unsigned long long>(dropped),
+        off.ok && on.ok ? "true" : "false", i + 1 < names.size() ? "," : "");
+    json += buf;
+  }
+
+  // The headline number: overhead over the whole suite. The per-workload
+  // figures above bounce with timer noise on the shortest (~1 ms) runs; the
+  // pooled ratio is what the <= 5% target is judged against.
+  const double overall_pct =
+      total_off > 0 ? 100.0 * (total_on - total_off) / total_off : 0.0;
+  std::printf("overall overhead: %+.2f%% (target <= 5%%)\n", overall_pct);
+
+  // The measured Amdahl split ROADMAP.md points at: where host wall time
+  // goes across the traced runs (everything outside the three instrumented
+  // phases — transfers, verify, program building — is "other").
+  const double other =
+      total_wall - total.sim_s - total.snapshot_s - total.restore_s;
+  std::printf("host phases: sim=%.4fs snapshot=%.4fs restore=%.4fs "
+              "other=%.4fs (of %.4fs wall)\n",
+              total.sim_s, total.snapshot_s, total.restore_s,
+              other > 0 ? other : 0.0, total_wall);
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "  ],\n  \"overall_overhead_pct\": %.3f,\n"
+                "  \"host_phase_split_sec\": {\"simulate\": %.6f, "
+                "\"snapshot\": %.6f, \"restore\": %.6f, \"other\": %.6f, "
+                "\"wall\": %.6f}\n}\n",
+                overall_pct, total.sim_s, total.snapshot_s, total.restore_s,
+                other > 0 ? other : 0.0, total_wall);
+  json += buf;
+
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  return all_ok ? 0 : 1;
+}

@@ -16,6 +16,8 @@
 #include "common/table.h"
 #include "dist/coordinator.h"
 #include "exp/campaign.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "serve/engine.h"
 
 namespace {
@@ -55,6 +57,13 @@ int usage() {
       "                               0 = all hardware threads)\n"
       "  --json=PATH                  write the JSON campaign report\n"
       "  --csv=PATH                   write the CSV campaign report\n"
+      "observability (README 'Observability'):\n"
+      "  --trace=PATH                 record a Chrome trace-event JSON file\n"
+      "                               (higpu.trace/1, Perfetto-loadable);\n"
+      "                               single scenario or --serve only\n"
+      "  --profile                    print the per-SM cycle-attribution\n"
+      "                               table (issued / scoreboard / barrier /\n"
+      "                               structural / idle)\n"
       "continuous-serving mode (each <name> becomes one tenant):\n"
       "  --serve                      serve a request stream instead of a\n"
       "                               one-shot campaign (EDF dispatch,\n"
@@ -250,6 +259,29 @@ bool write_file(const std::string& path, const std::string& content) {
   return true;
 }
 
+/// Validate the recorded trace against the higpu.trace/1 schema, then write
+/// it. A trace that fails its own schema is a bug, not a report.
+bool write_trace(const std::string& path, const obs::Tracer& tracer) {
+  const std::string json = tracer.to_chrome_json();
+  const std::string err = obs::validate_chrome_trace(json);
+  if (!err.empty()) {
+    std::fprintf(stderr, "trace failed schema validation: %s\n", err.c_str());
+    return false;
+  }
+  return write_file(path, json);
+}
+
+/// Print the per-SM cycle-attribution tables for every completed scenario.
+void print_profiles(const exp::CampaignResult& campaign) {
+  for (const exp::ScenarioResult& r : campaign.results) {
+    if (!r.ok || r.sm_profile.empty()) continue;
+    if (campaign.results.size() > 1) std::printf("\n%s\n", r.label.c_str());
+    std::printf("%s\n",
+                obs::profile_table(r.sm_profile, r.stats.get("cycles"))
+                    .c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -262,6 +294,8 @@ int main(int argc, char** argv) {
   bool compare_explicit = false;
   u32 jobs = 1;
   std::string json_path, csv_path;
+  std::string trace_path;
+  bool profile = false;
   bool distributed_mode = false;
   u32 dist_workers = 0;
   std::string journal_path;
@@ -379,6 +413,10 @@ int main(int argc, char** argv) {
         json_path = arg.substr(7);
       } else if (arg.rfind("--csv=", 0) == 0) {
         csv_path = arg.substr(6);
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        trace_path = arg.substr(8);
+      } else if (arg == "--profile") {
+        profile = true;
       } else if (!arg.empty() && arg[0] == '-') {
         std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
         return usage();
@@ -465,6 +503,8 @@ int main(int argc, char** argv) {
           proto.ckpt.kind == ckpt::CheckpointPolicy::Kind::kInterval
               ? proto.ckpt.interval_cycles
               : 0;
+      obs::Tracer tracer;
+      if (!trace_path.empty()) spec.tracer = &tracer;
 
       const serve::ServeResult r = serve::run_serve(spec);
       TextTable table({"tenant", "offered", "served", "dropped", "misses",
@@ -487,6 +527,7 @@ int main(int argc, char** argv) {
                   r.transitions.size(), r.sustained_rps(),
                   r.utilization() * 100.0);
       bool io_ok = true;
+      if (!trace_path.empty()) io_ok &= write_trace(trace_path, tracer);
       if (!json_path.empty())
         io_ok &= write_file(json_path, r.to_json(spec) + "\n");
       if (!csv_path.empty()) io_ok &= write_file(csv_path, r.to_csv());
@@ -507,7 +548,27 @@ int main(int argc, char** argv) {
     };
 
     exp::CampaignResult campaign;
-    if (distributed_mode || !journal_path.empty()) {
+    if (!trace_path.empty()) {
+      // Tracing records one device's flow; a tracer cannot follow forked
+      // workers and a multi-scenario campaign would interleave devices.
+      if (distributed_mode || !journal_path.empty())
+        throw std::invalid_argument(
+            "--trace is not supported with --distributed/--journal");
+      if (set.size() != 1)
+        throw std::invalid_argument(
+            "--trace records exactly one scenario; this invocation expands "
+            "to " + std::to_string(set.size()));
+      obs::Tracer tracer;
+      const exp::ScenarioProbe pre_run =
+          [&tracer](runtime::Device& dev, workloads::Workload&,
+                    core::ExecSession&) { dev.set_tracer(&tracer); };
+      exp::ScenarioResult r =
+          exp::run_scenario(set[0], 0, nullptr, pre_run, nullptr);
+      campaign.jobs = 1;
+      campaign.wall_sec = r.wall_sec;
+      campaign.results.push_back(std::move(r));
+      if (!write_trace(trace_path, tracer)) return 1;
+    } else if (distributed_mode || !journal_path.empty()) {
       set.validate_all();
       dist::DistConfig dcfg;
       dcfg.workers = dist_workers;
@@ -588,6 +649,8 @@ int main(int argc, char** argv) {
                   campaign.wall_sec, campaign.jobs,
                   campaign.scenarios_per_sec());
     }
+
+    if (profile) print_profiles(campaign);
 
     bool io_ok = true;
     if (!json_path.empty()) io_ok &= write_file(json_path, campaign.to_json());

@@ -69,7 +69,9 @@ class Snapshot {
   /// Bump on any change to the blob layout.
   /// v2: SmCore serializes the smem_oob_wraps counter (the always-on
   ///     replacement for the NDEBUG-only shared-memory bounds assert).
-  static constexpr u32 kVersion = 2;
+  /// v3: SmCore serializes the four cycle-attribution counters
+  ///     (cycles_issued / cycles_stall_{scoreboard,barrier,structural}).
+  static constexpr u32 kVersion = 3;
   static constexpr u64 kMagic = 0x48474355434B5054ull;  // "HGPUCKPT"
 
   // ---- Capture metadata (duplicated from the blob for cheap access) -------

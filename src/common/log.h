@@ -1,8 +1,19 @@
 // Minimal leveled logging. Off by default so simulations stay quiet in tests;
 // benches/examples can raise the level for progress reporting.
+//
+// Every emitted line carries a monotonic "+<ms>" timestamp (steady clock
+// since process start) and an optional process-wide prefix (a dist worker
+// sets "w<id>"), and the output path is pluggable: set_log_sink() redirects
+// fully formatted lines away from stderr — the dist worker installs a sink
+// that ships them to the coordinator, which lands them in the campaign
+// journal. All of it is thread-safe (worker heartbeat threads log
+// concurrently with the main thread).
 #pragma once
 
+#include <functional>
 #include <string>
+
+#include "common/types.h"
 
 namespace higpu {
 
@@ -11,6 +22,22 @@ enum class LogLevel { kSilent = 0, kError, kWarn, kInfo, kDebug };
 /// Set the global log threshold.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Receives every line that passes the threshold, fully formatted
+/// ("+<ms>ms [<prefix>] LEVEL: <msg>") but without trailing newline.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+/// Redirect log output to `sink` (nullptr restores stderr). The sink runs
+/// under the log mutex: keep it quick and never log from inside it.
+void set_log_sink(LogSink sink);
+
+/// Prefix stamped into every subsequent line (e.g. "w3" on a dist worker);
+/// empty disables.
+void set_log_prefix(const std::string& prefix);
+
+/// Milliseconds since process start (steady clock) — the timestamp used in
+/// log lines.
+u64 log_monotonic_ms();
 
 /// Emit a message if `level` is at or below the global threshold.
 void log_msg(LogLevel level, const std::string& msg);

@@ -406,10 +406,29 @@ CompareVerdict ExecSession::compare(const ReplicaPtr& buf, u64 bytes,
   }
 
   v = vote_words(host, bytes, host0);
-  if (v.detected()) detections_ += 1;
+  if (v.detected()) {
+    detections_ += 1;
+    // Flight recorder: a miscompare is the moment the trace tail matters —
+    // snapshot it before further execution (retry/rollback) overwrites the
+    // rings.
+    if (obs::Tracer* t = dev_.tracer(); t != nullptr) {
+      t->instant(flight_track(), obs::Ev::kCompareFail,
+                 static_cast<u64>(dev_.elapsed_ns()), v.dissenting_words,
+                 v.tied_words);
+      flight_dumps_.push_back(t->flight_json(kFlightTail));
+    }
+  }
   if (!(v.unanimous || v.majority)) failures_ += 1;
   if (faulty_copy_ < 0) faulty_copy_ = v.faulty_copy;
   return v;
+}
+
+u32 ExecSession::flight_track() {
+  if (!flight_track_made_) {
+    flight_track_ = dev_.tracer()->track("compare", obs::kPidHost);
+    flight_track_made_ = true;
+  }
+  return flight_track_;
 }
 
 void ExecSession::reset_compare_counters() {

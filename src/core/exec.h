@@ -310,9 +310,20 @@ class ExecSession {
   runtime::Device& device() { return dev_; }
   const Config& config() const { return cfg_; }
   const RedundancySpec& redundancy() const { return cfg_.redundancy; }
+  /// Flight-recorder dumps ("higpu.flight/1" JSON): when a tracer is
+  /// attached to the device, every comparison that detects a disagreement
+  /// captures the last trace events leading up to it — the black box for
+  /// post-mortem analysis of a redundancy miscompare. One entry per
+  /// detection, in detection order (accumulates across recovery attempts).
+  const std::vector<std::string>& flight_dumps() const {
+    return flight_dumps_;
+  }
 
  private:
   sim::SchedHints hints_for_copy(u32 c) const;
+  /// Lazily registers the host-side "compare" track on the device's tracer
+  /// (which must be attached). Miscompare instants land there.
+  u32 flight_track();
   void reset_attempt();
   void install_scheduler();
   void reset_compare_counters();
@@ -345,6 +356,12 @@ class ExecSession {
   bool replaying_ = false;
   std::vector<RecordedLaunch> recorded_launches_;
   std::vector<RecordedCompare> recorded_compares_;
+
+  std::vector<std::string> flight_dumps_;
+  u32 flight_track_ = 0;
+  bool flight_track_made_ = false;
+  /// Trace events kept per flight dump.
+  static constexpr size_t kFlightTail = 64;
 };
 
 }  // namespace higpu::core

@@ -17,10 +17,13 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/log.h"
+#include "common/table.h"
 #include "dist/journal.h"
 #include "dist/protocol.h"
 #include "exp/result_io.h"
 #include "exp/units.h"
+#include "obs/metrics.h"
 
 namespace higpu::dist {
 
@@ -72,6 +75,12 @@ struct Progress {
     if (cfg->on_result) cfg->on_result(r);
     if (cfg->stop_after_results > 0 && executed >= cfg->stop_after_results)
       stopped = true;
+  }
+
+  /// Append one auxiliary record (log / flight / fleet) to the journal.
+  void aux(const std::string& json_line) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (journal) journal->add_aux(json_line);
   }
 
   bool done(size_t total) {
@@ -287,6 +296,15 @@ DistReport run_distributed(const exp::ScenarioSet& set,
     u64 accepted_before_chaos = 0;
     bool chaos_done = config.chaos_kill_after == 0;
 
+    // Fleet observability: per-worker ship/result/log/flight counts plus
+    // steal and death totals, journaled as one {"fleet": ...} record when
+    // the campaign ends. Driven by wall time, so diagnostic only — never
+    // resume state. Only the poll thread touches it.
+    obs::Registry fleet_reg;
+    const auto wkey = [](u32 id, const char* what) {
+      return "dist.w" + std::to_string(id) + "." + what;
+    };
+
     auto pop_task = [&](size_t self) -> std::optional<Task> {
       if (!shards[self].empty()) {
         Task t = shards[self].front();
@@ -305,6 +323,7 @@ DistReport run_distributed(const exp::ScenarioSet& set,
       if (victim == shards.size()) return std::nullopt;
       Task t = shards[victim].back();
       shards[victim].pop_back();
+      fleet_reg.count("dist.steals");
       return t;
     };
 
@@ -313,6 +332,7 @@ DistReport run_distributed(const exp::ScenarioSet& set,
       if (w.pid > 0) ::kill(w.pid, SIGKILL);
       reap(w);
       ++report.workers_died;
+      fleet_reg.count("dist.worker_deaths");
       if (w.busy) {
         // Its in-flight unit is unaccounted for — put it back at the front
         // of that worker's shard so a surviving worker steals it.
@@ -342,6 +362,7 @@ DistReport run_distributed(const exp::ScenarioSet& set,
       w.busy = true;
       w.inflight = *t;
       ++report.units_shipped;
+      fleet_reg.count(wkey(w.id, "units_shipped"));
       if (t->resume || t->divergence_ref)
         report.snapshot_bytes_shipped += payload.size();
     };
@@ -368,8 +389,28 @@ DistReport run_distributed(const exp::ScenarioSet& set,
                             std::to_string(r.index) + ")");
           w.busy = false;
           ++accepted_before_chaos;
+          fleet_reg.count(wkey(w.id, "results"));
           progress.accept(r);
           dispatch(w);
+          break;
+        }
+        case Msg::kLog: {
+          // Redirected worker log line: land it in the campaign journal so
+          // the fleet's output survives in one ordered place.
+          const LogMsg msg = decode_log(frame.payload);
+          fleet_reg.count(wkey(w.id, "log_lines"));
+          progress.aux("{\"log\":{\"worker\":" + std::to_string(w.id) +
+                       ",\"level\":" + std::to_string(msg.level) +
+                       ",\"line\":\"" + json_escape(msg.line) + "\"}}");
+          break;
+        }
+        case Msg::kFlight: {
+          // Flight-recorder dump (redundancy miscompare black box or the
+          // worker's dying context); the payload is a complete single-line
+          // "higpu.flight/1" object, embedded verbatim.
+          fleet_reg.count(wkey(w.id, "flights"));
+          progress.aux("{\"flight\":{\"worker\":" + std::to_string(w.id) +
+                       ",\"dump\":" + decode_flight(frame.payload) + "}}");
           break;
         }
         default:
@@ -451,6 +492,10 @@ DistReport run_distributed(const exp::ScenarioSet& set,
       }
       reap(w);
     }
+
+    if (!fleet_reg.empty())
+      progress.aux("{\"fleet\":" +
+                   fleet_reg.snapshot_json(log_monotonic_ms()) + "}");
   }
 
   // ---- Assemble the campaign view (set order).

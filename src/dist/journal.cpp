@@ -68,6 +68,16 @@ Scan scan_journal(const std::string& path) {
       continue;
     }
 
+    // Auxiliary observability records (worker logs, flight-recorder dumps,
+    // the end-of-campaign fleet metrics snapshot) interleave with results;
+    // they carry no resume state, so the scan counts and skips them.
+    if (line.rfind("{\"log\":", 0) == 0 ||
+        line.rfind("{\"flight\":", 0) == 0 ||
+        line.rfind("{\"fleet\":", 0) == 0) {
+      ++scan.aux_records;
+      continue;
+    }
+
     exp::ScenarioResult result;
     try {
       result = exp::result_from_jsonl(line);
@@ -125,6 +135,10 @@ Journal Journal::append_to(const std::string& path) {
 void Journal::add(const exp::ScenarioResult& result) {
   writer_.append(exp::result_to_jsonl(result));
   ++records_;
+}
+
+void Journal::add_aux(const std::string& json_line) {
+  writer_.append(json_line);
 }
 
 }  // namespace higpu::dist

@@ -11,6 +11,17 @@
 // the coordinator accepts it, so a SIGKILL loses at most the line being
 // written.
 //
+// Interleaved with result records the coordinator may append *auxiliary*
+// records — observability sidecars, never resume state:
+//
+//   {"log":    {"worker":<id>,"level":<n>,"line":"..."}}   worker log line
+//   {"flight": {"worker":<id>,"dump":<higpu.flight/1>}}    flight recorder
+//   {"fleet":  <higpu.metrics/1>}                          end-of-campaign
+//                                                          fleet metrics
+//
+// scan_journal skips them (counting them in Scan::aux_records); they carry
+// no scenario results, so resume semantics are unchanged.
+//
 // Scanning for resume is strict where it matters and lenient only where a
 // crash legitimately leaves debris:
 //   * a malformed *complete* line (parse error, bad record) throws
@@ -46,6 +57,8 @@ struct Scan {
   std::map<u32, exp::ScenarioResult> results;
   /// A final line without '\n' was discarded (crash artifact).
   bool torn_tail = false;
+  /// Auxiliary records (log / flight / fleet) skipped during the scan.
+  u64 aux_records = 0;
 };
 
 /// Parse an existing journal. Throws JournalError (with the journal path
@@ -65,6 +78,9 @@ class Journal {
   static Journal append_to(const std::string& path);
 
   void add(const exp::ScenarioResult& result);
+  /// Append one auxiliary record (a complete single-line JSON object with a
+  /// top-level "log", "flight" or "fleet" key — see the schema note above).
+  void add_aux(const std::string& json_line);
   u64 records_written() const { return records_; }
   const std::string& path() const { return path_; }
 

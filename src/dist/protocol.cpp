@@ -50,11 +50,6 @@ bool read_all(int fd, u8* data, size_t len, bool eof_ok) {
   return true;
 }
 
-bool known_msg(u8 t) {
-  return t >= static_cast<u8>(Msg::kHello) &&
-         t <= static_cast<u8>(Msg::kShutdown);
-}
-
 void put_snapshot_opt(ckpt::Writer& w, const ckpt::SnapshotPtr& snap) {
   if (!snap) {
     w.putb(false);
@@ -78,6 +73,11 @@ ckpt::SnapshotPtr get_snapshot_opt(ckpt::Reader& r) {
 }
 
 }  // namespace
+
+bool known_msg(u8 t) {
+  return t >= static_cast<u8>(Msg::kHello) &&
+         t <= static_cast<u8>(Msg::kFlight);
+}
 
 void send_frame(int fd, Msg type, const std::vector<u8>& payload) {
   ckpt::Writer w;
@@ -353,6 +353,32 @@ u32 decode_hello(const std::vector<u8>& payload) {
                     ", coordinator expects higpu.wire/" +
                     std::to_string(kProtocolVersion));
   return r.get32();
+}
+
+std::vector<u8> encode_log(const LogMsg& msg) {
+  ckpt::Writer w;
+  w.put32(msg.level);
+  w.put_string(msg.line);
+  return w.take_blob();
+}
+
+LogMsg decode_log(const std::vector<u8>& payload) {
+  ckpt::Reader r(payload, {});
+  LogMsg msg;
+  msg.level = r.get32();
+  msg.line = r.get_string();
+  return msg;
+}
+
+std::vector<u8> encode_flight(const std::string& json) {
+  ckpt::Writer w;
+  w.put_string(json);
+  return w.take_blob();
+}
+
+std::string decode_flight(const std::vector<u8>& payload) {
+  ckpt::Reader r(payload, {});
+  return r.get_string();
 }
 
 u64 campaign_fingerprint(const exp::ScenarioSet& set) {

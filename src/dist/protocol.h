@@ -25,6 +25,11 @@
 //               record (the worker's ScenarioResult)
 //   kHeartbeat  (empty) — liveness, sent periodically by workers
 //   kShutdown   (empty) — coordinator tells the worker to exit cleanly
+//   kLog        u32 level, string line — one formatted worker log line
+//               (common::set_log_sink redirect); journaled as {"log": ...}
+//   kFlight     string json — one "higpu.flight/1" flight-recorder dump
+//               (trace tail at a redundancy miscompare or worker failure);
+//               journaled as {"flight": ...}
 #pragma once
 
 #include <stdexcept>
@@ -49,7 +54,13 @@ enum class Msg : u8 {
   kResult = 3,
   kHeartbeat = 4,
   kShutdown = 5,
+  kLog = 6,
+  kFlight = 7,
 };
+
+/// True when `t` is a Msg enumerator a peer may legally send; recv_frame
+/// rejects anything else as a desynchronized stream.
+bool known_msg(u8 t);
 
 /// Thrown on a malformed frame or an I/O error mid-frame.
 class WireError : public std::runtime_error {
@@ -106,6 +117,19 @@ ResultMsg decode_result(const std::vector<u8>& payload);
 
 std::vector<u8> encode_hello(u32 worker_id);
 u32 decode_hello(const std::vector<u8>& payload);
+
+/// One redirected worker log line (level + the formatted text).
+struct LogMsg {
+  u32 level = 0;  // LogLevel enumerator value
+  std::string line;
+};
+
+std::vector<u8> encode_log(const LogMsg& msg);
+LogMsg decode_log(const std::vector<u8>& payload);
+
+/// "higpu.flight/1" JSON, shipped verbatim.
+std::vector<u8> encode_flight(const std::string& json);
+std::string decode_flight(const std::vector<u8>& payload);
 
 /// Order- and process-independent identity of a campaign: FNV-1a over the
 /// serialized bytes of every spec in order. The journal header records it

@@ -7,9 +7,13 @@
 #include <mutex>
 #include <thread>
 
+#include "common/log.h"
+#include "core/exec.h"
 #include "dist/protocol.h"
 #include "exp/campaign.h"
 #include "exp/result_io.h"
+#include "obs/trace.h"
+#include "runtime/device.h"
 
 namespace higpu::dist {
 
@@ -30,11 +34,31 @@ class FrameSender {
   std::mutex mu_;
 };
 
-exp::ScenarioResult run_work(const WorkItem& item) {
+/// Runs one unit with a tracer attached so redundancy miscompares leave a
+/// flight-recorder dump; any dumps are shipped to the coordinator before
+/// the result frame.
+exp::ScenarioResult run_work(const WorkItem& item, FrameSender& sender) {
   exp::SnapshotIo io;
   io.resume = item.resume;
   io.divergence_ref = item.divergence_ref;
-  return exp::run_scenario(item.spec, item.index, nullptr, nullptr, &io);
+  obs::Tracer tracer;
+  const exp::ScenarioProbe pre_run = [&tracer](runtime::Device& dev,
+                                               workloads::Workload&,
+                                               core::ExecSession&) {
+    dev.set_tracer(&tracer);
+  };
+  const exp::ScenarioProbe probe = [&sender](runtime::Device&,
+                                             workloads::Workload&,
+                                             core::ExecSession& session) {
+    for (const std::string& dump : session.flight_dumps()) {
+      try {
+        sender.send(Msg::kFlight, encode_flight(dump));
+      } catch (const WireError&) {
+        return;  // coordinator gone; the result send will fail loudly
+      }
+    }
+  };
+  return exp::run_scenario(item.spec, item.index, probe, pre_run, &io);
 }
 
 }  // namespace
@@ -42,6 +66,26 @@ exp::ScenarioResult run_work(const WorkItem& item) {
 int worker_main(int fd, u32 worker_id, int heartbeat_interval_ms) {
   FrameSender sender(fd);
   sender.send(Msg::kHello, encode_hello(worker_id));
+
+  // Redirect this process's log lines to the coordinator, which lands them
+  // in the campaign journal tagged with this worker's prefix.
+  set_log_prefix("w" + std::to_string(worker_id));
+  set_log_sink([&sender](LogLevel level, const std::string& line) {
+    try {
+      LogMsg msg;
+      msg.level = static_cast<u32>(level);
+      msg.line = line;
+      sender.send(Msg::kLog, encode_log(msg));
+    } catch (const WireError&) {
+      // Coordinator gone; dropping the line beats crashing the logger.
+    }
+  });
+
+  // Worker-lifecycle trace: which units this process touched, in order.
+  // Shipped as the final flight frame if the worker dies, so the
+  // coordinator's journal records what it was doing.
+  obs::Tracer wtr;
+  const u32 wtrack = wtr.track("worker", obs::kPidHost);
 
   std::atomic<bool> stop{false};
   std::mutex hb_mu;
@@ -71,7 +115,11 @@ int worker_main(int fd, u32 worker_id, int heartbeat_interval_ms) {
       if (frame.type == Msg::kShutdown) break;
       if (frame.type != Msg::kWork) continue;  // kHeartbeat etc.: ignore
       const WorkItem item = decode_work(frame.payload);
-      const exp::ScenarioResult result = run_work(item);
+      wtr.instant(wtrack, obs::Ev::kUnitShip, log_monotonic_ms() * 1000000ull,
+                  item.unit_id, item.index);
+      const exp::ScenarioResult result = run_work(item, sender);
+      wtr.instant(wtrack, obs::Ev::kUnitResult,
+                  log_monotonic_ms() * 1000000ull, item.unit_id, item.index);
       ResultMsg msg;
       msg.unit_id = item.unit_id;
       msg.index = item.index;
@@ -79,9 +127,24 @@ int worker_main(int fd, u32 worker_id, int heartbeat_interval_ms) {
       sender.send(Msg::kResult, encode_result(msg));
     }
   } catch (const std::exception& e) {
+    wtr.instant(wtrack, obs::Ev::kWorkerDeath, log_monotonic_ms() * 1000000ull,
+                worker_id, 0);
+    try {
+      // The black box: last worker-lifecycle events, shipped before exit.
+      sender.send(Msg::kFlight, encode_flight(wtr.flight_json(64)));
+      LogMsg msg;
+      msg.level = static_cast<u32>(LogLevel::kError);
+      msg.line = "campaign_worker " + std::to_string(worker_id) +
+                 " fatal: " + e.what();
+      sender.send(Msg::kLog, encode_log(msg));
+    } catch (const WireError&) {
+      // Coordinator unreachable; stderr below is all that's left.
+    }
     std::fprintf(stderr, "campaign_worker %u: %s\n", worker_id, e.what());
     exit_code = 1;
   }
+  set_log_sink(nullptr);  // sender dies with this frame; detach first
+  set_log_prefix("");
 
   stop.store(true);
   hb_cv.notify_all();

@@ -38,6 +38,7 @@ bool ScenarioResult::deterministic_fields_equal(
          kernel_cycles == other.kernel_cycles &&
          elapsed_ns == other.elapsed_ns && ff_cycles == other.ff_cycles &&
          diversity == other.diversity && stats == other.stats &&
+         sm_profile == other.sm_profile &&
          fault_active == other.fault_active &&
          corruptions == other.corruptions &&
          diverted_blocks == other.diverted_blocks && outcome == other.outcome;
@@ -106,6 +107,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, u32 index,
       r.diversity = core::analyze_block_diversity(dev.gpu().block_records(),
                                                   session.all_copy_pairs());
     r.stats = dev.gpu().collect_stats();
+    r.sm_profile = dev.gpu().sm_profile();
     r.corruptions = injector.corruptions();
     r.diverted_blocks = injector.diverted_blocks();
     // A retry that came back clean still *detected* the fault on an
@@ -203,6 +205,18 @@ std::string CampaignResult::to_json() const {
     jw.begin_object();
     for (const auto& [name, value] : r.stats.entries()) jw.field(name, value);
     jw.end_object();
+    jw.key("sm_profile");
+    jw.begin_array();
+    for (const obs::SmCycles& c : r.sm_profile) {
+      jw.begin_object();
+      jw.field("issued", c.issued);
+      jw.field("scoreboard", c.scoreboard);
+      jw.field("barrier", c.barrier);
+      jw.field("structural", c.structural);
+      jw.field("idle", c.idle);
+      jw.end_object();
+    }
+    jw.end_array();
     if (r.stats.get("block_exec_hits") + r.stats.get("block_fallback_exits") > 0)
       jw.field("block_superop_coverage_pct", block_coverage_pct(r.stats));
     jw.field("wall_sec", r.wall_sec);
@@ -219,7 +233,10 @@ std::string CampaignResult::to_csv() const {
                    "attempts", "asil", "ftti_met", "kernel_cycles",
                    "elapsed_ns", "fault", "corruptions", "fault_outcome",
                    "divergence", "instructions", "block_exec_hits",
-                   "block_fallback_exits", "block_coverage_pct", "error"});
+                   "block_fallback_exits", "block_coverage_pct",
+                   "cycles_issued", "cycles_stall_scoreboard",
+                   "cycles_stall_barrier", "cycles_stall_structural",
+                   "error"});
   for (const ScenarioResult& r : results) {
     table.add_row({std::to_string(r.index), r.label, r.workload,
                    r.ok ? "true" : "false", r.passed() ? "true" : "false",
@@ -238,7 +255,12 @@ std::string CampaignResult::to_csv() const {
                    std::to_string(r.stats.get("instructions")),
                    std::to_string(r.stats.get("block_exec_hits")),
                    std::to_string(r.stats.get("block_fallback_exits")),
-                   std::to_string(block_coverage_pct(r.stats)), r.error});
+                   std::to_string(block_coverage_pct(r.stats)),
+                   std::to_string(r.stats.get("cycles_issued")),
+                   std::to_string(r.stats.get("cycles_stall_scoreboard")),
+                   std::to_string(r.stats.get("cycles_stall_barrier")),
+                   std::to_string(r.stats.get("cycles_stall_structural")),
+                   r.error});
   }
   return table.render_csv();
 }

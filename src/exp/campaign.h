@@ -17,6 +17,7 @@
 #include "common/stats.h"
 #include "core/diversity.h"
 #include "exp/scenario.h"
+#include "obs/profile.h"
 
 namespace higpu::exp {
 
@@ -60,6 +61,11 @@ struct ScenarioResult {
   Cycle ff_cycles = 0;       // cycles fast-forwarded by the event engine
   core::DiversityReport diversity;  // across all redundant pairs
   StatSet stats;             // full GPU counter set
+  /// Per-SM cycle attribution (issued / scoreboard / barrier / structural /
+  /// idle; obs::SmCycles invariant: the five classes sum to the GPU's total
+  /// cycles on every SM). Deterministic — counted unconditionally by both
+  /// engines.
+  std::vector<obs::SmCycles> sm_profile;
 
   // ---- Fault outcome (deterministic; meaningful when fault_active) -------
   bool fault_active = false;

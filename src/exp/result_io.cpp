@@ -58,6 +58,18 @@ std::string result_to_jsonl(const ScenarioResult& r) {
   jw.begin_object();
   for (const auto& [name, value] : r.stats.entries()) jw.field(name, value);
   jw.end_object();
+  jw.key("sm_profile");
+  jw.begin_array();
+  for (const obs::SmCycles& c : r.sm_profile) {
+    jw.begin_object();
+    jw.field("issued", c.issued);
+    jw.field("scoreboard", c.scoreboard);
+    jw.field("barrier", c.barrier);
+    jw.field("structural", c.structural);
+    jw.field("idle", c.idle);
+    jw.end_object();
+  }
+  jw.end_array();
   jw.field("fault_active", r.fault_active);
   jw.field("corruptions", r.corruptions);
   jw.field("diverted_blocks", r.diverted_blocks);
@@ -114,6 +126,20 @@ ScenarioResult result_from_jsonl(const std::string& line) {
       throw std::runtime_error("stat counter '" + name +
                                "' is not a non-negative integer");
     r.stats.set(name, val.integer);
+  }
+  const JsonValue* prof = v.find("sm_profile");
+  if (prof != nullptr) {
+    if (prof->kind != JsonValue::Kind::kArray)
+      throw std::runtime_error("field 'sm_profile' is not an array");
+    for (const JsonValue& e : prof->array) {
+      obs::SmCycles c;
+      c.issued = e.get_u64("issued");
+      c.scoreboard = e.get_u64("scoreboard");
+      c.barrier = e.get_u64("barrier");
+      c.structural = e.get_u64("structural");
+      c.idle = e.get_u64("idle");
+      r.sm_profile.push_back(c);
+    }
   }
   r.fault_active = v.get_bool("fault_active");
   r.corruptions = v.get_u64("corruptions");

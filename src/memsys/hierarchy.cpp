@@ -22,6 +22,18 @@ MemHierarchy::MemHierarchy(u32 num_sms, const MemParams& params)
     l1_.emplace_back(params.l1_size, params.l1_assoc, params.line_bytes);
 }
 
+void MemHierarchy::set_obs_tracer(obs::Tracer* t) {
+  obs_ = t;
+  obs_dram_track_ = 0;
+  obs_mshr_tracks_.clear();
+  if (t == nullptr) return;
+  obs_dram_track_ = t->track("dram", obs::kPidDevice);
+  obs_mshr_tracks_.reserve(mshr_.size());
+  for (size_t i = 0; i < mshr_.size(); ++i)
+    obs_mshr_tracks_.push_back(
+        t->track("mshr.sm" + std::to_string(i), obs::kPidDevice));
+}
+
 void MemHierarchy::reset() {
   for (auto& c : l1_) c.clear();
   l2_.clear();
@@ -75,10 +87,10 @@ Cycle MemHierarchy::dram_access(u64 line_addr, Cycle when, bool is_write) {
   // at power-of-two offsets spread across banks instead of thrashing one —
   // row-locality for streaming, bank-level parallelism across streams.
   const u64 row = (line_addr / params_.dram_channels) / lines_per_row_;
-  DramBank& bank =
-      dram_banks_[static_cast<size_t>(ch) * params_.dram_banks_per_channel +
-                  (row * 0x9E3779B97F4A7C15ull >> 32) %
-                      params_.dram_banks_per_channel];
+  const size_t bank_idx =
+      static_cast<size_t>(ch) * params_.dram_banks_per_channel +
+      (row * 0x9E3779B97F4A7C15ull >> 32) % params_.dram_banks_per_channel;
+  DramBank& bank = dram_banks_[bank_idx];
   const Cycle start =
       std::max({when, dram_channel_free_[ch], bank.busy_until});
   const bool row_hit = bank.open_row == row;
@@ -93,6 +105,9 @@ Cycle MemHierarchy::dram_access(u64 line_addr, Cycle when, bool is_write) {
       start + params_.dram_service +
       (row_hit ? 0 : params_.dram_row_miss_latency - params_.dram_row_hit_latency);
   (is_write ? dram_writebacks_ : dram_reads_) += 1;
+  if (obs_ != nullptr)
+    obs_->emit(obs_dram_track_, obs::Ev::kDramBank, start,
+               bank.busy_until - start, bank_idx, row);
   return done;
 }
 
@@ -138,6 +153,9 @@ void MemHierarchy::remove_entry(u32 sm, size_t idx) {
 void MemHierarchy::fill_and_remove(u32 sm, size_t idx) {
   const MshrEntry e = mshr_[sm][idx];
   remove_entry(sm, idx);
+  if (obs_ != nullptr)
+    obs_->instant(obs_mshr_tracks_[sm], obs::Ev::kMshrFill, e.ready, e.line,
+                  e.fill_dirty);
   // The fill installs the line at its completion cycle; a dirty victim's
   // writeback is charged at that same cycle (it leaves with the fill).
   const CacheAccessResult res = l1_[sm].access(e.line, e.fill_dirty);
@@ -232,8 +250,12 @@ MemResponse MemHierarchy::access_line(u32 sm, u64 line_addr, bool is_write,
     const Cycle done =
         access_l2(line_addr, true, issue + params_.l1_latency, false);
     l1_write_through_ += 1;
-    if (allocate)  // WT + write-allocate: the same transaction fills the L1
+    if (allocate) {  // WT + write-allocate: the same transaction fills the L1
       mshr.push_back(MshrEntry{line_addr, done, false});
+      if (obs_ != nullptr)
+        obs_->instant(obs_mshr_tracks_[sm], obs::Ev::kMshrAlloc, issue,
+                      line_addr, done);
+    }
     return {done, issue + 1};
   }
 
@@ -243,6 +265,9 @@ MemResponse MemHierarchy::access_line(u32 sm, u64 line_addr, bool is_write,
   const Cycle ready =
       access_l2(line_addr, false, issue + params_.l1_latency, false);
   mshr.push_back(MshrEntry{line_addr, ready, is_write});
+  if (obs_ != nullptr)
+    obs_->instant(obs_mshr_tracks_[sm], obs::Ev::kMshrAlloc, issue, line_addr,
+                  ready);
   return {ready, issue + 1};
 }
 

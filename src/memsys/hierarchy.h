@@ -42,6 +42,7 @@
 #include "common/types.h"
 #include "memsys/cache.h"
 #include "memsys/params.h"
+#include "obs/trace.h"
 
 namespace higpu::memsys {
 
@@ -74,6 +75,11 @@ class MemHierarchy {
   /// counters, MSHRs, statistics). Restore requires the same geometry.
   void save(ckpt::Writer& w) const;
   void restore(ckpt::Reader& r);
+
+  /// Attach (or detach, with nullptr) the observability tracer: one device
+  /// track for DRAM bank busy spans plus one MSHR track per SM. Pure
+  /// observer — no timing or tag state is touched.
+  void set_obs_tracer(obs::Tracer* t);
 
   const MemParams& params() const { return params_; }
   /// Statistics snapshot. Counters are kept as plain integers (a map lookup
@@ -123,6 +129,10 @@ class MemHierarchy {
   };
   std::vector<DramBank> dram_banks_;       // channels * banks_per_channel
   std::vector<std::vector<MshrEntry>> mshr_;
+
+  obs::Tracer* obs_ = nullptr;
+  u32 obs_dram_track_ = 0;
+  std::vector<u32> obs_mshr_tracks_;       // per SM
 
   u64 l1_hits_ = 0, l1_misses_ = 0;
   u64 l1_write_hits_ = 0, l1_write_misses_ = 0;

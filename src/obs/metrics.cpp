@@ -1,0 +1,115 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace higpu::obs {
+
+void Registry::count(const std::string& name, u64 delta) {
+  counters_[name] += delta;
+}
+
+void Registry::gauge_set(const std::string& name, i64 value, u64 at) {
+  Gauge& g = gauges_[name];
+  g.value = value;
+  if (!g.initialized || value > g.watermark) {
+    g.watermark = value;
+    g.watermark_at = at;
+    g.initialized = true;
+  }
+}
+
+void Registry::observe(const std::string& name, i64 sample) {
+  hists_[name].sample(sample);
+}
+
+u64 Registry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Percentiles* Registry::find_histogram(const std::string& name) const {
+  const auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void append_i64(std::string& out, i64 v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+void append_u64(std::string& out, u64 v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string Registry::snapshot_json(u64 at) const {
+  std::string out = "{\"schema\":\"";
+  out += kMetricsSchema;
+  out += "\",\"at\":";
+  append_u64(out, at);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + name + "\":";
+    append_u64(out, v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + name + "\":{\"value\":";
+    append_i64(out, g.value);
+    out += ",\"watermark\":";
+    append_i64(out, g.watermark);
+    out += ",\"watermark_at\":";
+    append_u64(out, g.watermark_at);
+    out += '}';
+  }
+  out += "},\"hist\":{";
+  first = true;
+  for (const auto& [name, h] : hists_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + name + "\":{\"count\":";
+    append_u64(out, h.count());
+    out += ",\"p50\":";
+    append_i64(out, h.p50());
+    out += ",\"p95\":";
+    append_i64(out, h.p95());
+    out += ",\"p99\":";
+    append_i64(out, h.p99());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  for (const auto& [name, g] : other.gauges_) {
+    Gauge& mine = gauges_[name];
+    mine.value = g.value;
+    if (!mine.initialized || g.watermark > mine.watermark) {
+      mine.watermark = g.watermark;
+      mine.watermark_at = g.watermark_at;
+      mine.initialized = true;
+    }
+  }
+  for (const auto& [name, h] : other.hists_) hists_[name].merge(h);
+}
+
+}  // namespace higpu::obs

@@ -1,0 +1,79 @@
+// obs::Registry — a named counter / gauge / histogram registry whose state
+// can be snapshotted on an interval as one JSONL record per snapshot
+// ("higpu.metrics/1").
+//
+// Naming convention (README "Observability"): dot-separated
+// `<subsystem>.<noun>[.<qualifier>]`, e.g. "serve.queue_depth",
+// "serve.tenant.bfs.response_ns", "dist.units_shipped". Names are created
+// on first use and stay registered for the Registry's lifetime.
+//
+// Metric kinds:
+//  * counter   — monotonically increasing u64 (events, bytes, drops);
+//  * gauge     — instantaneous i64 plus its high watermark and the
+//                timestamp at which the watermark was reached (closes the
+//                serve-mode "queue depth over time" telemetry gap);
+//  * histogram — exact sample set with nearest-rank percentiles
+//                (common::Percentiles), for latency-style values.
+//
+// Determinism: a Registry driven from modelled time (serve mode) snapshots
+// bit-identically across engines; registries driven from wall time (the
+// dist coordinator's fleet view) are diagnostic only.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/percentiles.h"
+#include "common/types.h"
+
+namespace higpu::obs {
+
+constexpr const char* kMetricsSchema = "higpu.metrics/1";
+
+struct Gauge {
+  i64 value = 0;
+  i64 watermark = 0;
+  /// Timestamp (caller's timebase) at which `watermark` was first reached.
+  u64 watermark_at = 0;
+  /// False until the first gauge_set (so a first negative value still
+  /// establishes the watermark).
+  bool initialized = false;
+};
+
+class Registry {
+ public:
+  /// Add `delta` to counter `name` (created at zero on first use).
+  void count(const std::string& name, u64 delta = 1);
+  /// Set gauge `name` to `value` at time `at`, updating the watermark.
+  void gauge_set(const std::string& name, i64 value, u64 at);
+  /// Record one histogram sample.
+  void observe(const std::string& name, i64 sample);
+
+  u64 counter_value(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Percentiles* find_histogram(const std::string& name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && hists_.empty();
+  }
+
+  /// One self-contained JSON object (no newline): every counter, every
+  /// gauge (value, watermark, watermark_at) and every histogram's
+  /// count/p50/p95/p99 as of now, stamped with `at`. Suitable for a JSONL
+  /// time series — serve mode appends one per metrics interval, the dist
+  /// coordinator appends its fleet view to the campaign journal.
+  std::string snapshot_json(u64 at) const;
+
+  /// Fold `other` into this registry: counters add, gauges take the max
+  /// watermark (value takes other's — last writer wins), histograms merge
+  /// samples. The coordinator uses this to aggregate per-worker registries
+  /// into the fleet view.
+  void merge(const Registry& other);
+
+ private:
+  std::map<std::string, u64> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Percentiles> hists_;
+};
+
+}  // namespace higpu::obs

@@ -1,0 +1,39 @@
+#include "obs/profile.h"
+
+#include "common/table.h"
+
+namespace higpu::obs {
+
+std::string profile_table(const std::vector<SmCycles>& sms, u64 cycles) {
+  TextTable t({"sm", "issued", "scoreboard", "barrier", "structural", "idle",
+               "busy%"});
+  SmCycles sum;
+  for (size_t i = 0; i < sms.size(); ++i) {
+    const SmCycles& s = sms[i];
+    sum.issued += s.issued;
+    sum.scoreboard += s.scoreboard;
+    sum.barrier += s.barrier;
+    sum.structural += s.structural;
+    sum.idle += s.idle;
+    t.add_row({std::to_string(i), std::to_string(s.issued),
+               std::to_string(s.scoreboard), std::to_string(s.barrier),
+               std::to_string(s.structural), std::to_string(s.idle),
+               TextTable::fmt(cycles == 0 ? 0.0
+                                          : 100.0 *
+                                                static_cast<double>(s.issued) /
+                                                static_cast<double>(cycles),
+                              1)});
+  }
+  const u64 total = static_cast<u64>(sms.size()) * cycles;
+  t.add_row({"all", std::to_string(sum.issued), std::to_string(sum.scoreboard),
+             std::to_string(sum.barrier), std::to_string(sum.structural),
+             std::to_string(sum.idle),
+             TextTable::fmt(total == 0 ? 0.0
+                                       : 100.0 *
+                                             static_cast<double>(sum.issued) /
+                                             static_cast<double>(total),
+                            1)});
+  return t.render();
+}
+
+}  // namespace higpu::obs

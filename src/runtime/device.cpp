@@ -16,6 +16,12 @@ Device::Device(const sim::GpuParams& gpu_params, const PlatformParams& platform)
   });
 }
 
+void Device::set_tracer(obs::Tracer* t) {
+  obs_ = t;
+  obs_ckpt_track_ = t != nullptr ? t->track("ckpt", obs::kPidDevice) : 0;
+  gpu_->set_obs_tracer(t);
+}
+
 DevPtr Device::malloc(u64 bytes) {
   now_ns_ += platform_.api_call_ns;
   return store_->alloc(bytes);
@@ -227,6 +233,7 @@ u64 Device::params_fingerprint() const {
 ckpt::SnapshotPtr Device::snapshot() { return capture(gpu_->now()); }
 
 ckpt::SnapshotPtr Device::capture(Cycle nominal) {
+  const auto wall0 = std::chrono::steady_clock::now();
   auto snap = std::make_shared<ckpt::Snapshot>();
   ckpt::Writer w;
 
@@ -266,11 +273,20 @@ ckpt::SnapshotPtr Device::capture(Cycle nominal) {
   snap->launch_count = gpu_->kernel_states().size();
   snap->now_ns = now_ns_;
   snap->target = nominal;
+  snapshot_wall_sec_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  if (obs_ != nullptr)
+    obs_->instant(obs_ckpt_track_, obs::Ev::kCheckpoint, snap->cycle,
+                  snap->sync_seq, snap->size_bytes());
   return snap;
 }
 
 void Device::restore(const ckpt::Snapshot& s) {
   restore_impl(s, /*restore_fault=*/true);
+  if (obs_ != nullptr)
+    obs_->instant(obs_ckpt_track_, obs::Ev::kRestore, s.cycle, s.sync_seq,
+                  s.size_bytes());
 }
 
 void Device::rollback(const ckpt::Snapshot& s) {
@@ -285,9 +301,13 @@ void Device::rollback(const ckpt::Snapshot& s) {
   gpu_cycles_ = keep_cycles;
   sync_seq_ = keep_seq;
   gpu_->notify_rollback();
+  if (obs_ != nullptr)
+    obs_->instant(obs_ckpt_track_, obs::Ev::kRollback, s.cycle, s.sync_seq,
+                  s.size_bytes());
 }
 
 void Device::restore_impl(const ckpt::Snapshot& s, bool restore_fault) {
+  const auto wall0 = std::chrono::steady_clock::now();
   ckpt::Reader r(s.blob, s.sections);
 
   r.enter_section("meta");
@@ -318,6 +338,9 @@ void Device::restore_impl(const ckpt::Snapshot& s, bool restore_fault) {
   gpu_->restore(
       r, [&s](u32 idx) -> isa::ProgramPtr { return s.programs.at(idx); },
       restore_fault);
+  restore_wall_sec_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
 }
 
 }  // namespace higpu::runtime

@@ -32,6 +32,8 @@
 #include "common/types.h"
 #include "isa/verify/verify.h"
 #include "memsys/global_store.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "runtime/platform.h"
 #include "sim/gpu.h"
 
@@ -52,6 +54,13 @@ class Device {
   void set_kernel_scheduler(std::unique_ptr<sim::IKernelScheduler> s) {
     gpu_->set_kernel_scheduler(std::move(s));
   }
+  /// Attach (or detach, with nullptr) the observability tracer: forwards to
+  /// the GPU (per-SM, kernel, DRAM and MSHR tracks) and creates a host-side
+  /// checkpoint track for snapshot/restore/rollback instants. Pure observer:
+  /// tracer state is never serialized and never enters params_fingerprint,
+  /// so snapshots and results are bit-identical tracing on or off.
+  void set_tracer(obs::Tracer* t);
+  obs::Tracer* tracer() const { return obs_; }
 
   // ---- Memory -----------------------------------------------------------------
   DevPtr malloc(u64 bytes);
@@ -170,6 +179,16 @@ class Device {
   /// across synchronize() calls — the denominator for engine-throughput
   /// benches. Not part of the modelled timeline.
   double sim_wall_seconds() const { return sim_wall_sec_; }
+  /// Host wall-clock phase split (simulate / snapshot / restore) for this
+  /// device's lifetime so far. Diagnostic only — never part of the modelled
+  /// timeline or the determinism contract.
+  obs::HostPhases host_phases() const {
+    obs::HostPhases p;
+    p.sim_s = sim_wall_sec_;
+    p.snapshot_s = snapshot_wall_sec_;
+    p.restore_s = restore_wall_sec_;
+    return p;
+  }
 
  private:
   void verify_launch(const sim::KernelLaunch& launch);
@@ -188,6 +207,11 @@ class Device {
   u64 sync_seq_ = 0;  // 1-based index of the synchronize() in progress
   double ns_per_cycle_;
   double sim_wall_sec_ = 0.0;
+  double snapshot_wall_sec_ = 0.0;
+  double restore_wall_sec_ = 0.0;
+
+  obs::Tracer* obs_ = nullptr;
+  u32 obs_ckpt_track_ = 0;
 
   ckpt::CheckpointPolicy ckpt_policy_;
   std::vector<Cycle> ckpt_targets_;               // sorted

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/jsonl.h"
 #include "common/table.h"
 #include "safety/bist.h"
 #include "sched/edf.h"
@@ -65,6 +66,14 @@ struct Loop {
   std::vector<u64> est_service_ns;
   ServeResult res;
 
+  // Observability (pure observers on the modelled timeline).
+  obs::Tracer* tr = nullptr;
+  u32 trk_req = 0;  // host track: kReqEnqueue/kReqServe/kReqShed
+  u32 trk_ctl = 0;  // host track: kDegrade
+  obs::Registry metrics;
+  std::unique_ptr<JsonlWriter> metrics_out;
+  u64 next_metrics_ns = 0;
+
   explicit Loop(const ServeSpec& s)
       : spec(s), dev(s.gpu, s.platform), requests(s.traffic.generate()) {
     for (const TenantSpec& t : s.traffic.tenants) {
@@ -81,15 +90,55 @@ struct Loop {
       dev.set_checkpoint_policy(
           ckpt::CheckpointPolicy::interval(s.ckpt_interval_cycles));
     next_bist_ns = s.bist_interval_ns;  // first BIST one period in
+    if (s.tracer != nullptr) {
+      tr = s.tracer;
+      dev.set_tracer(tr);
+      trk_req = tr->track("serve.requests", obs::kPidHost);
+      trk_ctl = tr->track("serve.control", obs::kPidHost);
+    }
+    if (!s.metrics_jsonl_path.empty() && s.metrics_interval_ns != 0) {
+      metrics_out =
+          std::make_unique<JsonlWriter>(s.metrics_jsonl_path, /*truncate=*/true);
+      next_metrics_ns = s.metrics_interval_ns;
+    }
+  }
+
+  /// Record the queue depth after any change: the over-time series, the
+  /// high watermark (with the modelled instant it was first reached) and
+  /// the metrics gauge all key off this one observation point.
+  void note_queue(u64 now) {
+    const u64 depth = queue.size();
+    if (res.queue_depth_series.empty() ||
+        res.queue_depth_series.back().second != depth)
+      res.queue_depth_series.emplace_back(now, static_cast<u32>(depth));
+    if (depth > res.max_queue_depth) {
+      res.max_queue_depth = depth;
+      res.queue_high_watermark_ns = now;
+    }
+    metrics.gauge_set("serve.queue_depth", static_cast<i64>(depth), now);
+  }
+
+  /// Emit one metrics record per elapsed interval boundary (modelled time,
+  /// so the series is deterministic and engine-independent).
+  void flush_metrics(u64 now) {
+    if (metrics_out == nullptr) return;
+    while (next_metrics_ns <= now) {
+      metrics_out->append(metrics.snapshot_json(next_metrics_ns));
+      next_metrics_ns += spec.metrics_interval_ns;
+    }
   }
 
   void admit(u64 now) {
     while (next_arrival < requests.size() &&
            requests[next_arrival].arrival_ns <= now) {
+      const Request& r = requests[next_arrival];
+      if (tr != nullptr)
+        tr->instant(trk_req, obs::Ev::kReqEnqueue, r.arrival_ns, r.id,
+                    r.tenant);
       queue.push_back(next_arrival);
       ++next_arrival;
     }
-    res.max_queue_depth = std::max<u64>(res.max_queue_depth, queue.size());
+    note_queue(now);
   }
 
   void run_bist_if_due(u64 now) {
@@ -104,13 +153,16 @@ struct Loop {
   }
 
   void transition(u64 t, u32 to, DegradeReason reason) {
-    DegradeTransition tr;
-    tr.t_ns = t;
-    tr.from_level = level;
-    tr.to_level = to;
-    tr.reason = reason;
-    tr.queue_depth = static_cast<u32>(queue.size());
-    res.transitions.push_back(tr);
+    DegradeTransition rec;
+    rec.t_ns = t;
+    rec.from_level = level;
+    rec.to_level = to;
+    rec.reason = reason;
+    rec.queue_depth = static_cast<u32>(queue.size());
+    res.transitions.push_back(rec);
+    if (tr != nullptr)
+      tr->instant(trk_ctl, obs::Ev::kDegrade, t, to, static_cast<u64>(reason));
+    metrics.count("serve.degrade_transitions");
     level = to;
     consecutive_good = 0;
   }
@@ -122,6 +174,9 @@ struct Loop {
         if (r.deadline_ns < now) {
           ++res.tenants[r.tenant].dropped_expired;
           ++res.dropped;
+          metrics.count("serve.dropped_expired");
+          if (tr != nullptr)
+            tr->instant(trk_req, obs::Ev::kReqShed, now, r.id, 0);
           queue[i] = queue.back();
           queue.pop_back();
         } else {
@@ -144,9 +199,12 @@ struct Loop {
       const Request& r = requests[queue[worst]];
       ++res.tenants[r.tenant].dropped_overflow;
       ++res.dropped;
+      metrics.count("serve.dropped_overflow");
+      if (tr != nullptr) tr->instant(trk_req, obs::Ev::kReqShed, now, r.id, 1);
       queue[worst] = queue.back();
       queue.pop_back();
     }
+    note_queue(now);
   }
 
   /// EDF over the queue: earliest absolute deadline, lowest id on ties.
@@ -219,9 +277,15 @@ struct Loop {
 
     ++res.served;
     ++ts.served;
+    metrics.count("serve.served");
+    metrics.observe("serve.response_ns", static_cast<i64>(c.response_ns));
+    if (tr != nullptr)
+      tr->emit(trk_req, obs::Ev::kReqServe, start, finish - start, req.id,
+               level);
     if (!c.deadline_met) {
       ++ts.deadline_misses;
       ++res.deadline_misses;
+      metrics.count("serve.deadline_misses");
     }
     if (level > 0) ++ts.degraded_served;
     ts.response_ns.sample(static_cast<i64>(c.response_ns));
@@ -266,6 +330,7 @@ struct Loop {
       u64 now = dev.elapsed_ns();
       admit(now);
       run_bist_if_due(now);
+      flush_metrics(dev.elapsed_ns());
       if (queue.empty()) {
         // Idle: jump to the next arrival (or an earlier pending BIST).
         u64 wake = requests[next_arrival].arrival_ns;
@@ -276,9 +341,14 @@ struct Loop {
       }
       shed(dev.elapsed_ns());
       if (queue.empty()) continue;
-      serve_one(pop_edf());
+      const u32 idx = pop_edf();
+      note_queue(dev.elapsed_ns());
+      serve_one(idx);
     }
     res.span_ns = dev.elapsed_ns();
+    // Close out the metrics series at the end of the modelled span.
+    if (metrics_out != nullptr)
+      metrics_out->append(metrics.snapshot_json(res.span_ns));
     return std::move(res);
   }
 };
@@ -319,6 +389,7 @@ std::string ServeResult::to_json(const ServeSpec& spec) const {
   jw.field("deadline_misses", deadline_misses);
   jw.field("verify_failures", verify_failures);
   jw.field("max_queue_depth", max_queue_depth);
+  jw.field("queue_high_watermark_ns", queue_high_watermark_ns);
   jw.field("bist_runs", bist_runs);
   jw.field("bist_failures", bist_failures);
   jw.field("checkpoints_captured", checkpoints_captured);
@@ -351,6 +422,16 @@ std::string ServeResult::to_json(const ServeSpec& spec) const {
     jw.begin_object();
     jw.field("level", l);
     emit_percentiles(jw, "response_ns", by_level[l]);
+    jw.end_object();
+  }
+  jw.end_array();
+
+  jw.key("queue_depth_series");
+  jw.begin_array();
+  for (const auto& [t_ns, depth] : queue_depth_series) {
+    jw.begin_object();
+    jw.field("t_ns", t_ns);
+    jw.field("depth", depth);
     jw.end_object();
   }
   jw.end_array();

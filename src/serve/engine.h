@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "common/percentiles.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/device.h"
 #include "serve/traffic.h"
 
@@ -65,6 +67,18 @@ struct ServeSpec {
   /// Interval CheckpointPolicy installed on the device (0 = none); gives
   /// kRollback tenants mid-stream restore points.
   u64 ckpt_interval_cycles = 0;
+
+  // ---- Observability (pure observers; results stay bit-identical) --------
+  /// Optional tracer attached to the device for the run; the engine adds
+  /// host tracks for request spans (kReqServe), enqueue/shed instants and
+  /// degrade transitions. Not part of the spec's identity/label.
+  obs::Tracer* tracer = nullptr;
+  /// When non-empty, append one "higpu.metrics/1" record to this JSONL file
+  /// every `metrics_interval_ns` of *modelled* time (so the series is
+  /// deterministic): queue-depth gauge, served/dropped counters, response
+  /// histogram. The file is truncated at the start of the run.
+  std::string metrics_jsonl_path;
+  u64 metrics_interval_ns = 0;
 
   void validate() const;
   std::string label() const;
@@ -129,6 +143,12 @@ struct ServeResult {
   u64 deadline_misses = 0;
   u64 verify_failures = 0;
   u64 max_queue_depth = 0;
+  /// Modelled time at which max_queue_depth was first reached (the
+  /// high-watermark instant; 0 when the queue never held a request).
+  u64 queue_high_watermark_ns = 0;
+  /// Queue depth over modelled time: one (t_ns, depth) point per change,
+  /// deterministic (same under both engines and both exec modes).
+  std::vector<std::pair<u64, u32>> queue_depth_series;
   u64 bist_runs = 0;
   u64 bist_failures = 0;
   u64 checkpoints_captured = 0;
@@ -165,7 +185,10 @@ struct ServeResult {
         return false;
     }
     return served == other.served && dropped == other.dropped &&
-           deadline_misses == other.deadline_misses;
+           deadline_misses == other.deadline_misses &&
+           max_queue_depth == other.max_queue_depth &&
+           queue_high_watermark_ns == other.queue_high_watermark_ns &&
+           queue_depth_series == other.queue_depth_series;
   }
 };
 

@@ -33,6 +33,27 @@ void Gpu::set_trace_sink(ITraceSink* sink) {
   for (auto& sm : sms_) sm->set_trace_sink(sink);
 }
 
+void Gpu::set_obs_tracer(obs::Tracer* t) {
+  obs_ = t;
+  obs_kernel_track_ = 0;
+  if (t != nullptr) {
+    obs_kernel_track_ = t->track("kernels", obs::kPidDevice);
+    for (u32 i = 0; i < sms_.size(); ++i)
+      sms_[i]->set_obs_tracer(t, t->track("sm" + std::to_string(i),
+                                          obs::kPidDevice));
+  } else {
+    for (auto& sm : sms_) sm->set_obs_tracer(nullptr, 0);
+  }
+  mem_.set_obs_tracer(t);
+}
+
+std::vector<obs::SmCycles> Gpu::sm_profile() const {
+  std::vector<obs::SmCycles> out;
+  out.reserve(sms_.size());
+  for (const auto& sm : sms_) out.push_back(sm->cycle_breakdown(cycle_));
+  return out;
+}
+
 void Gpu::set_warp_sched_policy(WarpSchedPolicy p) {
   for (auto& sm : sms_) sm->set_warp_sched_policy(p);
 }
@@ -332,6 +353,10 @@ void Gpu::on_block_done(const BlockRecord& rec) {
     ks.done_cycle = cycle_;
     kernels_finished_ += 1;
     stats_.add("kernels_completed");
+    if (obs_ != nullptr)
+      obs_->emit(obs_kernel_track_, obs::Ev::kKernel, ks.first_dispatch_cycle,
+                 ks.done_cycle - ks.first_dispatch_cycle, rec.launch_id,
+                 ks.total_blocks);
   }
 }
 

@@ -52,6 +52,11 @@ class Gpu {
   void set_fault_hook(IFaultHook* hook);
   IFaultHook* fault_hook() const { return fault_; }
   void set_trace_sink(ITraceSink* sink);
+  /// Attach (or detach, with nullptr) the observability tracer: creates one
+  /// device track per SM plus a kernel track and forwards the tracer to
+  /// every SM and the memory hierarchy. Pure observer — pinned bit-identical
+  /// on/off by the trace-identity suite.
+  void set_obs_tracer(obs::Tracer* t);
   void set_warp_sched_policy(WarpSchedPolicy p);
   const GpuParams& params() const { return params_; }
 
@@ -100,6 +105,9 @@ class Gpu {
   Cycle kernel_cycles(u32 launch_id) const;
   /// Aggregated statistics (SMs + memory + GPU counters).
   StatSet collect_stats() const;
+  /// Per-SM cycle attribution against the current GPU clock; for each SM,
+  /// issued + scoreboard + barrier + structural + idle == now().
+  std::vector<obs::SmCycles> sm_profile() const;
   memsys::MemHierarchy& mem() { return mem_; }
   memsys::GlobalStore& store() { return *store_; }
   SmCore& sm(u32 i) { return *sms_[i]; }
@@ -168,6 +176,8 @@ class Gpu {
   std::vector<std::unique_ptr<SmCore>> sms_;
   std::unique_ptr<IKernelScheduler> ksched_;
   IFaultHook* fault_ = nullptr;
+  obs::Tracer* obs_ = nullptr;
+  u32 obs_kernel_track_ = 0;
 
   Cycle cycle_ = 0;
   Cycle last_arrival_ = 0;

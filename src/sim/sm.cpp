@@ -115,6 +115,14 @@ void SmCore::cycle(Cycle now) {
   quiet_wake_ = kNeverCycle;
   if (blocks_used_ == 0) return;
   active_cycles_ += 1;
+  // Cycle attribution: classify this cycle from its own stall-counter
+  // deltas at the end, so a no-progress cycle lands in its dominant stall
+  // class. The deltas (not the warp records) are the source of truth here;
+  // settle_to() reproduces the same classification from the records, which
+  // are constant across a quiescent window.
+  const u64 sb0 = stall_scoreboard_;
+  const u64 bar0 = stall_barrier_;
+  const u64 str0 = stall_structural_;
 
   const u32 nsched = params_.num_warp_schedulers;
   for (u32 s = 0; s < nsched; ++s) {
@@ -136,6 +144,7 @@ void SmCore::cycle(Cycle now) {
         // count the stall exactly as the full attempt would and keep the
         // wake as an event candidate, skipping the hazard re-check.
         count_stall(rec.cls);
+        if (obs_ != nullptr) open_stall_episode(slot, now, rec.cls);
         if (rec.wake < quiet_wake_) quiet_wake_ = rec.wake;
         ++idx;
         continue;
@@ -149,19 +158,37 @@ void SmCore::cycle(Cycle now) {
       if (idx < order.size() && order[idx] == slot) ++idx;
     }
   }
+
+  if (progress_) {
+    cycles_issued_ += 1;
+  } else {
+    attribute_stall_cycles(stall_scoreboard_ - sb0, stall_barrier_ - bar0,
+                           stall_structural_ - str0, 1);
+  }
 }
 
 bool SmCore::try_issue(Warp& w, Cycle now) {
   const IssueOutcome outcome = try_issue_classified(w, now);
+  const size_t slot = static_cast<size_t>(&w - warps_.data());
   switch (outcome) {
     case IssueOutcome::kIssued:
       ++issued_attempts_;
       progress_ = true;
-      warp_stall_[static_cast<size_t>(&w - warps_.data())].wake = 0;
+      warp_stall_[slot].wake = 0;
+      if (obs_ != nullptr) close_stall_episode(slot, now);
       return true;
-    case IssueOutcome::kScoreboard: ++stall_scoreboard_; return false;
-    case IssueOutcome::kBarrier: ++stall_barrier_; return false;
-    case IssueOutcome::kStructural: ++stall_structural_; return false;
+    case IssueOutcome::kScoreboard:
+      ++stall_scoreboard_;
+      if (obs_ != nullptr) open_stall_episode(slot, now, outcome);
+      return false;
+    case IssueOutcome::kBarrier:
+      ++stall_barrier_;
+      if (obs_ != nullptr) open_stall_episode(slot, now, outcome);
+      return false;
+    case IssueOutcome::kStructural:
+      ++stall_structural_;
+      if (obs_ != nullptr) open_stall_episode(slot, now, outcome);
+      return false;
     case IssueOutcome::kWarpDone: return false;
   }
   return false;
@@ -425,6 +452,12 @@ StatSet SmCore::snapshot_stats() const {
   s.add("issue_stall_scoreboard", stall_scoreboard_);
   s.add("issue_stall_barrier", stall_barrier_);
   s.add("issue_stall_structural", stall_structural_);
+  // Cycle attribution (obs::SmCycles). Unconditional so the engine
+  // equivalence suites pin the classification even when a bucket is zero.
+  s.add("cycles_issued", cycles_issued_);
+  s.add("cycles_stall_scoreboard", cycles_stall_scoreboard_);
+  s.add("cycles_stall_barrier", cycles_stall_barrier_);
+  s.add("cycles_stall_structural", cycles_stall_structural_);
   return s;
 }
 
@@ -443,14 +476,21 @@ void SmCore::settle_to(Cycle upto) {
   // across the window because the wake time never spans a classification
   // boundary.
   active_cycles_ += n;
+  u64 nsb = 0;
+  u64 nbar = 0;
+  u64 nstr = 0;
   for (const Warp& w : warps_) {
     if (!w.active) continue;
     switch (warp_stall_[static_cast<size_t>(&w - warps_.data())].cls) {
-      case IssueOutcome::kBarrier: stall_barrier_ += n; break;
-      case IssueOutcome::kScoreboard: stall_scoreboard_ += n; break;
-      default: stall_structural_ += n; break;
+      case IssueOutcome::kBarrier: stall_barrier_ += n; nbar += 1; break;
+      case IssueOutcome::kScoreboard: stall_scoreboard_ += n; nsb += 1; break;
+      default: stall_structural_ += n; nstr += 1; break;
     }
   }
+  // Every quiescent cycle has the same per-class attempt counts (nsb, nbar,
+  // nstr) the dense loop would produce, so the dominant class — and hence
+  // the attribution — is the same for all n cycles.
+  attribute_stall_cycles(nsb, nbar, nstr, n);
 }
 
 u32 SmCore::maybe_corrupt(u32 value, Cycle now) const {
@@ -740,6 +780,7 @@ void SmCore::complete_warp(Warp& w, Cycle now) {
   progress_ = true;
   w.active = false;
   const u32 slot = static_cast<u32>(&w - warps_.data());
+  if (obs_ != nullptr) close_stall_episode(slot, now);
   std::vector<u32>& order = sched_order_[slot % params_.num_warp_schedulers];
   order.erase(std::find(order.begin(), order.end(), slot));
   ResidentBlock& b = blocks_[w.block_slot];
@@ -824,7 +865,9 @@ void SmCore::save(ckpt::Writer& w) const {
                 global_atomics_,
                 global_load_transactions_, global_store_transactions_,
                 stall_scoreboard_, stall_barrier_, stall_structural_,
-                issued_attempts_, block_exec_hits_, block_fallback_exits_})
+                issued_attempts_, block_exec_hits_, block_fallback_exits_,
+                cycles_issued_, cycles_stall_scoreboard_,
+                cycles_stall_barrier_, cycles_stall_structural_})
     w.put64(c);
 }
 
@@ -914,8 +957,14 @@ void SmCore::restore(
                  &global_atomics_,
                  &global_load_transactions_, &global_store_transactions_,
                  &stall_scoreboard_, &stall_barrier_, &stall_structural_,
-                 &issued_attempts_, &block_exec_hits_, &block_fallback_exits_})
+                 &issued_attempts_, &block_exec_hits_, &block_fallback_exits_,
+                 &cycles_issued_, &cycles_stall_scoreboard_,
+                 &cycles_stall_barrier_, &cycles_stall_structural_})
     *c = r.get64();
+
+  // Open stall episodes describe pre-restore time; drop them rather than
+  // emit spans that straddle the restore point.
+  if (obs_ != nullptr) stall_eps_.assign(warps_.size(), StallEp{});
 }
 
 void SmCore::complete_block(ResidentBlock& b, Cycle now) {

@@ -12,6 +12,8 @@
 #include "common/types.h"
 #include "memsys/global_store.h"
 #include "memsys/hierarchy.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "sim/fault_hook.h"
 #include "sim/kernel.h"
 #include "sim/params.h"
@@ -97,6 +99,16 @@ class SmCore {
   void set_block_done_callback(BlockDoneFn fn) { on_block_done_ = std::move(fn); }
   void set_fault_hook(IFaultHook* hook) { fault_ = hook; }
   void set_trace_sink(ITraceSink* sink) { trace_ = sink; }
+  /// Attach (or detach, with nullptr) the observability tracer. `track` is
+  /// this SM's track id in `t`. The tracer is a pure observer — attaching
+  /// it changes no simulated state (pinned by the trace-identity suite);
+  /// its only per-warp bookkeeping (open stall episodes) lives in a
+  /// trace-only side table that is never serialized.
+  void set_obs_tracer(obs::Tracer* t, u32 track) {
+    obs_ = t;
+    obs_track_ = track;
+    stall_eps_.assign(warps_.size(), StallEp{});
+  }
   void set_warp_sched_policy(WarpSchedPolicy p) { warp_policy_ = p; }
   /// Event-engine mode: the issue walk may skip a warp in O(1) while its
   /// recorded stall is provably still blocking (see StallRec). Off in the
@@ -117,6 +129,21 @@ class SmCore {
 
   /// Statistics snapshot including derived stall-reason counters.
   StatSet snapshot_stats() const;
+
+  /// Per-SM cycle attribution: every active cycle classified as issued or
+  /// by its dominant stall class, idle as the remainder against
+  /// `total_cycles` (the GPU clock). issued + stalls == active cycles by
+  /// construction, and the classification is computed identically by the
+  /// dense loop and the event engine's settle_to() fast-forward.
+  obs::SmCycles cycle_breakdown(Cycle total_cycles) const {
+    obs::SmCycles c;
+    c.issued = cycles_issued_;
+    c.scoreboard = cycles_stall_scoreboard_;
+    c.barrier = cycles_stall_barrier_;
+    c.structural = cycles_stall_structural_;
+    c.idle = total_cycles >= active_cycles_ ? total_cycles - active_cycles_ : 0;
+    return c;
+  }
 
   /// Checkpoint the full SM state: resident blocks and warps (registers,
   /// predicates, reconvergence stacks, scoreboards, shared memory), the
@@ -271,6 +298,67 @@ class SmCore {
   // instructions, so hits + fallbacks == instructions in block mode).
   u64 block_exec_hits_ = 0;        // issued through a compiled superop
   u64 block_fallback_exits_ = 0;   // exited the block path to the interpreter
+
+  // Cycle attribution (obs::SmCycles). Every active cycle lands in exactly
+  // one bucket: issued if any scheduler made progress, else the dominant
+  // stall class of that cycle's failed attempts (ties break scoreboard >=
+  // barrier >= structural; a no-progress cycle with no per-cycle stall
+  // deltas — possible only transiently — counts as structural). settle_to()
+  // applies the same rule per quiescent cycle from the recorded per-warp
+  // stall classes, which are constant across a quiescent window.
+  void attribute_stall_cycles(u64 sb, u64 bar, u64 str, u64 n) {
+    if (sb >= bar && sb >= str && sb > 0) {
+      cycles_stall_scoreboard_ += n;
+    } else if (bar >= str && bar > 0) {
+      cycles_stall_barrier_ += n;
+    } else {
+      cycles_stall_structural_ += n;
+    }
+  }
+  u64 cycles_issued_ = 0;
+  u64 cycles_stall_scoreboard_ = 0;
+  u64 cycles_stall_barrier_ = 0;
+  u64 cycles_stall_structural_ = 0;
+
+  // Observability tracer (nullptr when tracing is off — the only cost then
+  // is one pointer test per hook). Stall spans are emitted as *episodes*:
+  // one ring write when a warp's contiguous stall of one class ends, not
+  // one per stalled cycle. stall_eps_ is trace-only state — never
+  // serialized, cleared on restore/detach — so tracing cannot perturb
+  // snapshots or simulated behaviour.
+  struct StallEp {
+    Cycle start = 0;
+    IssueOutcome cls = IssueOutcome::kStructural;
+    bool open = false;
+  };
+  void open_stall_episode(size_t slot, Cycle now, IssueOutcome cls) {
+    StallEp& ep = stall_eps_[slot];
+    if (ep.open && ep.cls == cls) return;
+    if (ep.open) emit_stall_span(slot, ep, now);
+    ep.start = now;
+    ep.cls = cls;
+    ep.open = true;
+  }
+  void close_stall_episode(size_t slot, Cycle now) {
+    StallEp& ep = stall_eps_[slot];
+    if (!ep.open) return;
+    emit_stall_span(slot, ep, now);
+    ep.open = false;
+  }
+  void emit_stall_span(size_t slot, const StallEp& ep, Cycle end) const {
+    obs_->emit(obs_track_, obs::Ev::kWarpStall, ep.start, end - ep.start,
+               static_cast<u64>(slot), static_cast<u64>(obs_stall_cls(ep.cls)));
+  }
+  static obs::StallCls obs_stall_cls(IssueOutcome o) {
+    switch (o) {
+      case IssueOutcome::kScoreboard: return obs::StallCls::kScoreboard;
+      case IssueOutcome::kBarrier: return obs::StallCls::kBarrier;
+      default: return obs::StallCls::kStructural;
+    }
+  }
+  obs::Tracer* obs_ = nullptr;
+  u32 obs_track_ = 0;
+  std::vector<StallEp> stall_eps_;  // parallel to warps_; trace-only
 };
 
 }  // namespace higpu::sim

@@ -1,0 +1,95 @@
+// Zero-perturbation guarantee: attaching an obs::Tracer changes no
+// deterministic result field. Every workload runs with tracing off and on —
+// across both sim engines, both exec modes and baseline/TMR redundancy —
+// and the two ScenarioResults must be bit-identical (including the cycle-
+// attribution counters and per-SM profile, which are counted
+// unconditionally). The traced run must also produce a schema-valid,
+// non-empty Chrome trace, so "identical" can never be satisfied by tracing
+// silently not happening.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/exec.h"
+#include "exp/campaign.h"
+#include "obs/trace.h"
+#include "runtime/device.h"
+#include "workloads/workload.h"
+
+namespace higpu {
+namespace {
+
+struct Config {
+  sim::SimEngine engine;
+  sim::ExecMode exec;
+  bool tmr;
+};
+
+std::string config_name(const Config& c) {
+  std::string s = c.engine == sim::SimEngine::kDense ? "dense" : "event";
+  s += c.exec == sim::ExecMode::kInterp ? "+interp" : "+block";
+  s += c.tmr ? "+tmr" : "+base";
+  return s;
+}
+
+class TraceIdentity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TraceIdentity, TracerOnChangesNoDeterministicField) {
+  const std::vector<Config> configs = {
+      {sim::SimEngine::kDense, sim::ExecMode::kInterp, false},
+      {sim::SimEngine::kDense, sim::ExecMode::kInterp, true},
+      {sim::SimEngine::kDense, sim::ExecMode::kBlock, false},
+      {sim::SimEngine::kDense, sim::ExecMode::kBlock, true},
+      {sim::SimEngine::kEvent, sim::ExecMode::kInterp, false},
+      {sim::SimEngine::kEvent, sim::ExecMode::kInterp, true},
+      {sim::SimEngine::kEvent, sim::ExecMode::kBlock, false},
+      {sim::SimEngine::kEvent, sim::ExecMode::kBlock, true},
+  };
+  for (const Config& c : configs) {
+    SCOPED_TRACE(config_name(c));
+    exp::ScenarioSpec spec;
+    spec.workload = GetParam();
+    spec.scale = workloads::Scale::kTest;
+    spec.gpu.engine = c.engine;
+    spec.gpu.exec_mode = c.exec;
+    spec.redundancy = c.tmr ? core::RedundancySpec::tmr()
+                            : core::RedundancySpec::baseline();
+
+    const exp::ScenarioResult off = exp::run_scenario(spec);
+    ASSERT_TRUE(off.ok) << off.error;
+
+    obs::Tracer tracer;
+    const exp::ScenarioProbe attach =
+        [&tracer](runtime::Device& dev, workloads::Workload&,
+                  core::ExecSession&) { dev.set_tracer(&tracer); };
+    const exp::ScenarioResult on =
+        exp::run_scenario(spec, 0, nullptr, attach);
+    ASSERT_TRUE(on.ok) << on.error;
+
+    EXPECT_TRUE(off.deterministic_fields_equal(on))
+        << "tracing perturbed the simulation";
+    // Pin the fields a failure would most plausibly hide in, for a usable
+    // diagnostic when the blanket equality trips.
+    EXPECT_EQ(off.kernel_cycles, on.kernel_cycles);
+    EXPECT_EQ(off.elapsed_ns, on.elapsed_ns);
+    EXPECT_EQ(off.sm_profile, on.sm_profile);
+    EXPECT_TRUE(off.stats == on.stats);
+
+    // The traced run must really have traced something valid.
+    EXPECT_GT(tracer.events_recorded(), 0u);
+    EXPECT_EQ(obs::validate_chrome_trace(tracer.to_chrome_json()), "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, TraceIdentity,
+                         ::testing::ValuesIn(workloads::all_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '+' || c == '-') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace higpu
